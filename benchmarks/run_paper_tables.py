@@ -1,0 +1,97 @@
+"""Regenerate the paper's tables in their original layout.
+
+Standalone companion to the pytest-benchmark harness: prints
+
+* Figure 1.1  — adder cost table;
+* Figure 10.2 — adder verification seconds per qubit count, per backend;
+* Figure 10.3 — MCX verification seconds per qubit count, per backend.
+
+The output of this script is the source of the measured columns in
+EXPERIMENTS.md.
+
+Run:  python benchmarks/run_paper_tables.py [--quick]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.adders.costs import adder_cost_rows
+from repro.lang.surface import elaborate
+from repro.lang.surface.sources import adder_qbr_source, mcx_qbr_source
+from repro.verify import verify_circuit
+
+QUICK = "--quick" in sys.argv
+
+
+def figure_1_1() -> None:
+    print("=== Figure 1.1: constant-adder costs (measured at n = 64) ===")
+    rows = {row.adder: row for row in adder_cost_rows([64])}
+    print(f"{'':14}{'cuccaro':>10}{'takahashi':>12}{'draper':>10}{'haner':>10}")
+    for metric in ("size", "depth"):
+        values = [getattr(rows[a], metric) for a in
+                  ("cuccaro", "takahashi", "draper", "haner")]
+        print(f"{metric:<14}" + "".join(f"{v:>10}" for v in [values[0], values[1]])
+              + f"{values[2]:>10}{values[3]:>10}")
+    ancillas = [
+        f"{rows['cuccaro'].clean_ancillas}(clean)",
+        f"{rows['takahashi'].clean_ancillas}(clean)",
+        "0",
+        f"{rows['haner'].dirty_ancillas}(dirty)",
+    ]
+    print(f"{'ancillas':<14}" + "".join(f"{v:>10}" for v in ancillas[:2])
+          + f"{ancillas[2]:>10}{ancillas[3]:>10}")
+    print()
+
+
+def _sweep(name, sources, backends) -> None:
+    print(f"=== {name} ===")
+    header = f"{'Duration (s)':<14}" + "".join(
+        f"{label:>14}" for label, _ in sources
+    )
+    print(header)
+    for backend, cap in backends:
+        cells = []
+        for label, source in sources:
+            program = elaborate(source)
+            if cap is not None and program.circuit.num_qubits > cap:
+                cells.append(f"{'—':>14}")
+                continue
+            start = time.perf_counter()
+            report = verify_circuit(
+                program.circuit, program.dirty_wires, backend=backend
+            )
+            elapsed = time.perf_counter() - start
+            flag = "" if report.all_safe else "!UNSAFE"
+            cells.append(f"{elapsed:>13.2f}{flag:1}")
+        print(f"{backend:<14}" + "".join(cells))
+    print()
+
+
+def figure_10_2() -> None:
+    ns = [50, 75, 100] if QUICK else [50, 75, 100, 125, 150, 175, 200]
+    sources = [(f"{n} qubits", adder_qbr_source(n)) for n in ns]
+    backends = [("bdd", None), ("cdcl", 160 if not QUICK else 110)]
+    _sweep(
+        "Figure 10.2: adder.qbr verification (all n-1 dirty ancillas)",
+        sources,
+        backends,
+    )
+
+
+def figure_10_3() -> None:
+    ms = [250, 500, 750] if QUICK else [250, 500, 750, 1000, 1250, 1500, 1750]
+    sources = [(f"{2 * m - 1} qubits", mcx_qbr_source(m)) for m in ms]
+    backends = [("cdcl", None), ("bdd", 1600)]
+    _sweep(
+        "Figure 10.3: mcx.qbr verification (one dirty ancilla)",
+        sources,
+        backends,
+    )
+
+
+if __name__ == "__main__":
+    figure_1_1()
+    figure_10_2()
+    figure_10_3()

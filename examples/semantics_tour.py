@@ -1,0 +1,96 @@
+"""A tour of QBorrow's denotational semantics (Sections 4 and 5).
+
+* ``borrow`` introduces nondeterminism: ``⟦S⟧`` is a *set* of quantum
+  operations, one per idle-qubit choice;
+* the Figure 4.4 nested-borrow program collapses to a single operation
+  (both borrows can only take q3);
+* Example 5.2: a qubit can be safely uncomputed even when the program
+  contains an unsafe borrow;
+* Theorem 5.5: safety of all borrows <=> deterministic semantics.
+
+Run:  python examples/semantics_tour.py
+"""
+
+from repro.lang import borrow, seq, unitary
+from repro.semantics import Interpretation
+from repro.verify import program_is_safe, program_safely_uncomputes
+from repro.verify.channel import semantics_is_deterministic
+
+UNIVERSE = ["q1", "q2", "q3", "q4", "q5"]
+
+
+def figure_44_program():
+    s2 = seq(
+        unitary("CCX", "q4", "q5", "a2"),
+        unitary("CCX", "a2", "q2", "q1"),
+        unitary("CCX", "q4", "q5", "a2"),
+        unitary("CCX", "a2", "q2", "q1"),
+    )
+    s1 = seq(
+        unitary("CCX", "q1", "q2", "a1"),
+        unitary("CCX", "a1", "q4", "q5"),
+        unitary("CCX", "q1", "q2", "a1"),
+        unitary("CCX", "a1", "q4", "q5"),
+        borrow("a2", s2),
+    )
+    return seq(unitary("CX", "q2", "q3"), borrow("a1", s1))
+
+
+def main() -> None:
+    interp = Interpretation(UNIVERSE)
+
+    print("=== nondeterminism from borrow ===")
+    unsafe = borrow("a", unitary("X", "a"))
+    ops = interp.denote(unsafe)
+    print(
+        f"borrow a; X[a]; release a   over 5 qubits: |[S]| = {len(ops)} "
+        f"(one operation per idle-qubit choice)"
+    )
+
+    safe = borrow("a", unitary("X", "a"), unitary("X", "a"))
+    ops = interp.denote(safe)
+    print(f"borrow a; X[a]; X[a]; release a: |[S]| = {len(ops)} (collapsed)")
+
+    print("\n=== Figure 4.4: nested borrows forced onto q3 ===")
+    program = figure_44_program()
+    ops = interp.denote(program)
+    print(f"|[S]| = {len(ops)}  (both a1 and a2 must take q3)")
+    print(f"program safe (all borrows safe): {program_is_safe(program, UNIVERSE)}")
+    print(
+        "deterministic semantics (Theorem 5.5): "
+        f"{semantics_is_deterministic(program, UNIVERSE)}"
+    )
+
+    print("\n=== Example 5.2 ===")
+    example = seq(
+        unitary("X", "q1"),
+        borrow("a", unitary("X", "q1"), unitary("X", "a")),
+    )
+    print(
+        "q1 safely uncomputed: "
+        f"{program_safely_uncomputes(example, 'q1', UNIVERSE)}"
+    )
+    print(f"whole program safe:  {program_is_safe(example, UNIVERSE)}")
+    print(
+        "-> q1 could still be substituted by a dirty qubit even though\n"
+        "   the borrow of 'a' inside is unsafe (per-qubit verification)."
+    )
+
+    print("\n=== stuck programs ===")
+    greedy = borrow(
+        "a",
+        unitary("CX", "a", "q1"),
+        unitary("CX", "a", "q2"),
+        unitary("CX", "a", "q3"),
+        unitary("CX", "a", "q4"),
+        unitary("CX", "a", "q5"),
+    )
+    ops = interp.denote(greedy)
+    print(
+        f"a borrow that touches every qubit: |[S]| = {len(ops)} "
+        f"(empty semantics = stuck, no idle qubit to take)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""The Figure 1.1 cost table, measured from the implementations.
+
+Each row reports size, depth and ancilla counts for one adder at one
+width; :func:`adder_cost_rows` produces the table the E1 benchmark
+prints, and :func:`fit_growth` estimates the growth exponent so the
+``Θ(n)`` / ``Θ(n²)`` shapes of the paper's table can be asserted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.adders.cuccaro import cuccaro_constant_adder
+from repro.adders.draper import draper_constant_adder
+from repro.adders.haner import haner_ripple_constant_adder
+from repro.adders.layout import AdderLayout
+from repro.adders.takahashi import takahashi_constant_adder
+from repro.circuits.metrics import depth as circuit_depth
+from repro.circuits.metrics import size as circuit_size
+
+
+@dataclass(frozen=True)
+class AdderCostRow:
+    """One (adder, width) measurement."""
+
+    adder: str
+    n: int
+    size: int
+    depth: int
+    clean_ancillas: int
+    dirty_ancillas: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.adder:<12} n={self.n:<4} size={self.size:<6} "
+            f"depth={self.depth:<6} clean={self.clean_ancillas:<4} "
+            f"dirty={self.dirty_ancillas}"
+        )
+
+
+#: Builders for the four Figure 1.1 columns (constant fixed to an
+#: alternating bit pattern so no column gets a degenerate constant).
+ADDER_BUILDERS: Dict[str, Callable[[int], AdderLayout]] = {
+    "cuccaro": lambda n: cuccaro_constant_adder(n, _pattern(n)),
+    "takahashi": lambda n: takahashi_constant_adder(n, _pattern(n)),
+    "draper": lambda n: draper_constant_adder(n, _pattern(n)),
+    "haner": lambda n: haner_ripple_constant_adder(n, _pattern(n)),
+}
+
+
+def _pattern(n: int) -> int:
+    """An alternating 1010... constant of width n (non-degenerate)."""
+    value = 0
+    for i in range(0, n, 2):
+        value |= 1 << i
+    return value
+
+
+def adder_cost_rows(widths: Sequence[int]) -> List[AdderCostRow]:
+    """Measure every adder at every width."""
+    rows: List[AdderCostRow] = []
+    for name, builder in ADDER_BUILDERS.items():
+        for n in widths:
+            layout = builder(n)
+            rows.append(
+                AdderCostRow(
+                    adder=name,
+                    n=n,
+                    size=circuit_size(layout.circuit),
+                    depth=circuit_depth(layout.circuit),
+                    clean_ancillas=len(layout.clean_ancillas),
+                    dirty_ancillas=len(layout.dirty_ancillas),
+                )
+            )
+    return rows
+
+
+def fit_growth(ns: Sequence[int], values: Sequence[int]) -> float:
+    """Least-squares slope of log(value) vs log(n) — the growth exponent.
+
+    ``Θ(n)`` circuits fit near 1.0, ``Θ(n²)`` near 2.0.
+    """
+    if len(ns) != len(values) or len(ns) < 2:
+        raise ValueError("need at least two matching samples")
+    logs_n = [math.log(n) for n in ns]
+    logs_v = [math.log(max(v, 1)) for v in values]
+    mean_n = sum(logs_n) / len(logs_n)
+    mean_v = sum(logs_v) / len(logs_v)
+    num = sum((x - mean_n) * (y - mean_v) for x, y in zip(logs_n, logs_v))
+    den = sum((x - mean_n) ** 2 for x in logs_n)
+    return num / den

@@ -1,0 +1,89 @@
+"""Cuccaro ripple-carry adder (MAJ/UMA construction).
+
+``b ← a + b (mod 2**n)`` with one clean carry ancilla [Cuccaro et al.,
+quant-ph/0410184].  The MAJ block turns ``(c_i, b_i, a_i)`` into
+``(c_i ⊕ a_i, a_i ⊕ b_i, c_{i+1})``; UMA undoes the chain while writing
+the sum bits.
+
+The constant variant (Figure 1.1, first column) loads the constant into
+an ``n``-qubit clean register with X gates, runs the register adder, and
+unloads — ``n + 1`` clean ancillas in total.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import cnot, toffoli, x
+from repro.errors import CircuitError
+from repro.adders.layout import AdderLayout
+
+
+def _maj(circuit: Circuit, c: int, b: int, a: int) -> None:
+    circuit.append(cnot(a, b))
+    circuit.append(cnot(a, c))
+    circuit.append(toffoli(c, b, a))
+
+
+def _uma(circuit: Circuit, c: int, b: int, a: int) -> None:
+    circuit.append(toffoli(c, b, a))
+    circuit.append(cnot(a, c))
+    circuit.append(cnot(c, b))
+
+
+def cuccaro_add_registers(n: int) -> AdderLayout:
+    """``b ← a + b (mod 2**n)``; ``a`` preserved, carry ancilla restored.
+
+    Wire layout: ``a`` on wires ``0..n-1`` (little-endian), ``b`` on
+    ``n..2n-1``, carry ancilla on wire ``2n``.
+    """
+    if n < 1:
+        raise CircuitError("adder width must be at least 1")
+    a = list(range(n))
+    b = list(range(n, 2 * n))
+    carry = 2 * n
+    labels = (
+        [f"a{i}" for i in range(n)]
+        + [f"b{i}" for i in range(n)]
+        + ["cin"]
+    )
+    circuit = Circuit(2 * n + 1, labels=labels)
+    chain = [carry] + a  # carry wire for bit i is chain[i]
+    for i in range(n):
+        _maj(circuit, chain[i], b[i], a[i])
+    for i in reversed(range(n)):
+        _uma(circuit, chain[i], b[i], a[i])
+    return AdderLayout(
+        circuit,
+        target=b,
+        clean_ancillas=[carry],
+        operand=a,
+    )
+
+
+def cuccaro_constant_adder(n: int, constant: int) -> AdderLayout:
+    """``x ← x + constant (mod 2**n)`` with ``n + 1`` clean ancillas.
+
+    Wire layout: constant register on ``0..n-1`` (clean), target ``x`` on
+    ``n..2n-1``, carry ancilla on ``2n``.
+    """
+    if n < 1:
+        raise CircuitError("adder width must be at least 1")
+    constant %= 2**n
+    base = cuccaro_add_registers(n)
+    circuit = Circuit(
+        base.circuit.num_qubits,
+        labels=[f"c{i}" for i in range(n)]
+        + [f"x{i}" for i in range(n)]
+        + ["cin"],
+    )
+    loaded = [i for i in range(n) if (constant >> i) & 1]
+    for wire in loaded:
+        circuit.append(x(wire))
+    circuit.extend(base.circuit.gates)
+    for wire in loaded:
+        circuit.append(x(wire))
+    return AdderLayout(
+        circuit,
+        target=base.target,
+        clean_ancillas=list(base.operand) + base.clean_ancillas,
+    )

@@ -1,0 +1,60 @@
+"""Draper QFT constant adder: add a classical constant in Fourier space.
+
+``QFT → single-qubit phase rotations encoding c → QFT†`` [Draper,
+quant-ph/0008033].  Zero ancillas, ``Θ(n²)`` gates (the QFT's controlled
+rotations), ``Θ(n)`` depth — the third column of Figure 1.1.
+
+Being built from Hadamards and phase rotations, this adder is *not* a
+classical circuit, so the Section 6 SAT reduction does not apply to it;
+its tests run through the dense unitary simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import cphase, hadamard, phase
+from repro.errors import CircuitError
+from repro.adders.layout import AdderLayout
+
+
+def _qft_no_swap(circuit: Circuit, wires) -> None:
+    """QFT without the final swaps (the adder undoes it symmetrically).
+
+    ``wires`` is little-endian; after this block qubit ``j`` carries the
+    phase ``exp(2*pi*i * x / 2**(j+1))`` on its ``|1>`` component.
+    """
+    for j in reversed(range(len(wires))):
+        circuit.append(hadamard(wires[j]))
+        for k in reversed(range(j)):
+            angle = math.pi / (2 ** (j - k))
+            circuit.append(cphase(angle, wires[k], wires[j]))
+
+
+def _inverse_qft_no_swap(circuit: Circuit, wires) -> None:
+    for j in range(len(wires)):
+        for k in range(j):
+            angle = -math.pi / (2 ** (j - k))
+            circuit.append(cphase(angle, wires[k], wires[j]))
+        circuit.append(hadamard(wires[j]))
+
+
+def draper_constant_adder(n: int, constant: int) -> AdderLayout:
+    """``x ← x + constant (mod 2**n)`` with zero ancillas.
+
+    Wire layout: target ``x`` on ``0..n-1`` (little-endian).
+    """
+    if n < 1:
+        raise CircuitError("adder width must be at least 1")
+    constant %= 2**n
+    wires = list(range(n))
+    circuit = Circuit(n, labels=[f"x{i}" for i in range(n)])
+    _qft_no_swap(circuit, wires)
+    for j in range(n):
+        angle = 2.0 * math.pi * constant / (2 ** (j + 1))
+        angle %= 2.0 * math.pi
+        if angle:
+            circuit.append(phase(angle, wires[j]))
+    _inverse_qft_no_swap(circuit, wires)
+    return AdderLayout(circuit, target=wires)

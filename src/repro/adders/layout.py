@@ -1,0 +1,55 @@
+"""Register layout metadata shared by the adder constructions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.circuits.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class AdderLayout:
+    """Wire roles of an adder circuit.
+
+    Attributes
+    ----------
+    circuit:
+        The gates.
+    target:
+        Little-endian wires of the in/out register (``target[i]`` holds
+        bit ``2**i``).
+    clean_ancillas:
+        Wires that must start in ``|0>`` and are returned to ``|0>``.
+    dirty_ancillas:
+        Borrowed wires with arbitrary initial state, restored on exit —
+        the qubits whose safe uncomputation Section 6 verifies.
+    operand:
+        For register-register adders, the second input register (holds
+        the addend, preserved).
+    """
+
+    circuit: Circuit
+    target: List[int]
+    clean_ancillas: List[int] = field(default_factory=list)
+    dirty_ancillas: List[int] = field(default_factory=list)
+    operand: List[int] = field(default_factory=list)
+
+    @property
+    def num_target_bits(self) -> int:
+        return len(self.target)
+
+    def encode_target(self, value: int, bits: Sequence[int]) -> List[int]:
+        """Overwrite ``bits`` (a full register bit-list) with ``value``
+        on the target wires; returns a new list."""
+        out = list(bits)
+        for i, wire in enumerate(self.target):
+            out[wire] = (value >> i) & 1
+        return out
+
+    def decode_target(self, bits: Sequence[int]) -> int:
+        """Read the little-endian target value out of a full bit-list."""
+        value = 0
+        for i, wire in enumerate(self.target):
+            value |= (bits[wire] & 1) << i
+        return value

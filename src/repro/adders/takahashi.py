@@ -1,0 +1,82 @@
+"""Takahashi–Tani–Kunihiro adder: in-place addition without ancillas.
+
+``b ← a + b (mod 2**n)`` using zero extra qubits [Takahashi et al. 2010].
+The carry chain is rippled *through the a register itself*:
+
+1. ``b_i ⊕= a_i``                      (all i)
+2. ``a_{i+1} ⊕= a_i``                  (i = n-2 .. 0, downward)
+3. ``a_{i+1} ⊕= a_i · b_i``            (i = 0 .. n-2, upward; after this
+   wire ``a_{i+1}`` holds ``a_{i+1} ⊕ carry_{i+1}``)
+4. downward sweep: ``b_{i+1} ⊕= a_{i+1}-wire`` (reads ``a ⊕ carry``) then
+   uncompute the carry with the same Toffoli
+5. undo step 2, then ``b_i ⊕= a_i`` for i ≥ 1 to complete
+   ``s_i = a_i ⊕ b_i ⊕ carry_i``.
+
+The constant variant needs only the ``n`` clean qubits holding the
+constant (Figure 1.1, second column).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import cnot, toffoli, x
+from repro.errors import CircuitError
+from repro.adders.layout import AdderLayout
+
+
+def takahashi_add_registers(n: int) -> AdderLayout:
+    """``b ← a + b (mod 2**n)``; ``a`` preserved, no ancillas.
+
+    Wire layout: ``a`` on ``0..n-1`` (little-endian), ``b`` on ``n..2n-1``.
+    """
+    if n < 1:
+        raise CircuitError("adder width must be at least 1")
+    a = list(range(n))
+    b = list(range(n, 2 * n))
+    labels = [f"a{i}" for i in range(n)] + [f"b{i}" for i in range(n)]
+    circuit = Circuit(2 * n, labels=labels)
+    if n == 1:
+        circuit.append(cnot(a[0], b[0]))
+        return AdderLayout(circuit, target=b, operand=a)
+
+    for i in range(n):
+        circuit.append(cnot(a[i], b[i]))
+    for i in range(n - 2, -1, -1):
+        circuit.append(cnot(a[i], a[i + 1]))
+    for i in range(n - 1):
+        circuit.append(toffoli(a[i], b[i], a[i + 1]))
+    for i in range(n - 2, -1, -1):
+        circuit.append(cnot(a[i + 1], b[i + 1]))
+        circuit.append(toffoli(a[i], b[i], a[i + 1]))
+    for i in range(n - 1):
+        circuit.append(cnot(a[i], a[i + 1]))
+    for i in range(1, n):
+        circuit.append(cnot(a[i], b[i]))
+    return AdderLayout(circuit, target=b, operand=a)
+
+
+def takahashi_constant_adder(n: int, constant: int) -> AdderLayout:
+    """``x ← x + constant (mod 2**n)`` with ``n`` clean ancillas.
+
+    Wire layout: constant register on ``0..n-1`` (clean), target ``x`` on
+    ``n..2n-1``.
+    """
+    if n < 1:
+        raise CircuitError("adder width must be at least 1")
+    constant %= 2**n
+    base = takahashi_add_registers(n)
+    circuit = Circuit(
+        base.circuit.num_qubits,
+        labels=[f"c{i}" for i in range(n)] + [f"x{i}" for i in range(n)],
+    )
+    loaded = [i for i in range(n) if (constant >> i) & 1]
+    for wire in loaded:
+        circuit.append(x(wire))
+    circuit.extend(base.circuit.gates)
+    for wire in loaded:
+        circuit.append(x(wire))
+    return AdderLayout(
+        circuit,
+        target=base.target,
+        clean_ancillas=list(base.operand),
+    )

@@ -1,0 +1,29 @@
+"""Boolean-formula substrate — system S8.
+
+Section 6.1 of the paper tracks, for every qubit ``q``, a Boolean formula
+``b_q`` describing the circuit's action on computational-basis states, and
+reduces safe uncomputation to unsatisfiability of formulas (6.1) and (6.2).
+
+:mod:`repro.boolfn.expr` provides the hash-consed AND/XOR/OR DAG those
+formulas live in (negation is canonicalised to ``x ⊕ 1``), with the
+``x ⊕ x = 0`` simplification the paper applies in Figure 6.1.
+
+:mod:`repro.boolfn.cnf` Tseitin-encodes a DAG node into CNF for the SAT
+backends; :mod:`repro.boolfn.anf` expands small nodes to algebraic normal
+form for pretty-printing and the Figure 6.1 trace.
+"""
+
+from repro.boolfn.expr import Expr, ExprBuilder
+from repro.boolfn.cnf import Cnf, TseitinEncoder, tseitin_encode
+from repro.boolfn.anf import AnfOverflowError, to_anf, anf_to_string
+
+__all__ = [
+    "AnfOverflowError",
+    "Cnf",
+    "Expr",
+    "ExprBuilder",
+    "TseitinEncoder",
+    "anf_to_string",
+    "to_anf",
+    "tseitin_encode",
+]

@@ -1,0 +1,92 @@
+"""Algebraic normal form (XOR of AND-monomials) for small expressions.
+
+The paper presents tracked formulas in ANF — e.g. Figure 6.1's
+``b_a = a ⊕ q1 q2`` — so this module exists for exact expansion of small
+DAGs: the Figure 6.1 trace, test oracles, and debugging.  Expansion is
+exponential in general, so it is guarded by a monomial budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from repro.boolfn.expr import AND, CONST, OR, VAR, XOR, Expr, _topological
+from repro.errors import BooleanError
+
+#: A monomial is a frozenset of variable names; the constant 1 is frozenset().
+Anf = FrozenSet[FrozenSet[str]]
+
+
+class AnfOverflowError(BooleanError):
+    """Raised when ANF expansion exceeds the monomial budget."""
+
+
+def _xor(a: Set[FrozenSet[str]], b: Set[FrozenSet[str]]) -> Set[FrozenSet[str]]:
+    return a ^ b
+
+
+def _and(
+    a: Set[FrozenSet[str]], b: Set[FrozenSet[str]], budget: int
+) -> Set[FrozenSet[str]]:
+    out: Set[FrozenSet[str]] = set()
+    for ma in a:
+        for mb in b:
+            out ^= {ma | mb}
+            if len(out) > budget:
+                raise AnfOverflowError(
+                    f"ANF expansion exceeded {budget} monomials"
+                )
+    return out
+
+
+def to_anf(node: Expr, budget: int = 4096) -> Anf:
+    """Expand ``node`` to its (canonical) ANF monomial set.
+
+    Raises :class:`AnfOverflowError` if more than ``budget`` monomials
+    appear at any point; use only on small formulas.
+    """
+    cache: Dict[int, Set[FrozenSet[str]]] = {}
+    for current in _topological(node):
+        if current.kind == CONST:
+            cache[current.uid] = {frozenset()} if current.value else set()
+        elif current.kind == VAR:
+            cache[current.uid] = {frozenset([current.name])}
+        elif current.kind == XOR:
+            acc: Set[FrozenSet[str]] = set()
+            for child in current.children:
+                acc = _xor(acc, cache[child.uid])
+            cache[current.uid] = acc
+        elif current.kind == AND:
+            acc = {frozenset()}
+            for child in current.children:
+                acc = _and(acc, cache[child.uid], budget)
+            cache[current.uid] = acc
+        elif current.kind == OR:
+            # a | b = a ⊕ b ⊕ ab, folded pairwise.
+            acc = set()
+            for child in current.children:
+                rhs = cache[child.uid]
+                acc = _xor(_xor(acc, rhs), _and(acc, rhs, budget))
+            cache[current.uid] = acc
+        if len(cache[current.uid]) > budget:
+            raise AnfOverflowError(f"ANF expansion exceeded {budget} monomials")
+    return frozenset(cache[node.uid])
+
+
+def anf_to_string(anf: Anf) -> str:
+    """Render an ANF in the paper's style, e.g. ``a ^ q1&q2``.
+
+    Monomials are sorted by degree then lexicographically, so the output
+    is deterministic and diff-friendly.
+    """
+    if not anf:
+        return "0"
+    monomials: List[str] = []
+    for mono in sorted(anf, key=lambda m: (len(m), sorted(m))):
+        monomials.append("&".join(sorted(mono)) if mono else "1")
+    return " ^ ".join(monomials)
+
+
+def anf_equal(a: Anf, b: Anf) -> bool:
+    """ANF is canonical, so equality of monomial sets is semantic equality."""
+    return a == b

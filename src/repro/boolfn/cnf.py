@@ -1,0 +1,155 @@
+"""CNF and the Tseitin transformation.
+
+The satisfiability checks of Theorem 6.4 are run by the SAT backends on a
+clausal form.  :class:`TseitinEncoder` assigns a DIMACS-style positive
+integer to every DAG node and emits the standard defining clauses; XOR
+nodes are chained into binary XORs so a wide parity contributes
+``O(width)`` clauses instead of ``2**width``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.boolfn.expr import AND, CONST, OR, VAR, XOR, Expr, _topological
+from repro.errors import BooleanError
+
+
+@dataclass
+class Cnf:
+    """A CNF instance: ``num_vars`` variables, clauses of non-zero ints.
+
+    Literal ``v`` is the variable, ``-v`` its negation (DIMACS
+    convention); variables are numbered from 1.
+    """
+
+    num_vars: int = 0
+    clauses: List[List[int]] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: List[int]) -> None:
+        for lit in literals:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise BooleanError(f"literal {lit} out of range")
+        self.clauses.append(list(literals))
+
+    def to_dimacs(self) -> str:
+        """Serialise in DIMACS format (handy for debugging)."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return f"Cnf(vars={self.num_vars}, clauses={len(self.clauses)})"
+
+
+class TseitinEncoder:
+    """Incremental Tseitin encoder over one CNF instance.
+
+    Multiple expressions can be encoded into the same instance (sharing
+    node variables), which is how the per-qubit checks of formula (6.2)
+    reuse the common circuit formulas.
+    """
+
+    def __init__(self):
+        self.cnf = Cnf()
+        self._node_var: Dict[int, int] = {}
+        self._var_of_name: Dict[str, int] = {}
+        self._true_var: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def literal(self, node: Expr) -> int:
+        """Encode ``node`` (and its cone) and return its literal."""
+        self._encode_cone(node)
+        return self._node_var[node.uid]
+
+    def assert_true(self, node: Expr) -> None:
+        """Add the unit clause forcing ``node`` to hold."""
+        self.cnf.add_clause([self.literal(node)])
+
+    def variable_map(self) -> Dict[str, int]:
+        """Input-variable name -> DIMACS index, for model extraction."""
+        return dict(self._var_of_name)
+
+    def decode_model(self, model: Dict[int, bool]) -> Dict[str, bool]:
+        """Project a solver model onto the original input variables."""
+        return {
+            name: model.get(var, False)
+            for name, var in self._var_of_name.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+
+    def _true_literal(self) -> int:
+        if self._true_var is None:
+            self._true_var = self.cnf.new_var()
+            self.cnf.add_clause([self._true_var])
+        return self._true_var
+
+    def _encode_cone(self, root: Expr) -> None:
+        for node in _topological(root):
+            if node.uid in self._node_var:
+                continue
+            if node.kind == CONST:
+                t = self._true_literal()
+                self._node_var[node.uid] = t if node.value else -t
+            elif node.kind == VAR:
+                var = self.cnf.new_var()
+                self._node_var[node.uid] = var
+                self._var_of_name[node.name] = var
+            elif node.kind == AND:
+                self._node_var[node.uid] = self._encode_and(node)
+            elif node.kind == OR:
+                self._node_var[node.uid] = self._encode_or(node)
+            elif node.kind == XOR:
+                self._node_var[node.uid] = self._encode_xor(node)
+            else:  # pragma: no cover - exhaustive over kinds
+                raise BooleanError(f"unknown node kind {node.kind!r}")
+
+    def _encode_and(self, node: Expr) -> int:
+        out = self.cnf.new_var()
+        child_lits = [self._node_var[c.uid] for c in node.children]
+        for lit in child_lits:
+            self.cnf.add_clause([-out, lit])
+        self.cnf.add_clause([out] + [-lit for lit in child_lits])
+        return out
+
+    def _encode_or(self, node: Expr) -> int:
+        out = self.cnf.new_var()
+        child_lits = [self._node_var[c.uid] for c in node.children]
+        for lit in child_lits:
+            self.cnf.add_clause([out, -lit])
+        self.cnf.add_clause([-out] + child_lits)
+        return out
+
+    def _encode_xor(self, node: Expr) -> int:
+        child_lits = [self._node_var[c.uid] for c in node.children]
+        acc = child_lits[0]
+        for lit in child_lits[1:]:
+            acc = self._binary_xor(acc, lit)
+        return acc
+
+    def _binary_xor(self, a: int, b: int) -> int:
+        out = self.cnf.new_var()
+        self.cnf.add_clause([-out, a, b])
+        self.cnf.add_clause([-out, -a, -b])
+        self.cnf.add_clause([out, -a, b])
+        self.cnf.add_clause([out, a, -b])
+        return out
+
+
+def tseitin_encode(node: Expr) -> Tuple[Cnf, Dict[str, int]]:
+    """One-shot helper: CNF asserting ``node`` plus the input-variable map."""
+    encoder = TseitinEncoder()
+    encoder.assert_true(node)
+    return encoder.cnf, encoder.variable_map()

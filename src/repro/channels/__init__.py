@@ -1,0 +1,29 @@
+"""Quantum operations (channels) — system S2.
+
+A *quantum operation* in the paper is a completely positive,
+trace-non-increasing linear map on partial density operators (Section 2).
+:class:`repro.channels.QuantumOperation` represents one by its Kraus
+operators on the full register and supports exactly the algebra the
+denotational semantics of Figure 4.3 needs: sequential composition,
+convex combination of measurement branches (``+``), tensoring with
+identities, and the CP order ``⊑`` used for the while-loop fixpoint.
+
+:mod:`repro.channels.primitives` builds the three primitive operations of
+Section 2: initialization, unitary transformation, and binary measurement.
+"""
+
+from repro.channels.operation import QuantumOperation
+from repro.channels.primitives import (
+    basis_measurement,
+    initialization,
+    measurement_branch,
+    unitary_operation,
+)
+
+__all__ = [
+    "QuantumOperation",
+    "basis_measurement",
+    "initialization",
+    "measurement_branch",
+    "unitary_operation",
+]

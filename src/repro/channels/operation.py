@@ -1,0 +1,211 @@
+"""Kraus-operator representation of quantum operations.
+
+The denotational semantics (Figure 4.3) interprets programs as *sets* of
+quantum operations; this module supplies the single-operation algebra:
+
+* ``e2 @ e1``   — sequential composition ``E2 ∘ E1``;
+* ``e1 + e2``   — branch summation (used by ``if`` and ``while``);
+* ``e.cp_leq(f)`` — the complete-positivity order ``E ⊑ F`` from
+  Section 4.2, decided on Choi matrices;
+* ``e.close_to(f)`` / ``e.key()`` — equality and hashing of operations via
+  the superoperator (natural) representation, which is what lets the
+  semantics deduplicate the operation set of a safe program
+  (Theorem 5.5: safe  ⇔  ``|⟦S⟧| ≤ 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import QubitError
+
+_ATOL = 1e-9
+
+
+class QuantumOperation:
+    """A completely positive, trace-non-increasing map in Kraus form.
+
+    Parameters
+    ----------
+    kraus:
+        Non-empty sequence of ``(2**n, 2**n)`` complex matrices ``K_i``;
+        the operation acts as ``rho -> sum_i K_i rho K_i†``.
+    num_qubits:
+        Size ``n`` of the register the operation acts on.
+    validate:
+        When true (default), checks the trace-non-increasing condition
+        ``sum_i K_i† K_i <= I``.
+    """
+
+    def __init__(
+        self,
+        kraus: Sequence[np.ndarray],
+        num_qubits: int,
+        validate: bool = True,
+    ):
+        dim = 2**num_qubits
+        mats: List[np.ndarray] = []
+        for k in kraus:
+            k = np.asarray(k, dtype=complex)
+            if k.shape != (dim, dim):
+                raise QubitError(
+                    f"Kraus operator of shape {k.shape} does not act on "
+                    f"{num_qubits} qubits"
+                )
+            mats.append(k)
+        if not mats:
+            raise QubitError("an operation needs at least one Kraus operator")
+        self.num_qubits = num_qubits
+        self.kraus = mats
+        if validate and not self.is_trace_nonincreasing():
+            raise QubitError("Kraus operators exceed the trace bound sum K†K <= I")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def identity(num_qubits: int) -> "QuantumOperation":
+        """The identity operation ``I`` on ``num_qubits`` qubits."""
+        return QuantumOperation(
+            [np.eye(2**num_qubits, dtype=complex)], num_qubits, validate=False
+        )
+
+    @staticmethod
+    def zero(num_qubits: int) -> "QuantumOperation":
+        """The zero map — the neutral element of branch summation."""
+        return QuantumOperation(
+            [np.zeros((2**num_qubits, 2**num_qubits), dtype=complex)],
+            num_qubits,
+            validate=False,
+        )
+
+    @staticmethod
+    def from_unitary(unitary: np.ndarray, num_qubits: int) -> "QuantumOperation":
+        """Wrap a full-register unitary as the operation ``rho -> U rho U†``."""
+        return QuantumOperation([unitary], num_qubits, validate=False)
+
+    # ------------------------------------------------------------------ #
+    # Action and algebra
+    # ------------------------------------------------------------------ #
+
+    def __call__(self, rho: np.ndarray) -> np.ndarray:
+        """Apply the operation to a (partial) density operator."""
+        rho = np.asarray(rho, dtype=complex)
+        out = np.zeros_like(rho)
+        for k in self.kraus:
+            out += k @ rho @ k.conj().T
+        return out
+
+    def apply_to_ket(self, ket: np.ndarray) -> np.ndarray:
+        """Apply to a pure state, returning the (mixed) output density."""
+        ket = np.asarray(ket, dtype=complex)
+        return self(np.outer(ket, ket.conj()))
+
+    def __matmul__(self, earlier: "QuantumOperation") -> "QuantumOperation":
+        """Sequential composition: ``self @ earlier`` is ``self ∘ earlier``."""
+        if earlier.num_qubits != self.num_qubits:
+            raise QubitError("cannot compose operations on different registers")
+        kraus = [b @ a for b in self.kraus for a in earlier.kraus]
+        return QuantumOperation(kraus, self.num_qubits, validate=False)
+
+    def __add__(self, other: "QuantumOperation") -> "QuantumOperation":
+        """Branch summation, e.g. ``E1 ∘ E_T + E2 ∘ E_F`` for ``if``."""
+        if other.num_qubits != self.num_qubits:
+            raise QubitError("cannot sum operations on different registers")
+        return QuantumOperation(
+            list(self.kraus) + list(other.kraus), self.num_qubits, validate=False
+        )
+
+    def tensor(self, other: "QuantumOperation") -> "QuantumOperation":
+        """Return ``self ⊗ other`` on the concatenated register."""
+        kraus = [np.kron(a, b) for a in self.kraus for b in other.kraus]
+        return QuantumOperation(
+            kraus, self.num_qubits + other.num_qubits, validate=False
+        )
+
+    # ------------------------------------------------------------------ #
+    # Representations
+    # ------------------------------------------------------------------ #
+
+    def superoperator(self) -> np.ndarray:
+        """Natural representation: ``sum_i K_i ⊗ conj(K_i)``.
+
+        Two operations are equal as maps iff their superoperators are
+        equal, which makes this the canonical form for comparison.
+        """
+        dim = 2**self.num_qubits
+        out = np.zeros((dim * dim, dim * dim), dtype=complex)
+        for k in self.kraus:
+            out += np.kron(k, k.conj())
+        return out
+
+    def choi(self) -> np.ndarray:
+        """Choi matrix ``sum_ij |i><j| ⊗ E(|i><j|)`` (column-stacking)."""
+        dim = 2**self.num_qubits
+        out = np.zeros((dim * dim, dim * dim), dtype=complex)
+        for k in self.kraus:
+            vec = k.reshape(dim * dim, 1, order="F")
+            out += vec @ vec.conj().T
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Predicates
+    # ------------------------------------------------------------------ #
+
+    def is_trace_preserving(self, atol: float = _ATOL) -> bool:
+        """Check ``sum_i K_i† K_i = I``."""
+        acc = sum(k.conj().T @ k for k in self.kraus)
+        return bool(np.allclose(acc, np.eye(2**self.num_qubits), atol=atol))
+
+    def is_trace_nonincreasing(self, atol: float = _ATOL) -> bool:
+        """Check ``sum_i K_i† K_i <= I`` (PSD complement)."""
+        acc = sum(k.conj().T @ k for k in self.kraus)
+        gap = np.eye(2**self.num_qubits) - acc
+        return bool(np.linalg.eigvalsh(gap).min() >= -atol)
+
+    def cp_leq(self, other: "QuantumOperation", atol: float = _ATOL) -> bool:
+        """The paper's order: ``self ⊑ other`` iff ``other - self`` is CP.
+
+        Complete positivity of the difference is equivalent to its Choi
+        matrix being positive semidefinite.
+        """
+        gap = other.choi() - self.choi()
+        return bool(np.linalg.eigvalsh(gap).min() >= -atol)
+
+    def close_to(self, other: "QuantumOperation", atol: float = 1e-8) -> bool:
+        """Equality as linear maps, via the superoperator representation."""
+        if other.num_qubits != self.num_qubits:
+            return False
+        return bool(
+            np.allclose(self.superoperator(), other.superoperator(), atol=atol)
+        )
+
+    def key(self, decimals: int = 7) -> bytes:
+        """A hashable fingerprint for deduplicating operation sets."""
+        rounded = np.round(self.superoperator(), decimals)
+        # Normalise -0.0 so that keys of equal maps match bit-for-bit.
+        rounded = rounded + 0.0
+        return rounded.tobytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuantumOperation(num_qubits={self.num_qubits}, "
+            f"kraus_count={len(self.kraus)})"
+        )
+
+
+def dedup_operations(
+    operations: Iterable[QuantumOperation],
+) -> List[QuantumOperation]:
+    """Remove duplicates (as maps) while preserving first-seen order."""
+    seen = set()
+    unique: List[QuantumOperation] = []
+    for op in operations:
+        key = op.key()
+        if key not in seen:
+            seen.add(key)
+            unique.append(op)
+    return unique

@@ -1,0 +1,78 @@
+"""The primitive quantum operations of Section 2.
+
+Three families, exactly as the paper defines them:
+
+* :func:`initialization` — ``E_init,q(rho) = |0><0|_q rho |0><0|_q +
+  |0><1|_q rho |1><0|_q``;
+* :func:`unitary_operation` — ``E_U,q(rho) = U_q rho U_q†``;
+* :func:`measurement_branch` — ``E_m,q(rho) = M_m rho M_m†`` for a binary
+  measurement ``{M_T, M_F}``; probabilities are encoded in the trace of the
+  resulting partial density operator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.channels.operation import QuantumOperation
+from repro.errors import QubitError
+from repro.linalg.kron import embed_operator
+from repro.linalg.states import ket0, ket1
+
+_KET0_BRA0 = np.outer(ket0, ket0.conj())
+_KET0_BRA1 = np.outer(ket0, ket1.conj())
+_KET1_BRA1 = np.outer(ket1, ket1.conj())
+
+
+def initialization(qubit: int, num_qubits: int) -> QuantumOperation:
+    """Reset ``qubit`` to the ground state ``|0>`` (the ``[q] := |0>`` statement)."""
+    k0 = embed_operator(_KET0_BRA0, [qubit], num_qubits)
+    k1 = embed_operator(_KET0_BRA1, [qubit], num_qubits)
+    return QuantumOperation([k0, k1], num_qubits, validate=False)
+
+
+def unitary_operation(
+    unitary: np.ndarray, positions: Sequence[int], num_qubits: int
+) -> QuantumOperation:
+    """Apply ``unitary`` to ``positions`` (the ``U[q̄]`` statement)."""
+    full = embed_operator(unitary, positions, num_qubits)
+    return QuantumOperation([full], num_qubits, validate=False)
+
+
+def measurement_branch(
+    operator: np.ndarray, positions: Sequence[int], num_qubits: int
+) -> QuantumOperation:
+    """The sub-normalised branch ``rho -> M rho M†`` of a measurement."""
+    full = embed_operator(operator, positions, num_qubits)
+    return QuantumOperation([full], num_qubits, validate=False)
+
+
+def basis_measurement(
+    qubit: int, num_qubits: int
+) -> Dict[bool, QuantumOperation]:
+    """Computational-basis measurement of ``qubit``.
+
+    Returns the two branches keyed by outcome: ``True`` for ``M_T = |1><1|``
+    (the qubit was 1) and ``False`` for ``M_F = |0><0|``.  This is the guard
+    used by ``if``/``while`` statements in the examples and tests.
+    """
+    return {
+        True: measurement_branch(_KET1_BRA1, [qubit], num_qubits),
+        False: measurement_branch(_KET0_BRA0, [qubit], num_qubits),
+    }
+
+
+def check_binary_measurement(
+    m_true: np.ndarray, m_false: np.ndarray, atol: float = 1e-9
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate the completeness relation ``M_T† M_T + M_F† M_F = I``."""
+    m_true = np.asarray(m_true, dtype=complex)
+    m_false = np.asarray(m_false, dtype=complex)
+    if m_true.shape != m_false.shape:
+        raise QubitError("measurement operators must share a shape")
+    acc = m_true.conj().T @ m_true + m_false.conj().T @ m_false
+    if not np.allclose(acc, np.eye(m_true.shape[0]), atol=atol):
+        raise QubitError("binary measurement violates M_T†M_T + M_F†M_F = I")
+    return m_true, m_false

@@ -1,0 +1,117 @@
+"""The :class:`Circuit` container.
+
+A circuit is an ordered list of gates over ``num_qubits`` integer-indexed
+wires.  Optional per-qubit labels keep the connection to the paper's
+notation (``q1 .. qn``, dirty ancillas ``a1 .. am``) without affecting
+execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.circuits.gates import Gate
+from repro.errors import CircuitError
+
+
+class Circuit:
+    """An ordered gate list on a fixed-width qubit register."""
+
+    def __init__(
+        self,
+        num_qubits: int,
+        gates: Iterable[Gate] = (),
+        labels: Optional[Sequence[str]] = None,
+    ):
+        if num_qubits < 0:
+            raise CircuitError("negative register width")
+        self.num_qubits = num_qubits
+        self.gates: List[Gate] = []
+        if labels is not None and len(labels) != num_qubits:
+            raise CircuitError(
+                f"{len(labels)} labels for a {num_qubits}-qubit circuit"
+            )
+        self.labels: Optional[List[str]] = list(labels) if labels else None
+        for gate in gates:
+            self.append(gate)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def append(self, gate: Gate) -> "Circuit":
+        """Append one gate, validating wire indices; returns self."""
+        for q in gate.qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(
+                    f"gate {gate} uses qubit {q} outside a "
+                    f"{self.num_qubits}-qubit register"
+                )
+        self.gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "Circuit":
+        """Append many gates; returns self."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Return ``self`` followed by ``other`` (same register width)."""
+        if other.num_qubits != self.num_qubits:
+            raise CircuitError("cannot compose circuits of different widths")
+        return Circuit(self.num_qubits, self.gates + other.gates, self.labels)
+
+    def inverse(self) -> "Circuit":
+        """Return the circuit implementing the inverse unitary."""
+        gates = [gate.dagger() for gate in reversed(self.gates)]
+        return Circuit(self.num_qubits, gates, self.labels)
+
+    def remap(self, mapping: Dict[int, int], num_qubits: int) -> "Circuit":
+        """Return the circuit with qubits renamed onto a new register.
+
+        Qubits absent from ``mapping`` keep their index; the result has
+        ``num_qubits`` wires.
+        """
+        return Circuit(num_qubits, (g.remap(mapping) for g in self.gates))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __getitem__(self, index):
+        return self.gates[index]
+
+    def qubits_touched(self) -> Set[int]:
+        """The qubits that appear in at least one gate."""
+        touched: Set[int] = set()
+        for gate in self.gates:
+            touched.update(gate.qubits)
+        return touched
+
+    def idle_qubits(self) -> Set[int]:
+        """Qubits never touched by any gate — the circuit analogue of
+        the paper's syntactic ``idle(S)``."""
+        return set(range(self.num_qubits)) - self.qubits_touched()
+
+    def label_of(self, qubit: int) -> str:
+        """Human-readable name of a wire."""
+        if self.labels is not None:
+            return self.labels[qubit]
+        return f"q{qubit}"
+
+    def __str__(self) -> str:
+        header = f"Circuit({self.num_qubits} qubits, {len(self.gates)} gates)"
+        body = "\n".join(f"  {gate}" for gate in self.gates[:40])
+        if len(self.gates) > 40:
+            body += f"\n  ... ({len(self.gates) - 40} more)"
+        return f"{header}\n{body}" if self.gates else header
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Circuit(num_qubits={self.num_qubits}, gates={len(self.gates)})"

@@ -1,0 +1,108 @@
+"""ASCII circuit rendering.
+
+Draws circuits in the familiar wire diagram style used by the paper's
+figures::
+
+    q1: ──●──────●─────
+          │      │
+    q2: ──●──────●─────
+          │      │
+     a: ──X──●───X──●──
+             │      │
+    q3: ─────●──────●──
+             │      │
+    q4: ─────X──────X──
+
+Controls render as ``●``, classical targets as ``X``, other gates by a
+boxed letter.  Gates are packed greedily into time slots (same rule as
+:func:`repro.circuits.metrics.depth`), and vertical connectors span the
+full control-to-target range of each gate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuits.circuit import Circuit
+
+_TARGET_SYMBOL = {
+    "X": "X",
+    "CX": "X",
+    "CCX": "X",
+    "MCX": "X",
+    "CZ": "Z",
+}
+
+
+def _slot_assignment(circuit: Circuit) -> List[List[int]]:
+    """Greedy ASAP packing; returns gate indices per time slot."""
+    level: Dict[int, int] = {}
+    slots: List[List[int]] = []
+    for index, gate in enumerate(circuit.gates):
+        start = max((level.get(q, 0) for q in gate.qubits), default=0)
+        if start >= len(slots):
+            slots.append([])
+        slots[start].append(index)
+        for q in gate.qubits:
+            level[q] = start + 1
+    return slots
+
+
+def draw_circuit(circuit: Circuit, max_width: int = 120) -> str:
+    """Render the circuit; wraps into banks of ``max_width`` columns."""
+    n = circuit.num_qubits
+    if n == 0:
+        return "(empty register)"
+    labels = [circuit.label_of(q) for q in range(n)]
+    label_width = max(len(label) for label in labels)
+
+    slots = _slot_assignment(circuit)
+    # Build per-slot column blocks: each is (wire_chars, link_chars).
+    columns: List[List[str]] = []  # columns[c][row] for 2n-1 rows
+    for slot in slots:
+        wires = ["─"] * n
+        links = [" "] * (n - 1) if n > 1 else []
+        for gate_index in slot:
+            gate = circuit.gates[gate_index]
+            if gate.is_classical or gate.name == "CZ":
+                for c in gate.controls:
+                    wires[c] = "●"
+                wires[gate.target] = _TARGET_SYMBOL.get(gate.name, "X")
+            else:
+                symbol = gate.name[0].upper()
+                for q in gate.qubits:
+                    wires[q] = symbol
+            lo, hi = min(gate.qubits), max(gate.qubits)
+            for row in range(lo, hi):
+                links[row] = "│"
+            for row in range(lo + 1, hi):
+                if row not in gate.qubits and wires[row] == "─":
+                    wires[row] = "┼"  # connector crossing an idle wire
+        column = []
+        for row in range(n):
+            column.append(wires[row])
+            if row < n - 1:
+                column.append(links[row])
+        columns.append(column)
+
+    # Assemble with '──' padding between slots, wrapping into banks.
+    per_bank = max(1, (max_width - label_width - 4) // 3)
+    banks = [
+        columns[i : i + per_bank] for i in range(0, len(columns), per_bank)
+    ] or [[]]
+
+    lines: List[str] = []
+    for bank_index, bank in enumerate(banks):
+        if bank_index:
+            lines.append("")
+        for row in range(2 * n - 1):
+            is_wire = row % 2 == 0
+            if is_wire:
+                prefix = f"{labels[row // 2]:>{label_width}}: ─"
+                fill = "─"
+            else:
+                prefix = " " * (label_width + 3)
+                fill = " "
+            cells = [column[row] for column in bank]
+            lines.append(prefix + (fill * 2).join(cells) + (fill if is_wire else ""))
+    return "\n".join(lines)

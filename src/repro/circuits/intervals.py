@@ -1,0 +1,73 @@
+"""Per-qubit activity intervals and idle-window queries.
+
+Section 3 reuses a working qubit as a dirty ancilla when it is *idle
+during the ancilla's period* (the ``<...>`` spans of Figure 3.1).  This
+module computes those periods over gate indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.circuits.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class ActivityInterval:
+    """Closed gate-index interval ``[first, last]`` in which a qubit is used."""
+
+    first: int
+    last: int
+
+    def overlaps(self, other: "ActivityInterval") -> bool:
+        """True when the two closed intervals intersect."""
+        return self.first <= other.last and other.first <= self.last
+
+    def contains_index(self, index: int) -> bool:
+        """True when gate ``index`` falls inside the interval."""
+        return self.first <= index <= self.last
+
+    def __str__(self) -> str:
+        return f"[{self.first}, {self.last}]"
+
+
+def activity_intervals(circuit: Circuit) -> Dict[int, ActivityInterval]:
+    """Map each touched qubit to its first/last gate index."""
+    first: Dict[int, int] = {}
+    last: Dict[int, int] = {}
+    for index, gate in enumerate(circuit.gates):
+        for q in gate.qubits:
+            first.setdefault(q, index)
+            last[q] = index
+    return {
+        q: ActivityInterval(first[q], last[q]) for q in first
+    }
+
+
+def idle_qubits_during(
+    circuit: Circuit,
+    window: ActivityInterval,
+    candidates: Optional[Set[int]] = None,
+) -> Set[int]:
+    """Qubits with no gate inside ``window``.
+
+    ``candidates`` restricts the search (e.g. to working qubits only);
+    by default all register qubits are considered.  A qubit that is never
+    touched at all is idle in every window.
+    """
+    pool = set(range(circuit.num_qubits)) if candidates is None else set(candidates)
+    intervals = activity_intervals(circuit)
+    idle: Set[int] = set()
+    for q in pool:
+        interval = intervals.get(q)
+        if interval is None or not _busy_inside(circuit, q, window):
+            idle.add(q)
+    return idle
+
+
+def _busy_inside(circuit: Circuit, qubit: int, window: ActivityInterval) -> bool:
+    for index in range(window.first, min(window.last, len(circuit.gates) - 1) + 1):
+        if qubit in circuit.gates[index].qubits:
+            return True
+    return False

@@ -1,0 +1,72 @@
+"""Circuit cost metrics: size, depth, width, gate histograms.
+
+These are the quantities tabulated in Figure 1.1 of the paper (size,
+depth, ancilla count for the four constant-adder constructions).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.circuits.circuit import Circuit
+
+
+def size(circuit: Circuit) -> int:
+    """Total gate count."""
+    return len(circuit.gates)
+
+
+def depth(circuit: Circuit) -> int:
+    """Greedy as-soon-as-possible depth: gates on disjoint qubits overlap."""
+    level: Dict[int, int] = {}
+    deepest = 0
+    for gate in circuit.gates:
+        start = max((level.get(q, 0) for q in gate.qubits), default=0)
+        finish = start + 1
+        for q in gate.qubits:
+            level[q] = finish
+        deepest = max(deepest, finish)
+    return deepest
+
+
+def width(circuit: Circuit) -> int:
+    """Number of qubits actually touched by gates."""
+    return len(circuit.qubits_touched())
+
+
+def gate_histogram(circuit: Circuit) -> Dict[str, int]:
+    """Gate counts keyed by gate name."""
+    return dict(Counter(gate.name for gate in circuit.gates))
+
+
+def toffoli_count(circuit: Circuit) -> int:
+    """Number of CCX gates — the headline cost of the MCX constructions."""
+    return sum(1 for gate in circuit.gates if gate.name == "CCX")
+
+
+@dataclass(frozen=True)
+class CircuitCosts:
+    """The Figure 1.1 cost triple, plus the gate histogram."""
+
+    size: int
+    depth: int
+    width: int
+    histogram: Dict[str, int]
+
+    def __str__(self) -> str:
+        return (
+            f"size={self.size} depth={self.depth} width={self.width} "
+            f"gates={self.histogram}"
+        )
+
+
+def circuit_costs(circuit: Circuit) -> CircuitCosts:
+    """Bundle all metrics for reporting."""
+    return CircuitCosts(
+        size=size(circuit),
+        depth=depth(circuit),
+        width=width(circuit),
+        histogram=gate_histogram(circuit),
+    )

@@ -1,0 +1,32 @@
+"""Dense unitary extraction for small circuits.
+
+Used by the semantic safe-uncomputation checkers (Definition 3.1,
+Theorems 5.3/6.1) on registers of up to ~12 qubits.  Larger classical
+circuits go through :mod:`repro.circuits.classical` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+from repro.linalg.kron import embed_operator, identity
+
+
+_MAX_DENSE_QUBITS = 14
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Multiply out the circuit into a ``2**n`` dimensional unitary."""
+    n = circuit.num_qubits
+    if n > _MAX_DENSE_QUBITS:
+        raise CircuitError(
+            f"dense unitary extraction caps at {_MAX_DENSE_QUBITS} qubits; "
+            f"circuit has {n}"
+        )
+    result = identity(n)
+    for gate in circuit.gates:
+        full = embed_operator(gate.local_matrix(), gate.qubits, n)
+        result = full @ result
+    return result

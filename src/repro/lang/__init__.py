@@ -1,0 +1,59 @@
+"""The QBorrow language — system S5.
+
+:mod:`repro.lang.ast` defines the abstract syntax of Figure 4.1 (QWhile
+plus ``borrow a; S; release a``), the idle-qubit analysis of Figure 4.2,
+substitution of concrete qubits for placeholders, and well-formedness
+checks.  :mod:`repro.lang.programs` builds the paper's example programs.
+:mod:`repro.lang.surface` is the concrete ``.qbr`` front end from the
+artifact appendix.
+"""
+
+from repro.lang.ast import (
+    Borrow,
+    If,
+    Init,
+    Measurement,
+    Seq,
+    Skip,
+    Statement,
+    UnitaryStmt,
+    While,
+    basis_measurement_on,
+    borrow,
+    check_well_formed,
+    idle,
+    init,
+    mentioned_qubits,
+    placeholders,
+    seq,
+    skip,
+    substitute,
+    to_circuit,
+    unitary,
+    unitary_matrix,
+)
+
+__all__ = [
+    "Borrow",
+    "If",
+    "Init",
+    "Measurement",
+    "Seq",
+    "Skip",
+    "Statement",
+    "UnitaryStmt",
+    "While",
+    "basis_measurement_on",
+    "borrow",
+    "check_well_formed",
+    "idle",
+    "init",
+    "mentioned_qubits",
+    "placeholders",
+    "seq",
+    "skip",
+    "substitute",
+    "to_circuit",
+    "unitary",
+    "unitary_matrix",
+]

@@ -1,0 +1,419 @@
+"""Abstract syntax of QBorrow (Figure 4.1) and its static analyses.
+
+Statements::
+
+    S ::= skip | [q] := |0> | U[q̄] | S1; S2
+        | if M[q̄] then S1 else S2
+        | while M[q̄] do S end
+        | borrow a; S; release a
+
+Qubits are *names* (strings).  A name is either a concrete member of the
+interpretation's ``qubits`` universe or a formal placeholder bound by an
+enclosing ``borrow``; the distinction is made at interpretation time, as in
+the paper.  ``borrow a; S; release a`` is represented by a single
+:class:`Borrow` node whose body is ``S`` — the pairing of ``borrow`` and
+``release`` is therefore structural, which enforces the paper's syntactic
+discipline for free.
+
+This module also implements:
+
+* :func:`idle` — the idle-qubit scope of Figure 4.2;
+* :func:`substitute` — the ``S[q/a]`` instantiation used by the semantics;
+* :func:`check_well_formed` — placeholder scoping and arity checks;
+* :func:`to_circuit` — lowering of straight-line unitary programs onto a
+  :class:`~repro.circuits.Circuit` for the Section 6 verifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate, gate_from_name
+from repro.errors import SemanticsError
+from repro.linalg.states import ket0, ket1
+
+
+# ---------------------------------------------------------------------- #
+# Measurements
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A binary measurement ``M = {M_T, M_F}`` on named qubits.
+
+    The operator arrays act on ``len(qubits)`` wires; completeness
+    (``M_T†M_T + M_F†M_F = I``) is checked on construction.
+    """
+
+    name: str
+    qubits: Tuple[str, ...]
+    m_true: np.ndarray = field(compare=False)
+    m_false: np.ndarray = field(compare=False)
+
+    def __post_init__(self):
+        dim = 2 ** len(self.qubits)
+        for label, op in (("M_T", self.m_true), ("M_F", self.m_false)):
+            if op.shape != (dim, dim):
+                raise SemanticsError(
+                    f"measurement {self.name}: {label} of shape {op.shape} "
+                    f"does not act on {len(self.qubits)} qubits"
+                )
+        acc = (
+            self.m_true.conj().T @ self.m_true
+            + self.m_false.conj().T @ self.m_false
+        )
+        if not np.allclose(acc, np.eye(dim), atol=1e-9):
+            raise SemanticsError(
+                f"measurement {self.name} violates M_T†M_T + M_F†M_F = I"
+            )
+
+    def rename(self, mapping: Dict[str, str]) -> "Measurement":
+        qubits = tuple(mapping.get(q, q) for q in self.qubits)
+        return Measurement(self.name, qubits, self.m_true, self.m_false)
+
+
+def basis_measurement_on(qubit: str) -> Measurement:
+    """Computational-basis measurement: outcome T when the qubit is ``|1>``."""
+    return Measurement(
+        f"meas[{qubit}]",
+        (qubit,),
+        np.outer(ket1, ket1.conj()),
+        np.outer(ket0, ket0.conj()),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Statements
+# ---------------------------------------------------------------------- #
+
+
+class Statement:
+    """Base class of QBorrow statements (all subclasses are immutable)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Skip(Statement):
+    """``skip``."""
+
+
+@dataclass(frozen=True)
+class Init(Statement):
+    """``[q] := |0>``."""
+
+    qubit: str
+
+
+@dataclass(frozen=True)
+class UnitaryStmt(Statement):
+    """``U[q̄]``: a named gate, or an explicit matrix for custom unitaries."""
+
+    gate: str
+    qubits: Tuple[str, ...]
+    matrix: Optional[np.ndarray] = field(default=None, compare=False, repr=False)
+
+    def local_matrix(self) -> np.ndarray:
+        """Operator on ``len(self.qubits)`` wires."""
+        if self.matrix is not None:
+            return self.matrix
+        dummy = gate_from_name(self.gate, tuple(range(len(self.qubits))))
+        return dummy.local_matrix()
+
+
+@dataclass(frozen=True)
+class Seq(Statement):
+    """``S1; S2; ...`` — n-ary for convenience, semantically left-to-right."""
+
+    items: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class If(Statement):
+    """``if M[q̄] then S1 else S2``."""
+
+    measurement: Measurement
+    then_branch: Statement
+    else_branch: Statement
+
+
+@dataclass(frozen=True)
+class While(Statement):
+    """``while M[q̄] do S end`` — body runs on outcome T."""
+
+    measurement: Measurement
+    body: Statement
+
+
+@dataclass(frozen=True)
+class Borrow(Statement):
+    """``borrow a; S; release a`` with ``a`` a formal placeholder."""
+
+    placeholder: str
+    body: Statement
+
+
+# ---------------------------------------------------------------------- #
+# Builders
+# ---------------------------------------------------------------------- #
+
+
+def skip() -> Skip:
+    """``skip``."""
+    return Skip()
+
+
+def init(qubit: str) -> Init:
+    """``[q] := |0>``."""
+    return Init(qubit)
+
+
+def unitary(gate: str, *qubits: str) -> UnitaryStmt:
+    """A named-gate statement, e.g. ``unitary("CCX", "q1", "q2", "a")``."""
+    stmt = UnitaryStmt(gate.upper(), tuple(qubits))
+    stmt.local_matrix()  # validates name and arity eagerly
+    return stmt
+
+
+def unitary_matrix(
+    matrix: np.ndarray, name: str, *qubits: str
+) -> UnitaryStmt:
+    """A unitary statement with an explicit matrix."""
+    matrix = np.asarray(matrix, dtype=complex)
+    dim = 2 ** len(qubits)
+    if matrix.shape != (dim, dim):
+        raise SemanticsError(
+            f"matrix of shape {matrix.shape} does not act on {len(qubits)} qubits"
+        )
+    if not np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-9):
+        raise SemanticsError(f"matrix for {name} is not unitary")
+    return UnitaryStmt(name, tuple(qubits), matrix)
+
+
+def seq(*statements: Statement) -> Statement:
+    """Flattening sequence builder; ``seq()`` is ``skip``."""
+    flat = []
+    for stmt in statements:
+        if isinstance(stmt, Seq):
+            flat.extend(stmt.items)
+        elif isinstance(stmt, Skip):
+            continue
+        else:
+            flat.append(stmt)
+    if not flat:
+        return Skip()
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(tuple(flat))
+
+
+def borrow(placeholder: str, *body: Statement) -> Borrow:
+    """``borrow a; body...; release a``."""
+    return Borrow(placeholder, seq(*body))
+
+
+# ---------------------------------------------------------------------- #
+# Static analyses
+# ---------------------------------------------------------------------- #
+
+
+def mentioned_qubits(stmt: Statement) -> FrozenSet[str]:
+    """Every qubit name (concrete or placeholder) operated on by ``stmt``."""
+    if isinstance(stmt, Skip):
+        return frozenset()
+    if isinstance(stmt, Init):
+        return frozenset([stmt.qubit])
+    if isinstance(stmt, UnitaryStmt):
+        return frozenset(stmt.qubits)
+    if isinstance(stmt, Seq):
+        out: Set[str] = set()
+        for item in stmt.items:
+            out |= mentioned_qubits(item)
+        return frozenset(out)
+    if isinstance(stmt, If):
+        return (
+            frozenset(stmt.measurement.qubits)
+            | mentioned_qubits(stmt.then_branch)
+            | mentioned_qubits(stmt.else_branch)
+        )
+    if isinstance(stmt, While):
+        return frozenset(stmt.measurement.qubits) | mentioned_qubits(stmt.body)
+    if isinstance(stmt, Borrow):
+        return mentioned_qubits(stmt.body)
+    raise SemanticsError(f"unknown statement {stmt!r}")
+
+
+def idle(stmt: Statement, universe: Iterable[str]) -> FrozenSet[str]:
+    """The idle-qubit scope of Figure 4.2.
+
+    Unfolding the paper's structural rules shows ``idle(S)`` is the
+    universe minus every qubit mentioned anywhere in ``S`` (placeholders
+    are not universe members, so they never subtract anything) — which is
+    what this computes.  The structural rules are kept in the tests as an
+    independent oracle.
+    """
+    return frozenset(universe) - mentioned_qubits(stmt)
+
+
+def placeholders(stmt: Statement) -> FrozenSet[str]:
+    """All placeholders bound by ``borrow`` nodes in ``stmt``."""
+    if isinstance(stmt, Borrow):
+        return frozenset([stmt.placeholder]) | placeholders(stmt.body)
+    if isinstance(stmt, Seq):
+        out: Set[str] = set()
+        for item in stmt.items:
+            out |= placeholders(item)
+        return frozenset(out)
+    if isinstance(stmt, If):
+        return placeholders(stmt.then_branch) | placeholders(stmt.else_branch)
+    if isinstance(stmt, While):
+        return placeholders(stmt.body)
+    return frozenset()
+
+
+def substitute(stmt: Statement, mapping: Dict[str, str]) -> Statement:
+    """The paper's ``S[q/a]``: rename qubit operands (capture-checked).
+
+    Renaming *into* a bound placeholder name is rejected, mirroring the
+    paper's convention that nested borrows introduce distinct names.
+    """
+    if not mapping:
+        return stmt
+    if isinstance(stmt, Skip):
+        return stmt
+    if isinstance(stmt, Init):
+        return Init(mapping.get(stmt.qubit, stmt.qubit))
+    if isinstance(stmt, UnitaryStmt):
+        qubits = tuple(mapping.get(q, q) for q in stmt.qubits)
+        return UnitaryStmt(stmt.gate, qubits, stmt.matrix)
+    if isinstance(stmt, Seq):
+        return Seq(tuple(substitute(item, mapping) for item in stmt.items))
+    if isinstance(stmt, If):
+        return If(
+            stmt.measurement.rename(mapping),
+            substitute(stmt.then_branch, mapping),
+            substitute(stmt.else_branch, mapping),
+        )
+    if isinstance(stmt, While):
+        return While(stmt.measurement.rename(mapping), substitute(stmt.body, mapping))
+    if isinstance(stmt, Borrow):
+        if stmt.placeholder in mapping:
+            raise SemanticsError(
+                f"substitution would capture placeholder {stmt.placeholder!r}"
+            )
+        if stmt.placeholder in mapping.values():
+            raise SemanticsError(
+                f"substitution target collides with placeholder "
+                f"{stmt.placeholder!r}"
+            )
+        return Borrow(stmt.placeholder, substitute(stmt.body, mapping))
+    raise SemanticsError(f"unknown statement {stmt!r}")
+
+
+def check_well_formed(
+    stmt: Statement,
+    universe: Iterable[str],
+    bound: FrozenSet[str] = frozenset(),
+) -> None:
+    """Enforce the paper's syntactic restrictions.
+
+    * every qubit operand is a universe member or an in-scope placeholder;
+    * nested ``borrow`` statements bind distinct placeholders;
+    * placeholder names do not shadow universe members.
+    """
+    universe = frozenset(universe)
+
+    def check_names(names: Sequence[str]) -> None:
+        for name in names:
+            if name not in universe and name not in bound:
+                raise SemanticsError(
+                    f"qubit {name!r} is neither a universe qubit nor an "
+                    f"in-scope placeholder"
+                )
+
+    if isinstance(stmt, Skip):
+        return
+    if isinstance(stmt, Init):
+        check_names([stmt.qubit])
+        return
+    if isinstance(stmt, UnitaryStmt):
+        check_names(stmt.qubits)
+        stmt.local_matrix()
+        return
+    if isinstance(stmt, Seq):
+        for item in stmt.items:
+            check_well_formed(item, universe, bound)
+        return
+    if isinstance(stmt, If):
+        check_names(stmt.measurement.qubits)
+        check_well_formed(stmt.then_branch, universe, bound)
+        check_well_formed(stmt.else_branch, universe, bound)
+        return
+    if isinstance(stmt, While):
+        check_names(stmt.measurement.qubits)
+        check_well_formed(stmt.body, universe, bound)
+        return
+    if isinstance(stmt, Borrow):
+        if stmt.placeholder in bound:
+            raise SemanticsError(
+                f"nested borrow reuses placeholder {stmt.placeholder!r}"
+            )
+        if stmt.placeholder in universe:
+            raise SemanticsError(
+                f"placeholder {stmt.placeholder!r} shadows a universe qubit"
+            )
+        check_well_formed(stmt.body, universe, bound | {stmt.placeholder})
+        return
+    raise SemanticsError(f"unknown statement {stmt!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Lowering to circuits
+# ---------------------------------------------------------------------- #
+
+
+def to_circuit(
+    stmt: Statement, qubit_order: Sequence[str]
+) -> Circuit:
+    """Lower a straight-line unitary program to a circuit.
+
+    Only ``skip``, sequences and unitary statements are allowed — the
+    fragment in which Section 6's classical verification operates.  The
+    wire of each named qubit is its position in ``qubit_order``.
+    """
+    index_of = {name: i for i, name in enumerate(qubit_order)}
+    if len(index_of) != len(list(qubit_order)):
+        raise SemanticsError("duplicate names in qubit order")
+    circuit = Circuit(len(index_of), labels=list(qubit_order))
+
+    def emit(node: Statement) -> None:
+        if isinstance(node, Skip):
+            return
+        if isinstance(node, Seq):
+            for item in node.items:
+                emit(item)
+            return
+        if isinstance(node, UnitaryStmt):
+            try:
+                wires = tuple(index_of[q] for q in node.qubits)
+            except KeyError as missing:
+                raise SemanticsError(
+                    f"qubit {missing.args[0]!r} not in the circuit order"
+                ) from None
+            if node.matrix is not None:
+                circuit.append(Gate(node.gate, wires, (), node.matrix))
+            else:
+                circuit.append(gate_from_name(node.gate, wires))
+            return
+        raise SemanticsError(
+            f"statement {type(node).__name__} has no circuit lowering; "
+            f"only straight-line unitary programs can be lowered"
+        )
+
+    emit(stmt)
+    return circuit

@@ -1,0 +1,142 @@
+"""A small fluent builder for QBorrow programs.
+
+Constructing nested :class:`~repro.lang.ast.Statement` trees by hand is
+verbose; the builder gives Q#-flavoured ergonomics with ``borrow`` as a
+context manager::
+
+    from repro.lang.dsl import ProgramBuilder
+
+    b = ProgramBuilder()
+    b.x("q1")
+    with b.borrow() as a:          # fresh placeholder name
+        b.cx("q1", a)
+        b.x(a)
+        b.x(a)
+        b.cx("q1", a)
+    program = b.build()
+
+The produced AST is the ordinary Figure 4.1 core language, so all
+analyses (idle scopes, semantics, safety) apply unchanged.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List
+
+import numpy as np
+
+from repro.errors import SemanticsError
+from repro.lang.ast import (
+    Borrow,
+    If,
+    Init,
+    Measurement,
+    Statement,
+    While,
+    basis_measurement_on,
+    seq,
+    unitary,
+    unitary_matrix,
+)
+
+
+class ProgramBuilder:
+    """Accumulates statements; nestable via the context-manager blocks."""
+
+    def __init__(self):
+        self._frames: List[List[Statement]] = [[]]
+        self._fresh = 0
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, statement: Statement) -> "ProgramBuilder":
+        self._frames[-1].append(statement)
+        return self
+
+    def build(self) -> Statement:
+        """Finish and return the program."""
+        if len(self._frames) != 1:
+            raise SemanticsError("unclosed borrow/if/while block")
+        return seq(*self._frames[0])
+
+    # ------------------------------------------------------------------ #
+    # Straight-line statements
+    # ------------------------------------------------------------------ #
+
+    def gate(self, name: str, *qubits: str) -> "ProgramBuilder":
+        """Apply a named gate (X/CX/CCX/H/...)."""
+        return self._emit(unitary(name, *qubits))
+
+    def x(self, qubit: str) -> "ProgramBuilder":
+        return self.gate("X", qubit)
+
+    def cx(self, control: str, target: str) -> "ProgramBuilder":
+        return self.gate("CX", control, target)
+
+    def ccx(self, c1: str, c2: str, target: str) -> "ProgramBuilder":
+        return self.gate("CCX", c1, c2, target)
+
+    def h(self, qubit: str) -> "ProgramBuilder":
+        return self.gate("H", qubit)
+
+    def apply(self, matrix: np.ndarray, name: str, *qubits: str):
+        """Apply an explicit unitary matrix."""
+        return self._emit(unitary_matrix(matrix, name, *qubits))
+
+    def reset(self, qubit: str) -> "ProgramBuilder":
+        """``[q] := |0>``."""
+        return self._emit(Init(qubit))
+
+    # ------------------------------------------------------------------ #
+    # Blocks
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def borrow(self, placeholder: str = None):
+        """``borrow a; ...; release a`` with an auto-fresh placeholder."""
+        if placeholder is None:
+            self._fresh += 1
+            placeholder = f"_a{self._fresh}"
+        self._frames.append([])
+        try:
+            yield placeholder
+        finally:
+            body = self._frames.pop()
+            self._emit(Borrow(placeholder, seq(*body)))
+
+    @contextmanager
+    def if_measures_one(self, qubit: str):
+        """``if M[q] then <block> else skip`` (computational basis)."""
+        self._frames.append([])
+        try:
+            yield
+        finally:
+            body = self._frames.pop()
+            self._emit(
+                If(basis_measurement_on(qubit), seq(*body), seq())
+            )
+
+    @contextmanager
+    def if_else(self, measurement: Measurement):
+        """Two-armed branch: yields a pair of sub-builders."""
+        then_builder = ProgramBuilder()
+        else_builder = ProgramBuilder()
+        try:
+            yield then_builder, else_builder
+        finally:
+            self._emit(
+                If(measurement, then_builder.build(), else_builder.build())
+            )
+
+    @contextmanager
+    def while_measures_one(self, qubit: str):
+        """``while M[q] do <block> end`` (computational basis)."""
+        self._frames.append([])
+        try:
+            yield
+        finally:
+            body = self._frames.pop()
+            self._emit(While(basis_measurement_on(qubit), seq(*body)))

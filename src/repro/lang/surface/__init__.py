@@ -1,0 +1,29 @@
+"""The concrete QBorrow surface language (``.qbr`` files) — system S7.
+
+A hand-written front end for the ANTLR grammar of the paper's artifact
+appendix (Section 10.3): ``let`` bindings, ``borrow`` / ``borrow@`` /
+``alloc`` / ``release`` register declarations, ``X``/``CNOT``/``CCNOT``
+gate statements, arithmetic expressions and bidirectional ``for`` loops.
+
+Pipeline: :func:`parse` (source → surface AST) →
+:func:`elaborate` (AST → flat circuit + qubit roles) →
+:func:`verify_qbr` (circuit → per-dirty-qubit safe-uncomputation report).
+"""
+
+from repro.lang.surface.lexer import tokenize
+from repro.lang.surface.parser import parse
+from repro.lang.surface.elaborate import (
+    ElaboratedProgram,
+    elaborate,
+    elaborate_file,
+    verify_qbr,
+)
+
+__all__ = [
+    "ElaboratedProgram",
+    "elaborate",
+    "elaborate_file",
+    "parse",
+    "tokenize",
+    "verify_qbr",
+]

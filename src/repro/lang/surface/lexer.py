@@ -1,0 +1,113 @@
+"""Tokenizer for the ``.qbr`` surface language.
+
+Follows the artifact grammar: identifiers, numbers, the punctuation set
+``= ; , [ ] { } ( ) + - *``, the ``borrow@`` marker, ``//`` line comments
+and ``/* */`` block comments.  Keywords are classified here so the parser
+can match on token kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset(
+    {"let", "borrow", "alloc", "release", "for", "to"}
+)
+
+PUNCTUATION = {
+    "=": "EQUALS",
+    ";": "SEMI",
+    ",": "COMMA",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    "{": "LBRACE",
+    "}": "RBRACE",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "+": "PLUS",
+    "-": "MINUS",
+    "*": "STAR",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its 1-based source position."""
+
+    kind: str  # KEYWORD name, "ID", "NUMBER", punctuation kind, or "EOF"
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`ParseError` on bad input."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, column
+        for _ in range(count):
+            if i < length and source[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < length:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < length and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, column
+            advance(2)
+            while i < length and not source.startswith("*/", i):
+                advance(1)
+            if i >= length:
+                raise ParseError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch.isdigit():
+            start_line, start_col = line, column
+            begin = i
+            while i < length and source[i].isdigit():
+                advance(1)
+            yield Token("NUMBER", source[begin:i], start_line, start_col)
+            continue
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, column
+            begin = i
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[begin:i]
+            if text == "borrow" and i < length and source[i] == "@":
+                advance(1)
+                yield Token("BORROW_SKIP", "borrow@", start_line, start_col)
+                continue
+            kind = text.upper() if text in KEYWORDS else "ID"
+            yield Token(kind, text, start_line, start_col)
+            continue
+        if ch in PUNCTUATION:
+            yield Token(PUNCTUATION[ch], ch, line, column)
+            advance(1)
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+    yield Token("EOF", "", line, column)

@@ -1,0 +1,290 @@
+"""Recursive-descent parser for the ``.qbr`` grammar (artifact §10.3).
+
+Grammar (as published, plus the repository's ``MCX`` extension)::
+
+    program   : statement+ EOF
+    statement : 'let' ID '=' expr ';'
+              | 'borrow' reg ';' | 'borrow@' reg ';' | 'alloc' reg ';'
+              | 'release' ID ';'
+              | 'X' '[' reg ']' ';'
+              | 'CNOT' '[' reg ',' reg ']' ';'
+              | 'CCNOT' '[' reg ',' reg ',' reg ']' ';'
+              | 'for' ID '=' expr 'to' expr '{' statement* '}'
+    reg       : ID '[' expr ']' | ID
+    expr      : additive over term/factor with unary +/-
+
+The gate names are ordinary identifiers in the token stream and are
+matched by spelling here, exactly as ANTLR's literal tokens would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.lang.surface.lexer import Token, tokenize
+
+GATE_NAMES = {"X": 1, "CNOT": 2, "CCNOT": 3}
+
+
+# ---------------------------------------------------------------------- #
+# Surface AST
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Num:
+    value: int
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+    line: int
+    column: int
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # '+', '-', '*'
+    left: "ExprNode"
+    right: "ExprNode"
+
+
+@dataclass(frozen=True)
+class Neg:
+    operand: "ExprNode"
+
+
+ExprNode = Union[Num, Name, BinOp, Neg]
+
+
+@dataclass(frozen=True)
+class RegRef:
+    """``q[expr]`` or bare ``q``."""
+
+    name: str
+    index: Optional[ExprNode]
+    line: int
+    column: int
+
+
+@dataclass(frozen=True)
+class LetStmt:
+    name: str
+    value: ExprNode
+    line: int
+
+
+@dataclass(frozen=True)
+class DeclStmt:
+    """``borrow`` / ``borrow@`` / ``alloc`` declaration."""
+
+    kind: str  # 'borrow', 'borrow_skip', 'alloc'
+    reg: RegRef
+    line: int
+
+
+@dataclass(frozen=True)
+class ReleaseStmt:
+    name: str
+    line: int
+
+
+@dataclass(frozen=True)
+class GateStmt:
+    gate: str
+    operands: Tuple[RegRef, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class ForStmt:
+    var: str
+    start: ExprNode
+    end: ExprNode
+    body: Tuple["StmtNode", ...]
+    line: int
+
+
+StmtNode = Union[LetStmt, DeclStmt, ReleaseStmt, GateStmt, ForStmt]
+
+
+@dataclass(frozen=True)
+class Program:
+    statements: Tuple[StmtNode, ...]
+
+
+# ---------------------------------------------------------------------- #
+# Parser
+# ---------------------------------------------------------------------- #
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # Token plumbing ---------------------------------------------------- #
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, what: str = "") -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            wanted = what or kind
+            raise ParseError(
+                f"expected {wanted}, found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    # Grammar ------------------------------------------------------------ #
+
+    def program(self) -> Program:
+        statements: List[StmtNode] = []
+        while self.peek().kind != "EOF":
+            statements.append(self.statement())
+        if not statements:
+            token = self.peek()
+            raise ParseError("empty program", token.line, token.column)
+        return Program(tuple(statements))
+
+    def statement(self) -> StmtNode:
+        token = self.peek()
+        if token.kind == "LET":
+            return self.let_statement()
+        if token.kind in ("BORROW", "BORROW_SKIP", "ALLOC"):
+            return self.decl_statement()
+        if token.kind == "RELEASE":
+            return self.release_statement()
+        if token.kind == "FOR":
+            return self.for_statement()
+        if token.kind == "ID" and token.text in GATE_NAMES:
+            return self.gate_statement()
+        raise ParseError(
+            f"expected a statement, found {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    def let_statement(self) -> LetStmt:
+        let = self.expect("LET")
+        name = self.expect("ID", "a variable name")
+        self.expect("EQUALS")
+        value = self.expression()
+        self.expect("SEMI")
+        return LetStmt(name.text, value, let.line)
+
+    def decl_statement(self) -> DeclStmt:
+        token = self.advance()
+        kind = {
+            "BORROW": "borrow",
+            "BORROW_SKIP": "borrow_skip",
+            "ALLOC": "alloc",
+        }[token.kind]
+        reg = self.reg()
+        self.expect("SEMI")
+        return DeclStmt(kind, reg, token.line)
+
+    def release_statement(self) -> ReleaseStmt:
+        token = self.expect("RELEASE")
+        name = self.expect("ID", "a register name")
+        self.expect("SEMI")
+        return ReleaseStmt(name.text, token.line)
+
+    def gate_statement(self) -> GateStmt:
+        token = self.expect("ID")
+        gate = token.text
+        arity = GATE_NAMES[gate]
+        self.expect("LBRACKET")
+        operands = [self.reg()]
+        for _ in range(arity - 1):
+            self.expect("COMMA")
+            operands.append(self.reg())
+        self.expect("RBRACKET")
+        self.expect("SEMI")
+        return GateStmt(gate, tuple(operands), token.line)
+
+    def for_statement(self) -> ForStmt:
+        token = self.expect("FOR")
+        var = self.expect("ID", "a loop variable")
+        self.expect("EQUALS")
+        start = self.expression()
+        self.expect("TO")
+        end = self.expression()
+        self.expect("LBRACE")
+        body: List[StmtNode] = []
+        while self.peek().kind != "RBRACE":
+            if self.peek().kind == "EOF":
+                raise ParseError(
+                    "unterminated for-loop body", token.line, token.column
+                )
+            body.append(self.statement())
+        self.expect("RBRACE")
+        return ForStmt(var.text, start, end, tuple(body), token.line)
+
+    def reg(self) -> RegRef:
+        name = self.expect("ID", "a register name")
+        index: Optional[ExprNode] = None
+        if self.peek().kind == "LBRACKET":
+            self.advance()
+            index = self.expression()
+            self.expect("RBRACKET")
+        return RegRef(name.text, index, name.line, name.column)
+
+    # Expressions --------------------------------------------------------- #
+
+    def expression(self) -> ExprNode:
+        token = self.peek()
+        if token.kind in ("PLUS", "MINUS"):
+            self.advance()
+            operand = self.term()
+            node: ExprNode = Neg(operand) if token.kind == "MINUS" else operand
+        else:
+            node = self.term()
+        while self.peek().kind in ("PLUS", "MINUS"):
+            op = self.advance()
+            right = self.term()
+            node = BinOp("+" if op.kind == "PLUS" else "-", node, right)
+        return node
+
+    def term(self) -> ExprNode:
+        node = self.factor()
+        while self.peek().kind == "STAR":
+            self.advance()
+            node = BinOp("*", node, self.factor())
+        return node
+
+    def factor(self) -> ExprNode:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            return Num(int(token.text))
+        if token.kind == "ID":
+            self.advance()
+            return Name(token.text, token.line, token.column)
+        if token.kind == "LPAREN":
+            self.advance()
+            node = self.expression()
+            self.expect("RPAREN")
+            return node
+        raise ParseError(
+            f"expected a number, name or '(', found {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+
+def parse(source: str) -> Program:
+    """Parse ``.qbr`` source into a surface AST."""
+    return _Parser(tokenize(source)).program()

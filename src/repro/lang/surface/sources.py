@@ -1,0 +1,154 @@
+"""Parameterised generators for the paper's benchmark ``.qbr`` programs.
+
+The templates reproduce the artifact's ``adder.qbr`` (Figure 6.2) and
+``mcx.qbr`` (Section 10.4) with the qubit-count constant substituted.
+The test suite cross-validates them gate-for-gate against the direct
+circuit builders (:func:`repro.adders.haner_carry_benchmark`,
+:func:`repro.mcx.gidney_mcx`).
+"""
+
+from __future__ import annotations
+
+_ADDER_TEMPLATE = """\
+// adder.qbr (Figure 6.2)
+let n = {n}; // number of qubits
+borrow@ q[n]; // skip verification
+borrow a[n - 1]; // dirty qubits
+CNOT[a[n - 1], q[n]];
+for i = (n - 1) to 2 {{
+    CNOT[q[i], a[i]];
+    X[q[i]];
+    CCNOT[a[i - 1], q[i], a[i]];
+}}
+CNOT[q[1], a[1]];
+for i = 2 to (n - 1) {{
+    CCNOT[a[i - 1], q[i], a[i]];
+}}
+CNOT[a[n - 1], q[n]];
+X[q[n]];
+
+// reverse the circuit to uncompute
+for i = (n - 1) to 2 {{
+    CCNOT[a[i - 1], q[i], a[i]];
+}}
+CNOT[q[1], a[1]];
+for i = 2 to (n - 1) {{
+    CCNOT[a[i - 1], q[i], a[i]];
+    X[q[i]];
+    CNOT[q[i], a[i]];
+}}
+"""
+
+
+def adder_qbr_source(n: int) -> str:
+    """The Figure 6.2 program with ``n`` working qubits."""
+    return _ADDER_TEMPLATE.format(n=n)
+
+
+_MCX_TEMPLATE = """\
+// mcx.qbr (Section 10.4)
+let m = {m};
+let n = m + (m - 1); // n-controlled NOT gate
+
+borrow@ q[n];
+borrow@ t;
+
+borrow anc;
+
+// first part
+CCNOT[q[n - 1], q[n], anc];
+for i = (m - 2) to 2 {{
+    CCNOT[q[{odd}], q[2 * i + 1], q[2 * i + 2]];
+}}
+CCNOT[q[1], q[3], q[4]];
+for i = 2 to (m - 2) {{
+    CCNOT[q[{odd}], q[2 * i + 1], q[2 * i + 2]];
+}}
+CCNOT[q[n - 1], q[n], anc];
+for i = (m - 2) to 2 {{
+    CCNOT[q[{odd}], q[2 * i + 1], q[2 * i + 2]];
+}}
+CCNOT[q[1], q[3], q[4]];
+for i = 2 to (m - 2) {{
+    CCNOT[q[{odd}], q[2 * i + 1], q[2 * i + 2]];
+}}
+
+// second part
+CCNOT[q[n], anc, t];
+for i = (m - 1) to 3 {{
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}}
+CCNOT[q[2], q[4], q[5]];
+for i = 3 to (m - 1) {{
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}}
+CCNOT[q[n], anc, t];
+for i = (m - 1) to 3 {{
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}}
+CCNOT[q[2], q[4], q[5]];
+for i = 3 to (m - 1) {{
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}}
+
+// third part
+CCNOT[q[n - 1], q[n], anc];
+for i = (m - 2) to 2 {{
+    CCNOT[q[{odd}], q[2 * i + 1], q[2 * i + 2]];
+}}
+CCNOT[q[1], q[3], q[4]];
+for i = 2 to (m - 2) {{
+    CCNOT[q[{odd}], q[2 * i + 1], q[2 * i + 2]];
+}}
+CCNOT[q[n - 1], q[n], anc];
+for i = (m - 2) to 2 {{
+    CCNOT[q[{odd}], q[2 * i + 1], q[2 * i + 2]];
+}}
+CCNOT[q[1], q[3], q[4]];
+for i = 2 to (m - 2) {{
+    CCNOT[q[{odd}], q[2 * i + 1], q[2 * i + 2]];
+}}
+
+// fourth part
+CCNOT[q[n], anc, t];
+for i = (m - 1) to 3 {{
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}}
+CCNOT[q[2], q[4], q[5]];
+for i = 3 to (m - 1) {{
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}}
+CCNOT[q[n], anc, t];
+release anc;
+for i = (m - 1) to 3 {{
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}}
+CCNOT[q[2], q[4], q[5]];
+for i = 3 to (m - 1) {{
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}}
+"""
+
+
+def mcx_qbr_source(m: int, verbatim: bool = False) -> str:
+    """The Section 10.4 program for parameter ``m``.
+
+    ``verbatim=True`` keeps the paper's odd-staircase body
+    ``q[2 * i - 1]`` (which degenerates to the identity for ``m > 3``
+    but still has a safely-uncomputed ancilla — the property the
+    benchmark measures); the default uses the corrected ``q[2 * i]``
+    (see :func:`repro.mcx.gidney.gidney_mcx`).
+
+    Note the ``release anc`` placement follows the paper: the last two
+    gates touching ``anc`` precede it.
+
+    Requires ``m >= 4``: the program's descending loops are written as
+    ``for (m - 2) to 2``, which for ``m = 3`` reads ``for 1 to 2`` — an
+    *empty* descending loop in the artifact's intent but an ascending
+    out-of-range one under value-directed iteration.  Use
+    :func:`repro.mcx.gidney_mcx` directly for ``m = 3``.
+    """
+    if m < 4:
+        raise ValueError("mcx_qbr_source needs m >= 4; see docstring")
+    odd = "2 * i - 1" if verbatim else "2 * i"
+    return _MCX_TEMPLATE.format(m=m, odd=odd)

@@ -1,0 +1,109 @@
+"""Tensor-product embedding of operators onto chosen qubits.
+
+The paper writes :math:`U_{\\bar q}` for a unitary acting on qubits
+:math:`\\bar q`, implicitly tensored with the identity elsewhere
+(Section 2).  :func:`embed_operator` realises that lifting concretely:
+it takes a ``2**k`` dimensional operator and the positions of the ``k``
+qubits it acts on, and returns the ``2**n`` dimensional operator on the
+full register.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import QubitError
+
+
+def identity(num_qubits: int) -> np.ndarray:
+    """Return the identity operator on ``num_qubits`` qubits."""
+    return np.eye(2**num_qubits, dtype=complex)
+
+
+def kron_all(operators: Iterable[np.ndarray]) -> np.ndarray:
+    """Return the Kronecker product of ``operators`` in order.
+
+    The empty product is the 1x1 identity, so ``kron_all([])`` is a valid
+    scalar operator — convenient when a register happens to be empty.
+    """
+    result = np.eye(1, dtype=complex)
+    for op in operators:
+        result = np.kron(result, np.asarray(op, dtype=complex))
+    return result
+
+
+def _check_positions(positions: Sequence[int], num_qubits: int) -> None:
+    if len(set(positions)) != len(positions):
+        raise QubitError(f"duplicate qubit positions: {list(positions)}")
+    for q in positions:
+        if not 0 <= q < num_qubits:
+            raise QubitError(
+                f"qubit {q} out of range for a {num_qubits}-qubit register"
+            )
+
+
+def reorder_qubits(matrix: np.ndarray, order: Sequence[int]) -> np.ndarray:
+    """Permute the qubit wires of an ``n``-qubit operator.
+
+    ``order[j] = q`` means that wire ``j`` of ``matrix`` carries qubit ``q``
+    of the result.  In other words the returned operator ``R`` satisfies
+    ``R |x_0 ... x_{n-1}> = matrix acting on |x_{order[0]} ... >`` routed
+    back to standard wire order.
+    """
+    num_qubits = len(order)
+    _check_positions(order, num_qubits)
+    dim = 2**num_qubits
+    if matrix.shape != (dim, dim):
+        raise QubitError(
+            f"matrix of shape {matrix.shape} is not a {num_qubits}-qubit operator"
+        )
+    tensor = np.asarray(matrix, dtype=complex).reshape([2] * (2 * num_qubits))
+    # Axis j of `tensor` (output side) carries qubit order[j]; we want axis q
+    # to carry qubit q, so new axis q pulls from old axis position_of[q].
+    position_of = [0] * num_qubits
+    for j, q in enumerate(order):
+        position_of[q] = j
+    perm = position_of + [num_qubits + p for p in position_of]
+    return tensor.transpose(perm).reshape(dim, dim)
+
+
+def embed_operator(
+    op: np.ndarray, positions: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Lift ``op`` acting on ``positions`` to the full ``num_qubits`` register.
+
+    Implements the paper's convention that :math:`U_{\\bar q}` is implicitly
+    ``U ⊗ I`` on the remaining qubits.  ``positions`` need not be contiguous
+    or sorted; ``op``'s wire ``j`` is attached to qubit ``positions[j]``.
+    """
+    positions = list(positions)
+    _check_positions(positions, num_qubits)
+    k = len(positions)
+    op = np.asarray(op, dtype=complex)
+    if op.shape != (2**k, 2**k):
+        raise QubitError(
+            f"operator of shape {op.shape} does not act on {k} qubits"
+        )
+    if k == num_qubits and positions == list(range(num_qubits)):
+        return op.copy()
+    rest = [q for q in range(num_qubits) if q not in positions]
+    full = np.kron(op, identity(len(rest)))
+    return reorder_qubits(full, positions + rest)
+
+
+def apply_unitary(
+    state: np.ndarray, op: np.ndarray, positions: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply ``op`` on ``positions`` to a ket or a density operator.
+
+    Kets are mapped to ``U|psi>``; density operators to ``U rho U†``.
+    """
+    full = embed_operator(op, positions, num_qubits)
+    state = np.asarray(state, dtype=complex)
+    if state.ndim == 1:
+        return full @ state
+    if state.ndim == 2:
+        return full @ state @ full.conj().T
+    raise QubitError(f"state with ndim={state.ndim} is neither ket nor density")

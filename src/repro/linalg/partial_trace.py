@@ -1,0 +1,95 @@
+"""Partial trace of multi-qubit density operators.
+
+The paper uses :math:`\\rho|_q` for the *normalised* reduced state of
+qubit(s) ``q`` (Theorem 5.3); :func:`reduced_state` implements exactly that,
+while :func:`partial_trace` returns the unnormalised trace-out.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QubitError
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def partial_trace(
+    rho: np.ndarray, keep: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Trace out every qubit not in ``keep``.
+
+    The result's wire ``j`` carries qubit ``keep[j]``, so the caller controls
+    the output ordering.  Works on unnormalised (partial) density operators.
+    """
+    keep = list(keep)
+    if len(set(keep)) != len(keep):
+        raise QubitError(f"duplicate qubits in keep list: {keep}")
+    for q in keep:
+        if not 0 <= q < num_qubits:
+            raise QubitError(f"qubit {q} out of range for {num_qubits} qubits")
+    dim = 2**num_qubits
+    rho = np.asarray(rho, dtype=complex)
+    if rho.shape != (dim, dim):
+        raise QubitError(
+            f"density of shape {rho.shape} is not on {num_qubits} qubits"
+        )
+    if 2 * num_qubits > len(_LETTERS):
+        raise QubitError(f"partial trace supports at most {len(_LETTERS) // 2} qubits")
+
+    out_labels = list(_LETTERS[:num_qubits])
+    in_labels = list(_LETTERS[num_qubits : 2 * num_qubits])
+    for q in range(num_qubits):
+        if q not in keep:
+            in_labels[q] = out_labels[q]  # contract traced qubits
+    target = "".join(out_labels[q] for q in keep) + "".join(
+        in_labels[q] for q in keep
+    )
+    subscripts = "".join(out_labels) + "".join(in_labels) + "->" + target
+    tensor = rho.reshape([2] * (2 * num_qubits))
+    reduced = np.einsum(subscripts, tensor)
+    out_dim = 2 ** len(keep)
+    return reduced.reshape(out_dim, out_dim)
+
+
+def reduced_from_ket(
+    ket: np.ndarray, keep: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Reduced density of ``keep`` from a pure state, in ``O(2**n)`` memory.
+
+    Avoids materialising the full ``2**n x 2**n`` density operator: the
+    ket is reshaped with the kept qubits in front and the reduced state
+    is ``M M†`` for the resulting ``2**k x 2**(n-k)`` matrix.
+    """
+    keep = list(keep)
+    if len(set(keep)) != len(keep):
+        raise QubitError(f"duplicate qubits in keep list: {keep}")
+    for q in keep:
+        if not 0 <= q < num_qubits:
+            raise QubitError(f"qubit {q} out of range for {num_qubits} qubits")
+    ket = np.asarray(ket, dtype=complex)
+    if ket.shape != (2**num_qubits,):
+        raise QubitError(
+            f"ket of shape {ket.shape} is not on {num_qubits} qubits"
+        )
+    rest = [q for q in range(num_qubits) if q not in keep]
+    tensor = ket.reshape([2] * num_qubits).transpose(keep + rest)
+    matrix = tensor.reshape(2 ** len(keep), -1)
+    return matrix @ matrix.conj().T
+
+
+def reduced_state(
+    rho: np.ndarray, keep: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Return the paper's :math:`\\rho|_{keep}`: partial trace, normalised.
+
+    Raises :class:`QubitError` when ``rho`` has zero trace (the reduced state
+    is undefined for the zero partial density operator).
+    """
+    reduced = partial_trace(rho, keep, num_qubits)
+    trace = reduced.trace().real
+    if trace <= 1e-15:
+        raise QubitError("reduced state of a zero-trace operator is undefined")
+    return reduced / trace

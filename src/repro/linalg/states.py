@@ -1,0 +1,115 @@
+"""Standard kets, density operators, and comparison helpers.
+
+Includes the finite verification basis of Theorem 6.1:
+
+* ``BASIS_B`` — the paper's set :math:`\\mathcal{B} = \\{|0><0|, |1><1|,
+  |+><+|, |+i><+i|\\}`, a basis of the one-qubit operator space;
+* ``VERIFICATION_KETS`` — the five pure states :math:`\\{|0>, |1>, |+>,
+  |+i>, |->\\}` used in condition 2 of Theorem 6.1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QubitError
+
+_SQRT2 = float(np.sqrt(2.0))
+
+ket0 = np.array([1.0, 0.0], dtype=complex)
+ket1 = np.array([0.0, 1.0], dtype=complex)
+ket_plus = np.array([1.0, 1.0], dtype=complex) / _SQRT2
+ket_minus = np.array([1.0, -1.0], dtype=complex) / _SQRT2
+ket_plus_i = np.array([1.0, 1.0j], dtype=complex) / _SQRT2
+
+
+def density(ket: np.ndarray) -> np.ndarray:
+    """Return the rank-one density operator ``|ket><ket|``."""
+    ket = np.asarray(ket, dtype=complex)
+    return np.outer(ket, ket.conj())
+
+
+#: The paper's operator basis B of the one-qubit state space (Section 6).
+BASIS_B = (
+    density(ket0),
+    density(ket1),
+    density(ket_plus),
+    density(ket_plus_i),
+)
+
+#: The five pure states of Theorem 6.1, condition 2.
+VERIFICATION_KETS = (ket0, ket1, ket_plus, ket_plus_i, ket_minus)
+
+
+def basis_ket(index: int, num_qubits: int) -> np.ndarray:
+    """Return the computational-basis ket ``|index>`` on ``num_qubits``."""
+    dim = 2**num_qubits
+    if not 0 <= index < dim:
+        raise QubitError(f"basis index {index} out of range for {num_qubits} qubits")
+    ket = np.zeros(dim, dtype=complex)
+    ket[index] = 1.0
+    return ket
+
+
+def bit_ket(bits: Sequence[int]) -> np.ndarray:
+    """Return ``|b_0 b_1 ... b_{n-1}>`` for a bit sequence (qubit 0 = MSB)."""
+    index = 0
+    for b in bits:
+        if b not in (0, 1):
+            raise QubitError(f"bit value {b!r} is not 0 or 1")
+        index = (index << 1) | b
+    return basis_ket(index, len(bits))
+
+
+def bell_phi() -> np.ndarray:
+    """Return the Bell ket ``|Phi> = (|00> + |11>) / sqrt(2)``."""
+    return (bit_ket([0, 0]) + bit_ket([1, 1])) / _SQRT2
+
+
+def is_density_operator(rho: np.ndarray, atol: float = 1e-9) -> bool:
+    """Check that ``rho`` is PSD with trace at most 1 (a *partial* density).
+
+    Partial density operators encode termination probabilities in the
+    paper's semantics, so traces below 1 are legal.
+    """
+    rho = np.asarray(rho, dtype=complex)
+    if rho.ndim != 2 or rho.shape[0] != rho.shape[1]:
+        return False
+    if not np.allclose(rho, rho.conj().T, atol=atol):
+        return False
+    eigenvalues = np.linalg.eigvalsh(rho)
+    if eigenvalues.min() < -atol:
+        return False
+    return rho.trace().real <= 1.0 + atol
+
+
+def purity(rho: np.ndarray) -> float:
+    """Return ``Tr(rho^2)`` for a normalised density operator."""
+    rho = np.asarray(rho, dtype=complex)
+    return float(np.trace(rho @ rho).real)
+
+
+def fidelity(rho: np.ndarray, sigma: np.ndarray) -> float:
+    """Return the Uhlmann fidelity ``F(rho, sigma)`` in [0, 1].
+
+    Computed as ``(Tr sqrt(sqrt(rho) sigma sqrt(rho)))^2`` via
+    eigendecomposition; both arguments must be normalised densities.
+    """
+    rho = np.asarray(rho, dtype=complex)
+    sigma = np.asarray(sigma, dtype=complex)
+    values, vectors = np.linalg.eigh(rho)
+    values = np.clip(values, 0.0, None)
+    sqrt_rho = (vectors * np.sqrt(values)) @ vectors.conj().T
+    inner = sqrt_rho @ sigma @ sqrt_rho
+    inner_values = np.linalg.eigvalsh(inner)
+    inner_values = np.clip(inner_values, 0.0, None)
+    return float(np.sum(np.sqrt(inner_values)) ** 2)
+
+
+def matrices_close(a: np.ndarray, b: np.ndarray, atol: float = 1e-9) -> bool:
+    """Element-wise comparison with a tolerance suited to our simulators."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    return a.shape == b.shape and bool(np.allclose(a, b, atol=atol))

@@ -1,0 +1,27 @@
+"""Multi-controlled-NOT constructions — system S12.
+
+* :func:`repro.mcx.barenco.cccnot_with_dirty_ancilla` — the Figure 1.3
+  four-Toffoli CCCNOT using one dirty qubit;
+* :func:`repro.mcx.barenco.mcx_clean_ladder` — the textbook V-chain with
+  ``k-2`` clean ancillas (2k-3 Toffolis), the clean-qubit baseline;
+* :func:`repro.mcx.barenco.mcx_dirty_chain` — Barenco-style recursion
+  with ``k-2`` *dirty* ancillas (4(k-2)+... Toffolis, toggled twice);
+* :func:`repro.mcx.gidney.gidney_mcx` — the paper's ``mcx.qbr`` benchmark
+  (Figure 10.4): a ``(2m-1)``-controlled NOT from ``16(m-2)`` Toffolis
+  and a single dirty ancilla.
+"""
+
+from repro.mcx.barenco import (
+    cccnot_with_dirty_ancilla,
+    mcx_clean_ladder,
+    mcx_dirty_chain,
+)
+from repro.mcx.gidney import GidneyMcxLayout, gidney_mcx
+
+__all__ = [
+    "GidneyMcxLayout",
+    "cccnot_with_dirty_ancilla",
+    "gidney_mcx",
+    "mcx_clean_ladder",
+    "mcx_dirty_chain",
+]

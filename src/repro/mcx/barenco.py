@@ -1,0 +1,96 @@
+"""Barenco-style multi-controlled-NOT decompositions.
+
+Three constructions with different ancilla contracts:
+
+* :func:`cccnot_with_dirty_ancilla` — the paper's Figure 1.3: a
+  three-controlled NOT from four Toffolis and one dirty qubit, the
+  running example of safe uncomputation;
+* :func:`mcx_clean_ladder` — V-chain with ``k-2`` clean ancillas,
+  ``2k-3`` Toffolis (the clean-qubit baseline that *cannot* reuse a
+  non-ground qubit, cf. Section 3's discussion of Figure 3.1);
+* :func:`mcx_dirty_chain` — the Barenco Lemma 7.2 network with ``k-2``
+  *dirty* ancillas and ``4(k-2)`` Toffolis: every staircase runs twice so
+  each ancilla's initial value toggles out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.circuits.gates import Gate, toffoli
+from repro.errors import CircuitError
+
+
+def cccnot_with_dirty_ancilla(
+    controls: Sequence[int], target: int, ancilla: int
+) -> List[Gate]:
+    """Figure 1.3: CCCNOT from four Toffolis and one dirty ancilla."""
+    if len(controls) != 3:
+        raise CircuitError("cccnot needs exactly three controls")
+    c1, c2, c3 = controls
+    return [
+        toffoli(c1, c2, ancilla),
+        toffoli(ancilla, c3, target),
+        toffoli(c1, c2, ancilla),
+        toffoli(ancilla, c3, target),
+    ]
+
+
+def mcx_clean_ladder(
+    controls: Sequence[int], target: int, ancillas: Sequence[int]
+) -> List[Gate]:
+    """V-chain MCX: ``k-2`` clean ancillas, ``2k-3`` Toffolis.
+
+    The ancillas must start in ``|0>`` and are returned to ``|0>``.
+    """
+    controls = list(controls)
+    ancillas = list(ancillas)
+    k = len(controls)
+    if k < 2:
+        raise CircuitError("ladder needs at least two controls")
+    if k == 2:
+        return [toffoli(controls[0], controls[1], target)]
+    if len(ancillas) != k - 2:
+        raise CircuitError(f"{k}-control ladder needs {k - 2} clean ancillas")
+    up: List[Gate] = [toffoli(controls[0], controls[1], ancillas[0])]
+    for i in range(k - 3):
+        up.append(toffoli(ancillas[i], controls[i + 2], ancillas[i + 1]))
+    middle = toffoli(ancillas[-1], controls[-1], target)
+    return up + [middle] + list(reversed(up))
+
+
+def mcx_dirty_chain(
+    controls: Sequence[int], target: int, ancillas: Sequence[int]
+) -> List[Gate]:
+    """Barenco MCX with ``k-2`` *dirty* ancillas and ``4(k-2)`` Toffolis.
+
+    Structure: a down-up Toffoli staircase, then the same staircase again
+    without its outermost gate.  Every ancilla is written an even number
+    of times with identical control values, so its arbitrary initial
+    state cancels — all ancillas are safely uncomputed (verified in the
+    test suite with the Section 6 pipeline).
+    """
+    controls = list(controls)
+    ancillas = list(ancillas)
+    k = len(controls)
+    if k < 3:
+        if k == 2:
+            return [toffoli(controls[0], controls[1], target)]
+        raise CircuitError("dirty chain needs at least two controls")
+    if len(ancillas) != k - 2:
+        raise CircuitError(f"{k}-control chain needs {k - 2} dirty ancillas")
+
+    def level_gate(level: int) -> Gate:
+        # level j in 1..k-2 pairs control j+1 with ancilla j-1.
+        tgt = target if level == k - 2 else ancillas[level]
+        return toffoli(controls[level + 1], ancillas[level - 1], tgt)
+
+    base = toffoli(controls[0], controls[1], ancillas[0])
+
+    def sweep(top_level: int) -> List[Gate]:
+        down = [level_gate(j) for j in range(top_level, 0, -1)]
+        return down + [base] + [level_gate(j) for j in range(1, top_level + 1)]
+
+    full = sweep(k - 2)
+    inner = full[1:-1] if k > 3 else [base]
+    return full + inner

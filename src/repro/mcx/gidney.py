@@ -1,0 +1,122 @@
+"""The paper's MCX benchmark (Figure 10.4 / ``mcx.qbr``).
+
+A ``(2m-1)``-controlled NOT built from ``16(m-2)`` Toffolis and a single
+*dirty* ancilla, adapted from Gidney's "Constructing Large Controlled
+Nots".  The four parts alternate two staircase gadgets so that both the
+ancilla's initial value and all intermediate scribbles on the control
+qubits toggle out; the ancilla is the dirty qubit whose safe
+uncomputation Figures 6.4/10.3 verify at thousands of qubits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import toffoli
+from repro.errors import CircuitError
+
+
+@dataclass(frozen=True)
+class GidneyMcxLayout:
+    """Wires of the ``mcx.qbr`` circuit.
+
+    ``controls`` are ``q[1..n]`` with ``n = 2m-1``; ``target`` is ``t``;
+    ``ancilla`` is the dirty qubit ``anc``.
+    """
+
+    circuit: Circuit
+    controls: List[int]
+    target: int
+    ancilla: int
+    m: int
+
+    @property
+    def n(self) -> int:
+        return 2 * self.m - 1
+
+
+def gidney_mcx(m: int, verbatim: bool = False) -> GidneyMcxLayout:
+    """The ``mcx.qbr`` construction for parameter ``m >= 3``.
+
+    Wire layout (1-based registers of the program): ``q[i]`` on wire
+    ``i-1``, ``t`` on wire ``n``, ``anc`` on wire ``n+1``.
+
+    The paper's printed listing has an off-by-one in the odd staircase
+    body (``CCNOT[q[2i-1], q[2i+1], q[2i+2]]``): translated literally it
+    yields the identity for ``m > 3`` because each staircase cancels
+    itself.  The corrected body ``CCNOT[q[2i], q[2i+1], q[2i+2]]`` — the
+    previous even-wire ancilla plus the next odd control, exactly
+    Gidney's pattern — implements the ``(2m-1)``-controlled NOT for all
+    ``m`` with the same ``16(m-2)`` Toffoli count (the functional tests
+    cover this).  Pass ``verbatim=True`` for the literal listing: its
+    dirty ancilla still verifies as safe, which is the property the
+    Figure 6.4 benchmark times.
+    """
+    if m < 3:
+        raise CircuitError("the mcx.qbr construction needs m >= 3")
+    n = 2 * m - 1
+
+    def q(i: int) -> int:
+        if not 1 <= i <= n:
+            raise CircuitError(f"q[{i}] out of range")
+        return i - 1
+
+    t = n
+    anc = n + 1
+    labels = [f"q{i}" for i in range(1, n + 1)] + ["t", "anc"]
+    c = Circuit(n + 2, labels=labels)
+
+    first_odd_wire = (lambda i: q(2 * i - 1)) if verbatim else (lambda i: q(2 * i))
+
+    def odd_stair_down() -> None:
+        for i in range(m - 2, 1, -1):
+            c.append(toffoli(first_odd_wire(i), q(2 * i + 1), q(2 * i + 2)))
+
+    def odd_stair_up() -> None:
+        for i in range(2, m - 1):
+            c.append(toffoli(first_odd_wire(i), q(2 * i + 1), q(2 * i + 2)))
+
+    def even_stair_down() -> None:
+        for i in range(m - 1, 2, -1):
+            c.append(toffoli(q(2 * i - 1), q(2 * i), q(2 * i + 1)))
+
+    def even_stair_up() -> None:
+        for i in range(3, m):
+            c.append(toffoli(q(2 * i - 1), q(2 * i), q(2 * i + 1)))
+
+    def part_odd() -> None:
+        """Parts 1 and 3: fold the odd-indexed controls into ``anc``."""
+        c.append(toffoli(q(n - 1), q(n), anc))
+        odd_stair_down()
+        c.append(toffoli(q(1), q(3), q(4)))
+        odd_stair_up()
+        c.append(toffoli(q(n - 1), q(n), anc))
+        odd_stair_down()
+        c.append(toffoli(q(1), q(3), q(4)))
+        odd_stair_up()
+
+    def part_even() -> None:
+        """Parts 2 and 4: fold the even-indexed controls into ``t``."""
+        c.append(toffoli(q(n), anc, t))
+        even_stair_down()
+        c.append(toffoli(q(2), q(4), q(5)))
+        even_stair_up()
+        c.append(toffoli(q(n), anc, t))
+        even_stair_down()
+        c.append(toffoli(q(2), q(4), q(5)))
+        even_stair_up()
+
+    part_odd()
+    part_even()
+    part_odd()
+    part_even()
+
+    return GidneyMcxLayout(
+        circuit=c,
+        controls=[q(i) for i in range(1, n + 1)],
+        target=t,
+        ancilla=anc,
+        m=m,
+    )

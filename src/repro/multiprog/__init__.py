@@ -1,0 +1,24 @@
+"""Multi-program scheduling with cross-program dirty-qubit borrowing —
+system S13, an executable rendering of the paper's Section 7 discussion.
+
+A :class:`~repro.multiprog.scheduler.MultiProgrammer` co-schedules
+several quantum jobs on one machine.  A job that needs dirty ancillas may
+borrow idle qubits *from other jobs*, but only when the ancilla is
+verified safely uncomputed (Definition 3.1 via the Section 6 pipeline) —
+an unverified borrow could corrupt a co-tenant's state, the failure mode
+the paper warns about in multi-programming clouds.
+"""
+
+from repro.multiprog.scheduler import (
+    BorrowRequest,
+    MultiProgrammer,
+    QuantumJob,
+    ScheduleResult,
+)
+
+__all__ = [
+    "BorrowRequest",
+    "MultiProgrammer",
+    "QuantumJob",
+    "ScheduleResult",
+]

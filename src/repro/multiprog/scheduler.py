@@ -1,0 +1,183 @@
+"""Co-scheduling quantum jobs with verified cross-program borrowing.
+
+The model: each job is a circuit over its own wires, some of which are
+declared *dirty-ancilla requests*.  The scheduler
+
+1. verifies each requested ancilla is safely uncomputed in its own job
+   (Section 6 pipeline) — an unsafe ancilla is never borrowed across a
+   program boundary, only hosted on a private wire;
+2. merges the jobs into one composite circuit, interleaving gates
+   round-robin to model concurrent execution on the machine;
+3. runs the Figure 3.1 borrowing pass on the composite, letting a safe
+   ancilla land on *any* co-tenant qubit that is idle during its period;
+4. reports the width saved and rejects schedules exceeding the machine.
+
+This turns the paper's Section 7 discussion (QuCloud-style
+multi-programming with dirty qubits) into executable, testable policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.borrowing import BorrowPlan, borrow_dirty_qubits
+from repro.circuits.circuit import Circuit
+from repro.circuits.classical import is_classical_circuit
+from repro.errors import CircuitError, VerificationError
+from repro.verify.pipeline import verify_circuit
+
+
+@dataclass(frozen=True)
+class BorrowRequest:
+    """One dirty-ancilla wire a job would like to outsource."""
+
+    wire: int
+
+
+@dataclass
+class QuantumJob:
+    """A workload submitted to the multi-programmer."""
+
+    name: str
+    circuit: Circuit
+    ancilla_requests: List[BorrowRequest] = field(default_factory=list)
+
+    def __post_init__(self):
+        for request in self.ancilla_requests:
+            if not 0 <= request.wire < self.circuit.num_qubits:
+                raise CircuitError(
+                    f"job {self.name}: ancilla wire {request.wire} outside "
+                    f"the circuit"
+                )
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of :meth:`MultiProgrammer.schedule`."""
+
+    composite: Circuit
+    plan: BorrowPlan
+    job_offsets: Dict[str, int]
+    safety: Dict[Tuple[str, int], bool]
+    naive_width: int
+    final_width: int
+    machine_size: int
+
+    @property
+    def qubits_saved(self) -> int:
+        return self.naive_width - self.final_width
+
+    @property
+    def fits_machine(self) -> bool:
+        return self.final_width <= self.machine_size
+
+    def summary(self) -> str:
+        lines = [
+            f"machine={self.machine_size} naive_width={self.naive_width} "
+            f"final_width={self.final_width} saved={self.qubits_saved}",
+        ]
+        for (job, wire), safe in sorted(self.safety.items()):
+            verdict = "safe" if safe else "UNSAFE (kept private)"
+            lines.append(f"  {job} ancilla wire {wire}: {verdict}")
+        return "\n".join(lines)
+
+
+class MultiProgrammer:
+    """Packs jobs onto one machine with verified dirty-qubit borrowing."""
+
+    def __init__(self, machine_size: int, backend: str = "bdd"):
+        if machine_size < 1:
+            raise CircuitError("machine must have at least one qubit")
+        self.machine_size = machine_size
+        self.backend = backend
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def schedule(
+        self, jobs: Sequence[QuantumJob], require_fit: bool = True
+    ) -> ScheduleResult:
+        """Merge, verify, and borrow; raises if the result exceeds the
+        machine and ``require_fit`` is set."""
+        if not jobs:
+            raise CircuitError("no jobs to schedule")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise CircuitError("duplicate job names")
+
+        safety = self._verify_ancillas(jobs)
+        composite, offsets = self._merge(jobs)
+        borrowable = [
+            offsets[job.name] + request.wire
+            for job in jobs
+            for request in job.ancilla_requests
+            if safety[(job.name, request.wire)]
+        ]
+        plan = borrow_dirty_qubits(composite, borrowable)
+        result = ScheduleResult(
+            composite=plan.circuit,
+            plan=plan,
+            job_offsets=offsets,
+            safety=safety,
+            naive_width=composite.num_qubits,
+            final_width=plan.final_width,
+            machine_size=self.machine_size,
+        )
+        if require_fit and not result.fits_machine:
+            raise CircuitError(
+                f"schedule needs {result.final_width} qubits but the "
+                f"machine has {self.machine_size}"
+            )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Steps
+    # ------------------------------------------------------------------ #
+
+    def _verify_ancillas(
+        self, jobs: Sequence[QuantumJob]
+    ) -> Dict[Tuple[str, int], bool]:
+        safety: Dict[Tuple[str, int], bool] = {}
+        for job in jobs:
+            wires = [request.wire for request in job.ancilla_requests]
+            if not wires:
+                continue
+            if not is_classical_circuit(job.circuit):
+                raise VerificationError(
+                    f"job {job.name}: only classical circuits can be "
+                    f"auto-verified for cross-program borrowing"
+                )
+            report = verify_circuit(job.circuit, wires, backend=self.backend)
+            for verdict in report.verdicts:
+                safety[(job.name, verdict.qubit)] = verdict.safe
+        return safety
+
+    def _merge(
+        self, jobs: Sequence[QuantumJob]
+    ) -> Tuple[Circuit, Dict[str, int]]:
+        """Round-robin interleave jobs onto disjoint wire ranges."""
+        offsets: Dict[str, int] = {}
+        labels: List[str] = []
+        total = 0
+        for job in jobs:
+            offsets[job.name] = total
+            for w in range(job.circuit.num_qubits):
+                labels.append(f"{job.name}.{job.circuit.label_of(w)}")
+            total += job.circuit.num_qubits
+        composite = Circuit(total, labels=labels)
+        cursors = [0] * len(jobs)
+        remaining = sum(len(job.circuit.gates) for job in jobs)
+        while remaining:
+            for idx, job in enumerate(jobs):
+                if cursors[idx] >= len(job.circuit.gates):
+                    continue
+                gate = job.circuit.gates[cursors[idx]]
+                shift = offsets[job.name]
+                composite.append(
+                    gate.remap({q: q + shift for q in gate.qubits})
+                )
+                cursors[idx] += 1
+                remaining -= 1
+        return composite, offsets

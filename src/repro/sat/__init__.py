@@ -1,0 +1,27 @@
+"""SAT solving — half of system S9.
+
+The paper discharges formulas (6.1)/(6.2) with CVC5 and Bitwuzla; those
+native solvers are unavailable offline, so this package provides
+self-contained replacements (see DESIGN.md §4):
+
+* :class:`repro.sat.cdcl.CdclSolver` — conflict-driven clause learning with
+  two-literal watching, VSIDS, 1-UIP learning, phase saving, Luby restarts
+  and clause-database reduction (the Bitwuzla stand-in);
+* :class:`repro.sat.dpll.DpllSolver` — plain DPLL with unit propagation
+  (the ablation baseline);
+* :func:`repro.sat.brute.brute_force_solve` — exhaustive enumeration, used
+  as the differential-testing oracle.
+"""
+
+from repro.sat.result import SatResult, SatStats
+from repro.sat.cdcl import CdclSolver
+from repro.sat.dpll import DpllSolver
+from repro.sat.brute import brute_force_solve
+
+__all__ = [
+    "CdclSolver",
+    "DpllSolver",
+    "SatResult",
+    "SatStats",
+    "brute_force_solve",
+]

@@ -1,0 +1,366 @@
+"""Conflict-driven clause learning SAT solver.
+
+A compact MiniSat-style engine: two-literal watching, VSIDS branching with
+exponential decay, first-UIP conflict analysis, non-chronological
+backjumping, phase saving, Luby restarts and activity-based learned-clause
+deletion.  It stands in for the native bit-blasting solvers the paper uses
+(DESIGN.md §4) and is the default backend of
+:func:`repro.verify.boolean.check_formula`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+from repro.boolfn.cnf import Cnf
+from repro.errors import SolverError
+from repro.sat.result import SatResult, SatStats
+
+_RESTART_BASE = 128
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence 1 1 2 1 1 2 4 ... (0-indexed)."""
+    size, exponent = 1, 0
+    while size < index + 1:
+        exponent += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        exponent -= 1
+        index %= size
+    return 1 << exponent
+
+
+class _Clause:
+    """A clause with an activity score; literals[0:2] are watched."""
+
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: List[int], learned: bool):
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+class CdclSolver:
+    """Solve one CNF instance; instances are single-use.
+
+    Parameters
+    ----------
+    cnf:
+        The instance (from :mod:`repro.boolfn.cnf` or hand-built).
+    max_conflicts:
+        Optional conflict budget; exceeding it raises :class:`SolverError`
+        so benchmark sweeps fail loudly rather than silently hang.
+    """
+
+    def __init__(self, cnf: Cnf, max_conflicts: Optional[int] = None):
+        self.num_vars = cnf.num_vars
+        self.max_conflicts = max_conflicts
+        self.stats = SatStats()
+
+        self._assign: List[int] = [0] * (self.num_vars + 1)  # 0 / +1 / -1
+        self._level: List[int] = [0] * (self.num_vars + 1)
+        self._reason: List[Optional[_Clause]] = [None] * (self.num_vars + 1)
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+
+        self._activity: List[float] = [0.0] * (self.num_vars + 1)
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._heap: List[tuple] = []  # (-activity, var), lazy deletion
+        self._saved_phase: List[bool] = [False] * (self.num_vars + 1)
+
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+
+        self._clauses: List[_Clause] = []
+        self._learned: List[_Clause] = []
+        self._watches: Dict[int, List[_Clause]] = {}
+
+        self._ok = True
+        for raw in cnf.clauses:
+            if not self._add_clause(sorted(set(raw), key=abs), learned=False):
+                self._ok = False
+                break
+        for var in range(1, self.num_vars + 1):
+            heapq.heappush(self._heap, (0.0, var))
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def solve(self) -> SatResult:
+        """Run the CDCL loop to completion."""
+        if not self._ok:
+            return SatResult(False, stats=self.stats)
+        if self._propagate() is not None:
+            return SatResult(False, stats=self.stats)
+
+        restart_index = 0
+        conflicts_until_restart = _RESTART_BASE * _luby(restart_index)
+        conflicts_since_restart = 0
+        max_learned = max(2000, 2 * len(self._clauses))
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self.max_conflicts and self.stats.conflicts > self.max_conflicts:
+                    raise SolverError(
+                        f"conflict budget {self.max_conflicts} exhausted"
+                    )
+                if self._decision_level() == 0:
+                    return SatResult(False, stats=self.stats)
+                learnt, backjump = self._analyze(conflict)
+                self._backtrack(backjump)
+                self._attach_learned(learnt)
+                self._decay_activities()
+            else:
+                if conflicts_since_restart >= conflicts_until_restart:
+                    restart_index += 1
+                    conflicts_until_restart = _RESTART_BASE * _luby(restart_index)
+                    conflicts_since_restart = 0
+                    self.stats.restarts += 1
+                    self._backtrack(0)
+                    continue
+                if len(self._learned) > max_learned:
+                    self._reduce_learned()
+                    max_learned = int(max_learned * 1.3)
+                var = self._pick_branch_var()
+                if var is None:
+                    model = {
+                        v: self._assign[v] > 0
+                        for v in range(1, self.num_vars + 1)
+                    }
+                    return SatResult(True, model=model, stats=self.stats)
+                self.stats.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                lit = var if self._saved_phase[var] else -var
+                self._enqueue(lit, None)
+
+    # ------------------------------------------------------------------ #
+    # Clause management
+    # ------------------------------------------------------------------ #
+
+    def _add_clause(self, literals: List[int], learned: bool) -> bool:
+        """Attach a clause at level 0. Returns False on immediate conflict."""
+        literals = [l for l in literals if self._value(l) != -1 or learned]
+        if not learned:
+            if any(self._value(l) == 1 for l in literals):
+                return True
+            if any(-l in literals for l in literals):
+                return True  # tautology
+            if not literals:
+                return False
+            if len(literals) == 1:
+                return self._enqueue(literals[0], None)
+        clause = _Clause(literals, learned)
+        if len(literals) >= 2:
+            (self._clauses if not learned else self._learned).append(clause)
+            self._watch(clause.literals[0], clause)
+            self._watch(clause.literals[1], clause)
+        return True
+
+    def _watch(self, lit: int, clause: _Clause) -> None:
+        self._watches.setdefault(-lit, []).append(clause)
+
+    def _attach_learned(self, learnt: List[int]) -> None:
+        """Install a learned clause; learnt[0] is the asserting literal."""
+        self.stats.learned_clauses += 1
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        clause = _Clause(learnt, learned=True)
+        clause.activity = self._cla_inc
+        self._learned.append(clause)
+        self._watch(learnt[0], clause)
+        self._watch(learnt[1], clause)
+        self._enqueue(learnt[0], clause)
+
+    def _reduce_learned(self) -> None:
+        """Drop the less active half of the learned clauses."""
+        self._learned.sort(key=lambda c: c.activity)
+        half = len(self._learned) // 2
+        locked = {
+            id(self._reason[abs(l)])
+            for l in self._trail
+            if self._reason[abs(l)] is not None
+        }
+        dropped_ids = {
+            id(c)
+            for c in self._learned[:half]
+            if id(c) not in locked and len(c.literals) > 2
+        }
+        self._learned = [c for c in self._learned if id(c) not in dropped_ids]
+        for key in self._watches:
+            self._watches[key] = [
+                c for c in self._watches[key] if id(c) not in dropped_ids
+            ]
+
+    # ------------------------------------------------------------------ #
+    # Assignment and propagation
+    # ------------------------------------------------------------------ #
+
+    def _value(self, lit: int) -> int:
+        v = self._assign[abs(lit)]
+        return v if lit > 0 else -v
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        if self._value(lit) != 0:
+            return self._value(lit) == 1
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._saved_phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Boolean constraint propagation; returns a conflict clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            watchers = self._watches.get(lit)
+            if not watchers:
+                continue
+            kept: List[_Clause] = []
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                i += 1
+                lits = clause.literals
+                false_lit = -lit
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                if self._value(lits[0]) == 1:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != -1:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watch(lits[1], clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if self._value(lits[0]) == -1:
+                    kept.extend(watchers[i:])
+                    self._watches[lit] = kept
+                    self._qhead = len(self._trail)
+                    return clause
+                self._enqueue(lits[0], clause)
+            self._watches[lit] = kept
+        return None
+
+    def _backtrack(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        boundary = self._trail_lim[target_level]
+        for lit in reversed(self._trail[boundary:]):
+            var = abs(lit)
+            self._assign[var] = 0
+            self._reason[var] = None
+            heapq.heappush(self._heap, (-self._activity[var], var))
+        del self._trail[boundary:]
+        del self._trail_lim[target_level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------ #
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------ #
+
+    def _analyze(self, conflict: _Clause):
+        learnt: List[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        p: Optional[int] = None
+        index = len(self._trail) - 1
+        current_level = self._decision_level()
+        reason_lits = conflict.literals
+
+        while True:
+            if conflict is not None and conflict.learned:
+                conflict.activity += self._cla_inc
+            for q in reason_lits:
+                if p is not None and q == p:
+                    continue
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            p_lit = self._trail[index]
+            index -= 1
+            counter -= 1
+            seen[abs(p_lit)] = False
+            if counter == 0:
+                p = -p_lit
+                break
+            p = p_lit
+            conflict = self._reason[abs(p_lit)]
+            reason_lits = conflict.literals
+
+        learnt = [p] + learnt
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest level in the learned clause.
+        levels = sorted((self._level[abs(l)] for l in learnt[1:]), reverse=True)
+        backjump = levels[0]
+        # Put a literal of the backjump level in watch position 1.
+        for k in range(1, len(learnt)):
+            if self._level[abs(learnt[k])] == backjump:
+                learnt[1], learnt[k] = learnt[k], learnt[1]
+                break
+        return learnt, backjump
+
+    # ------------------------------------------------------------------ #
+    # Heuristics
+    # ------------------------------------------------------------------ #
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._heap, (-self._activity[var], var))
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
+        if self._cla_inc > 1e100:
+            for clause in self._learned:
+                clause.activity *= 1e-100
+            self._cla_inc *= 1e-100
+
+    def _pick_branch_var(self) -> Optional[int]:
+        while self._heap:
+            _, var = heapq.heappop(self._heap)
+            if self._assign[var] == 0:
+                return var
+        for var in range(1, self.num_vars + 1):
+            if self._assign[var] == 0:
+                return var
+        return None
+
+
+def solve_cnf(cnf: Cnf, max_conflicts: Optional[int] = None) -> SatResult:
+    """Convenience wrapper: build a solver for ``cnf`` and run it."""
+    return CdclSolver(cnf, max_conflicts=max_conflicts).solve()

@@ -1,0 +1,119 @@
+"""Plain DPLL solver: unit propagation + chronological backtracking.
+
+Deliberately minimal — no learning, no watched literals, no restarts.
+It exists as the ablation baseline (DESIGN.md §5, A2): the gap between
+:class:`DpllSolver` and :class:`repro.sat.cdcl.CdclSolver` on the paper's
+verification formulas quantifies what clause learning buys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.boolfn.cnf import Cnf
+from repro.errors import SolverError
+from repro.sat.result import SatResult, SatStats
+
+
+class DpllSolver:
+    """Iterative DPLL over a CNF instance (single use)."""
+
+    def __init__(self, cnf: Cnf, max_decisions: Optional[int] = None):
+        self.num_vars = cnf.num_vars
+        self.max_decisions = max_decisions
+        self.stats = SatStats()
+        self._clauses = [list(dict.fromkeys(c)) for c in cnf.clauses]
+        self._occurrences: Dict[int, List[int]] = {}
+        for index, clause in enumerate(self._clauses):
+            for lit in clause:
+                self._occurrences.setdefault(lit, []).append(index)
+
+    def solve(self) -> SatResult:
+        """Run DPLL; returns SAT with a model or UNSAT."""
+        assign: Dict[int, bool] = {}
+        # Trail of (literal, was_decision) used for chronological undo.
+        trail: List[Tuple[int, bool]] = []
+
+        def value(lit: int) -> Optional[bool]:
+            var = abs(lit)
+            if var not in assign:
+                return None
+            return assign[var] == (lit > 0)
+
+        def set_literal(lit: int, decision: bool) -> bool:
+            assign[abs(lit)] = lit > 0
+            trail.append((lit, decision))
+            return True
+
+        def propagate() -> bool:
+            """Saturate unit propagation; False on conflict."""
+            changed = True
+            while changed:
+                changed = False
+                for clause in self._clauses:
+                    unassigned = None
+                    satisfied = False
+                    count = 0
+                    for lit in clause:
+                        v = value(lit)
+                        if v is True:
+                            satisfied = True
+                            break
+                        if v is None:
+                            unassigned = lit
+                            count += 1
+                    if satisfied:
+                        continue
+                    if count == 0:
+                        return False
+                    if count == 1:
+                        self.stats.propagations += 1
+                        set_literal(unassigned, decision=False)
+                        changed = True
+            return True
+
+        def next_var() -> Optional[int]:
+            for var in range(1, self.num_vars + 1):
+                if var not in assign:
+                    return var
+            return None
+
+        def backtrack() -> Optional[int]:
+            """Undo to the last decision; return its literal (to be flipped)."""
+            while trail:
+                lit, decision = trail.pop()
+                del assign[abs(lit)]
+                if decision:
+                    return lit
+            return None
+
+        # Main loop: decide positive phase first, flip on conflict.
+        pending_flip: Optional[int] = None
+        while True:
+            if pending_flip is None:
+                ok = propagate()
+            else:
+                ok = set_literal(pending_flip, decision=False) and propagate()
+                pending_flip = None
+            if not ok:
+                flipped = backtrack()
+                if flipped is None:
+                    return SatResult(False, stats=self.stats)
+                self.stats.conflicts += 1
+                pending_flip = -flipped
+                continue
+            var = next_var()
+            if var is None:
+                model = {v: assign[v] for v in range(1, self.num_vars + 1)}
+                return SatResult(True, model=model, stats=self.stats)
+            self.stats.decisions += 1
+            if self.max_decisions and self.stats.decisions > self.max_decisions:
+                raise SolverError(
+                    f"decision budget {self.max_decisions} exhausted"
+                )
+            set_literal(var, decision=True)
+
+
+def solve_cnf(cnf: Cnf, max_decisions: Optional[int] = None) -> SatResult:
+    """Convenience wrapper mirroring :func:`repro.sat.cdcl.solve_cnf`."""
+    return DpllSolver(cnf, max_decisions=max_decisions).solve()

@@ -1,0 +1,45 @@
+"""Result and statistics types shared by all SAT backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SatStats:
+    """Search statistics, reported by the benchmark harness."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"decisions={self.decisions} propagations={self.propagations} "
+            f"conflicts={self.conflicts} restarts={self.restarts} "
+            f"learned={self.learned_clauses}"
+        )
+
+
+@dataclass
+class SatResult:
+    """Outcome of a satisfiability query.
+
+    ``model`` maps DIMACS variable index -> truth value and is present
+    exactly when ``is_sat`` — a satisfying model of formula (6.1)/(6.2) is
+    a concrete counterexample to safe uncomputation.
+    """
+
+    is_sat: bool
+    model: Optional[Dict[int, bool]] = None
+    stats: SatStats = field(default_factory=SatStats)
+
+    @property
+    def is_unsat(self) -> bool:
+        return not self.is_sat
+
+    def __str__(self) -> str:
+        return "sat" if self.is_sat else "unsat"

@@ -1,0 +1,31 @@
+"""Denotational semantics of QBorrow — system S6.
+
+Implements Figure 4.3: every program denotes a *set* of quantum
+operations on the state space of the qubit universe.  Nondeterminism
+(which idle qubit a ``borrow`` grabs, and the scheduler of loop
+iterations) becomes set union; measurement branching becomes operation
+summation — the paper's key contrast between the two kinds of choice.
+"""
+
+from repro.semantics.denotational import Interpretation, denote
+from repro.semantics.termination import (
+    TerminationVerdict,
+    loop_terminates_almost_surely,
+    program_loops_terminate,
+)
+from repro.semantics.equivalence import (
+    operations_equal,
+    programs_equivalent,
+    set_of_operations_equal,
+)
+
+__all__ = [
+    "Interpretation",
+    "TerminationVerdict",
+    "denote",
+    "loop_terminates_almost_surely",
+    "operations_equal",
+    "program_loops_terminate",
+    "programs_equivalent",
+    "set_of_operations_equal",
+]

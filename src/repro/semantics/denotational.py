@@ -1,0 +1,239 @@
+"""Executable denotational semantics (Figure 4.3).
+
+An :class:`Interpretation` fixes the finite qubit universe and evaluates
+``⟦S⟧`` as an explicit list of :class:`~repro.channels.QuantumOperation`.
+
+Two sources of infinity are made finite:
+
+* **while loops** — the paper's semantics is a countable sum over
+  iteration counts, converging in the CP order.  We truncate at
+  ``max_while_iterations`` and (optionally) verify convergence by
+  comparing the last two prefix sums; the truncated prefix sum is a
+  CP-below approximation of the true semantics.
+* **schedulers** — a loop whose body is itself nondeterministic has one
+  choice per iteration; we enumerate scheduler prefixes up to
+  ``max_operations`` results and fail loudly beyond that.
+
+Deduplication (operations compared as linear maps) keeps the sets small;
+for a *safe* program the borrow unions collapse to singletons exactly as
+Theorem 5.5 predicts.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Sequence
+
+from repro.channels.operation import QuantumOperation, dedup_operations
+from repro.channels.primitives import (
+    initialization,
+    measurement_branch,
+    unitary_operation,
+)
+from repro.errors import SemanticsError
+from repro.lang.ast import (
+    Borrow,
+    If,
+    Init,
+    Measurement,
+    Seq,
+    Skip,
+    Statement,
+    UnitaryStmt,
+    While,
+    check_well_formed,
+    idle,
+    substitute,
+)
+
+
+class Interpretation:
+    """Evaluator for ``⟦S⟧`` over a fixed universe of named qubits."""
+
+    def __init__(
+        self,
+        universe: Sequence[str],
+        max_while_iterations: int = 24,
+        max_operations: int = 512,
+        check_loop_convergence: bool = False,
+        convergence_atol: float = 1e-6,
+    ):
+        self.universe = list(universe)
+        if len(set(self.universe)) != len(self.universe):
+            raise SemanticsError("duplicate qubits in the universe")
+        self.num_qubits = len(self.universe)
+        if self.num_qubits > 10:
+            raise SemanticsError(
+                "dense semantics is exponential; universes above 10 qubits "
+                "are rejected — use the Section 6 verifiers instead"
+            )
+        self._index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.universe)
+        }
+        self.max_while_iterations = max_while_iterations
+        self.max_operations = max_operations
+        self.check_loop_convergence = check_loop_convergence
+        self.convergence_atol = convergence_atol
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def denote(self, stmt: Statement) -> List[QuantumOperation]:
+        """Evaluate ``⟦stmt⟧`` as a deduplicated list of operations.
+
+        An empty list is the paper's *stuck* program: some ``borrow``
+        found no idle qubit.
+        """
+        check_well_formed(stmt, self.universe)
+        return dedup_operations(self._denote(stmt))
+
+    def positions(self, qubits: Sequence[str]) -> List[int]:
+        """Wire indices of named qubits."""
+        try:
+            return [self._index[q] for q in qubits]
+        except KeyError as missing:
+            raise SemanticsError(
+                f"qubit {missing.args[0]!r} is not in the universe"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # Structural cases
+    # ------------------------------------------------------------------ #
+
+    def _denote(self, stmt: Statement) -> List[QuantumOperation]:
+        if isinstance(stmt, Skip):
+            return [QuantumOperation.identity(self.num_qubits)]
+        if isinstance(stmt, Init):
+            return [initialization(self._index[stmt.qubit], self.num_qubits)]
+        if isinstance(stmt, UnitaryStmt):
+            return [
+                unitary_operation(
+                    stmt.local_matrix(),
+                    self.positions(stmt.qubits),
+                    self.num_qubits,
+                )
+            ]
+        if isinstance(stmt, Seq):
+            return self._denote_seq(stmt)
+        if isinstance(stmt, If):
+            return self._denote_if(stmt)
+        if isinstance(stmt, While):
+            return self._denote_while(stmt)
+        if isinstance(stmt, Borrow):
+            return self._denote_borrow(stmt)
+        raise SemanticsError(f"unknown statement {stmt!r}")
+
+    def _denote_seq(self, stmt: Seq) -> List[QuantumOperation]:
+        current = [QuantumOperation.identity(self.num_qubits)]
+        for item in stmt.items:
+            step = dedup_operations(self._denote(item))
+            if not step or not current:
+                return []
+            self._guard_size(len(current) * len(step))
+            current = dedup_operations(
+                later @ earlier for earlier in current for later in step
+            )
+        return current
+
+    def _branches(self, measurement: Measurement):
+        wires = self.positions(measurement.qubits)
+        e_true = measurement_branch(measurement.m_true, wires, self.num_qubits)
+        e_false = measurement_branch(measurement.m_false, wires, self.num_qubits)
+        return e_true, e_false
+
+    def _denote_if(self, stmt: If) -> List[QuantumOperation]:
+        e_true, e_false = self._branches(stmt.measurement)
+        then_ops = dedup_operations(self._denote(stmt.then_branch))
+        else_ops = dedup_operations(self._denote(stmt.else_branch))
+        if not then_ops or not else_ops:
+            return []
+        self._guard_size(len(then_ops) * len(else_ops))
+        return dedup_operations(
+            (e1 @ e_true) + (e2 @ e_false)
+            for e1 in then_ops
+            for e2 in else_ops
+        )
+
+    def _denote_while(self, stmt: While) -> List[QuantumOperation]:
+        e_true, e_false = self._branches(stmt.measurement)
+        body_ops = dedup_operations(self._denote(stmt.body))
+        if not body_ops:
+            return []
+        results: List[QuantumOperation] = []
+        depth = self.max_while_iterations
+        # A scheduler fixes one body operation per iteration; enumerate
+        # scheduler prefixes of length `depth` (bounded by max_operations).
+        self._guard_size(len(body_ops) ** min(depth, 8) if len(body_ops) > 1 else 1)
+        for scheduler in self._schedulers(body_ops, depth):
+            total = e_false  # n = 0 term: measurement exits immediately
+            prefix = e_true
+            last_term = None
+            for iteration in range(depth):
+                prefix = scheduler[iteration] @ prefix
+                last_term = e_false @ prefix
+                total = total + last_term
+                prefix = e_true @ prefix
+            if self.check_loop_convergence and last_term is not None:
+                residue = _superoperator_norm(last_term)
+                if residue > self.convergence_atol:
+                    raise SemanticsError(
+                        f"while loop not converged after "
+                        f"{self.max_while_iterations} iterations "
+                        f"(last term norm {residue:.2e}); raise "
+                        f"max_while_iterations"
+                    )
+            results.append(total)
+        return dedup_operations(results)
+
+    def _schedulers(self, body_ops, depth: int):
+        if len(body_ops) == 1:
+            yield [body_ops[0]] * depth
+            return
+        count = 0
+        for choice in product(range(len(body_ops)), repeat=depth):
+            count += 1
+            if count > self.max_operations:
+                raise SemanticsError(
+                    f"scheduler enumeration exceeded {self.max_operations}; "
+                    f"the loop body has {len(body_ops)} nondeterministic "
+                    f"executions"
+                )
+            yield [body_ops[i] for i in choice]
+
+    def _guard_size(self, candidate: int) -> None:
+        if candidate > self.max_operations:
+            raise SemanticsError(
+                f"operation-set size {candidate} exceeds the cap "
+                f"{self.max_operations}"
+            )
+
+    def _denote_borrow(self, stmt: Borrow) -> List[QuantumOperation]:
+        pool = idle(stmt.body, self.universe)
+        results: List[QuantumOperation] = []
+        for qubit in sorted(pool):
+            instantiated = substitute(stmt.body, {stmt.placeholder: qubit})
+            results.extend(self._denote(instantiated))
+            self._guard_size(len(results))
+        return dedup_operations(results)
+
+
+def _superoperator_norm(operation: QuantumOperation) -> float:
+    import numpy as np
+
+    return float(np.abs(operation.superoperator()).sum())
+
+
+def denote(
+    stmt: Statement,
+    universe: Sequence[str],
+    max_while_iterations: int = 24,
+    max_operations: int = 512,
+) -> List[QuantumOperation]:
+    """One-shot helper: ``⟦stmt⟧`` over ``universe``."""
+    interp = Interpretation(
+        universe,
+        max_while_iterations=max_while_iterations,
+        max_operations=max_operations,
+    )
+    return interp.denote(stmt)

@@ -1,0 +1,56 @@
+"""Equality of operations, operation sets, and programs.
+
+Program equivalence (used by Theorem 5.5's "equivalent to a deterministic
+program") is equality of the denoted operation *sets* as sets of linear
+maps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.channels.operation import QuantumOperation, dedup_operations
+from repro.lang.ast import Statement
+from repro.semantics.denotational import Interpretation
+
+
+def operations_equal(
+    a: QuantumOperation, b: QuantumOperation, atol: float = 1e-8
+) -> bool:
+    """Equality as linear maps (superoperator comparison)."""
+    return a.close_to(b, atol=atol)
+
+
+def set_of_operations_equal(
+    left: Sequence[QuantumOperation],
+    right: Sequence[QuantumOperation],
+    atol: float = 1e-8,
+) -> bool:
+    """Set equality of operation collections, up to numerical tolerance."""
+    left = dedup_operations(left)
+    right = dedup_operations(right)
+    if len(left) != len(right):
+        return False
+    remaining: List[QuantumOperation] = list(right)
+    for op in left:
+        for index, candidate in enumerate(remaining):
+            if op.close_to(candidate, atol=atol):
+                remaining.pop(index)
+                break
+        else:
+            return False
+    return True
+
+
+def programs_equivalent(
+    first: Statement,
+    second: Statement,
+    universe: Sequence[str],
+    max_while_iterations: int = 24,
+    atol: float = 1e-8,
+) -> bool:
+    """``⟦first⟧ = ⟦second⟧`` over the given universe."""
+    interp = Interpretation(universe, max_while_iterations=max_while_iterations)
+    return set_of_operations_equal(
+        interp.denote(first), interp.denote(second), atol=atol
+    )

@@ -1,0 +1,127 @@
+"""Almost-sure termination of measurement-guarded loops.
+
+Section 7 notes that multi-program borrowing needs *termination
+analysis* on top of safe uncomputation: a program that borrows a dirty
+qubit and never releases it blocks the lender forever.  This module
+provides the standard spectral criterion for the paper's while loops
+(cf. Li & Ying 2017, cited as [18]):
+
+For ``while M[q̄] do S end`` with deterministic body semantics ``E_S``,
+one iteration that *stays* in the loop applies ``E_stay = E_S ∘ E_T``.
+The probability of still being inside after ``k`` iterations from state
+``rho`` is ``Tr(E_stay^k(rho))``, so the loop terminates almost surely
+from every input iff ``Tr(E_stay^k(rho)) -> 0``, which holds iff the
+spectral radius of ``E_stay``'s superoperator is strictly below 1.
+When it equals 1 there is surviving mass: a peripheral eigenoperator
+yields a witness state that never leaves the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SemanticsError
+from repro.lang.ast import While
+from repro.semantics.denotational import Interpretation
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class TerminationVerdict:
+    """Outcome of the spectral termination check."""
+
+    terminates: bool
+    spectral_radius: float
+    witness: Optional[np.ndarray] = None  # a state that never exits
+
+    def __str__(self) -> str:
+        status = "terminates a.s." if self.terminates else "may diverge"
+        return f"{status} (spectral radius {self.spectral_radius:.6f})"
+
+
+def loop_terminates_almost_surely(
+    loop: While,
+    universe: Sequence[str],
+    interpretation: Optional[Interpretation] = None,
+) -> TerminationVerdict:
+    """Spectral-radius criterion for a while loop.
+
+    Requires the body's semantics to be deterministic (a single
+    operation); nondeterministic bodies would need a joint spectral
+    radius over all schedulers, which is out of scope here and raises.
+    """
+    interp = interpretation or Interpretation(universe)
+    body_ops = interp.denote(loop.body)
+    if len(body_ops) != 1:
+        raise SemanticsError(
+            f"termination analysis needs a deterministic body; this one "
+            f"has {len(body_ops)} executions"
+        )
+    wires = interp.positions(loop.measurement.qubits)
+    from repro.channels.primitives import measurement_branch
+
+    e_true = measurement_branch(
+        loop.measurement.m_true, wires, interp.num_qubits
+    )
+    stay = body_ops[0] @ e_true
+    matrix = stay.superoperator()
+    eigenvalues = np.linalg.eigvals(matrix)
+    radius = float(np.max(np.abs(eigenvalues)))
+    if radius < 1.0 - 1e-7:
+        return TerminationVerdict(True, radius)
+    witness = _surviving_state(matrix, interp.num_qubits)
+    return TerminationVerdict(False, radius, witness)
+
+
+def _surviving_state(matrix: np.ndarray, num_qubits: int) -> Optional[np.ndarray]:
+    """Extract a density operator with non-vanishing loop mass.
+
+    Averages ``E_stay^k`` applied to the eigen-operator of a peripheral
+    eigenvalue; the PSD part of the result survives the loop.
+    """
+    dim = 2**num_qubits
+    values, vectors = np.linalg.eig(matrix)
+    order = np.argsort(-np.abs(values))
+    for index in order:
+        if abs(values[index]) < 1.0 - 1e-7:
+            break
+        candidate = vectors[:, index].reshape(dim, dim)
+        hermitian = (candidate + candidate.conj().T) / 2.0
+        eigvals, eigvecs = np.linalg.eigh(hermitian)
+        top = np.argmax(np.abs(eigvals))
+        state = np.outer(eigvecs[:, top], eigvecs[:, top].conj())
+        trace = state.trace().real
+        if trace > _TOL:
+            return state / trace
+    return None
+
+
+def program_loops_terminate(
+    stmt,
+    universe: Sequence[str],
+    interpretation: Optional[Interpretation] = None,
+) -> bool:
+    """Check every while loop inside ``stmt`` terminates almost surely."""
+    from repro.lang.ast import Borrow, If, Seq
+
+    interp = interpretation or Interpretation(universe)
+
+    def walk(node) -> bool:
+        if isinstance(node, While):
+            verdict = loop_terminates_almost_surely(
+                node, interp.universe, interpretation=interp
+            )
+            return verdict.terminates and walk(node.body)
+        if isinstance(node, Seq):
+            return all(walk(item) for item in node.items)
+        if isinstance(node, If):
+            return walk(node.then_branch) and walk(node.else_branch)
+        if isinstance(node, Borrow):
+            return walk(node.body)
+        return True
+
+    return walk(stmt)

@@ -1,0 +1,91 @@
+"""Safe-uncomputation verification — system S10, the paper's contribution.
+
+Checkers, from most semantic to most scalable:
+
+* :mod:`repro.verify.unitary` — Definition 3.1 on explicit unitaries;
+* :mod:`repro.verify.channel` — Definition 5.1 on quantum operations and
+  whole programs (plus the Theorem 5.5 determinism test);
+* :mod:`repro.verify.basis` — the finite-state refinements of Theorem 6.1
+  (conditions 2 and 3);
+* :mod:`repro.verify.classical` — Theorem 6.2's two-state criterion,
+  decided exactly by truth-table enumeration (the small-scale oracle);
+* :mod:`repro.verify.boolean` — the Section 6.1 reduction: tracked Boolean
+  formulas, formulas (6.1)/(6.2), SAT and BDD backends (Theorem 6.4);
+* :mod:`repro.verify.booltrace` — the Figure 6.1 construction trace;
+* :mod:`repro.verify.pipeline` — end-to-end circuit/program verification
+  producing per-qubit verdicts with replayable counterexamples.
+"""
+
+from repro.verify.unitary import factor_unitary, unitary_acts_identity_on
+from repro.verify.channel import (
+    borrow_statement_safe,
+    operation_acts_identity_on,
+    program_is_safe,
+    program_safely_uncomputes,
+)
+from repro.verify.basis import (
+    restores_basis_states,
+    preserves_bell_entanglement,
+)
+from repro.verify.classical import classical_safe_uncomputation
+from repro.verify.boolean import (
+    BooleanCheckOutcome,
+    TrackedFormulas,
+    formula_61,
+    formula_62,
+    make_checker,
+    track_circuit,
+)
+from repro.verify.booltrace import formula_trace
+from repro.verify.clean import check_clean_uncomputation, verify_clean_wires
+from repro.verify.demonstrate import (
+    ViolationDemo,
+    demonstrate,
+    demonstrate_entanglement_violation,
+    demonstrate_plus_violation,
+    demonstrate_zero_violation,
+)
+from repro.verify.pipeline import (
+    Counterexample,
+    QubitVerdict,
+    VerificationReport,
+    verify_circuit,
+)
+from repro.verify.program import (
+    BorrowVerdict,
+    ProgramSafetyReport,
+    verify_borrows_in_program,
+)
+
+__all__ = [
+    "BooleanCheckOutcome",
+    "BorrowVerdict",
+    "Counterexample",
+    "ProgramSafetyReport",
+    "QubitVerdict",
+    "TrackedFormulas",
+    "VerificationReport",
+    "ViolationDemo",
+    "borrow_statement_safe",
+    "check_clean_uncomputation",
+    "classical_safe_uncomputation",
+    "demonstrate",
+    "demonstrate_entanglement_violation",
+    "demonstrate_plus_violation",
+    "demonstrate_zero_violation",
+    "factor_unitary",
+    "formula_61",
+    "formula_62",
+    "formula_trace",
+    "make_checker",
+    "operation_acts_identity_on",
+    "preserves_bell_entanglement",
+    "program_is_safe",
+    "program_safely_uncomputes",
+    "restores_basis_states",
+    "track_circuit",
+    "unitary_acts_identity_on",
+    "verify_borrows_in_program",
+    "verify_circuit",
+    "verify_clean_wires",
+]

@@ -1,0 +1,108 @@
+"""The finite-state refinements of Theorem 6.1.
+
+Condition 2 (*state restoration*): check (5.1) only for the five kets
+``|0>, |1>, |+>, |+i>, |->`` on the dirty qubit and product states drawn
+from the operator basis ``B`` on the rest.
+
+Condition 3 (*entanglement preservation*): adjoin a single hypothetical
+qubit, put a Bell pair across (dirty qubit, hypothetical qubit), again
+with ``B``-basis products elsewhere, and check the Bell marginal is
+untouched.
+
+Both are exponential in the register size (4^(n-1) products) — they are
+*test oracles* validating the scalable Section 6 path, exactly the role
+they play in the paper's development.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.channels.operation import QuantumOperation
+from repro.errors import QubitError
+from repro.linalg.kron import kron_all, reorder_qubits
+from repro.linalg.partial_trace import partial_trace
+from repro.linalg.states import BASIS_B, VERIFICATION_KETS, bell_phi, density
+
+_TRACE_FLOOR = 1e-12
+
+
+def _product_state(
+    factors_by_position: List[np.ndarray],
+) -> np.ndarray:
+    return kron_all(factors_by_position)
+
+
+def _basis_products(
+    num_factors: int,
+) -> Iterable[Tuple[np.ndarray, ...]]:
+    return product(BASIS_B, repeat=num_factors)
+
+
+def restores_basis_states(
+    operation: QuantumOperation, qubit: int, atol: float = 1e-8
+) -> bool:
+    """Theorem 6.1, condition 2, for one quantum operation.
+
+    For every ``rho' ∈ B^{⊗(n-1)}`` and ``|psi>`` among the five
+    verification kets, check
+    ``E(rho' ⊗ |psi><psi|_q)|_q = |psi><psi|`` (vacuous when the output
+    trace vanishes).
+    """
+    n = operation.num_qubits
+    if not 0 <= qubit < n:
+        raise QubitError(f"qubit {qubit} out of range for {n} qubits")
+    others = [p for p in range(n) if p != qubit]
+    for kets in _basis_products(n - 1):
+        for psi in VERIFICATION_KETS:
+            target = density(psi)
+            factors = [None] * n
+            factors[qubit] = target
+            for position, factor in zip(others, kets):
+                factors[position] = factor
+            rho = _product_state(factors)
+            out = operation(rho)
+            reduced = partial_trace(out, [qubit], n)
+            trace = reduced.trace().real
+            if trace < _TRACE_FLOOR:
+                continue
+            if not np.allclose(reduced / trace, target, atol=atol):
+                return False
+    return True
+
+
+def preserves_bell_entanglement(
+    operation: QuantumOperation, qubit: int, atol: float = 1e-8
+) -> bool:
+    """Theorem 6.1, condition 3, for one quantum operation.
+
+    Adjoins one hypothetical qubit ``q'`` (wired as the last qubit), sets
+    ``(qubit, q')`` to the Bell state ``|Phi>``, and checks the Bell
+    marginal survives every execution on ``B``-product environments.
+    """
+    n = operation.num_qubits
+    if not 0 <= qubit < n:
+        raise QubitError(f"qubit {qubit} out of range for {n} qubits")
+    extended = operation.tensor(QuantumOperation.identity(1))
+    total = n + 1
+    hypothetical = n
+    bell = density(bell_phi())
+    others = [p for p in range(n) if p != qubit]
+    for kets in _basis_products(n - 1):
+        # Build the state in the order [others..., (qubit, q')] and then
+        # reorder wires to the standard layout.
+        rho_parts = list(kets) + [bell]
+        rho_permuted = kron_all(rho_parts)
+        wire_order = others + [qubit, hypothetical]
+        rho = reorder_qubits(rho_permuted, wire_order)
+        out = extended(rho)
+        reduced = partial_trace(out, [qubit, hypothetical], total)
+        trace = reduced.trace().real
+        if trace < _TRACE_FLOOR:
+            continue
+        if not np.allclose(reduced / trace, bell, atol=atol):
+            return False
+    return True

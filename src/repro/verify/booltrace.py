@@ -1,0 +1,81 @@
+"""The Figure 6.1 construction trace: formulas after every gate.
+
+Running :func:`formula_trace` on the dirty-qubit CCCNOT circuit of
+Figure 1.3 regenerates the paper's table row by row, including the
+``b_a = a`` collapse after the third gate (the ``x ⊕ x = 0``
+simplification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.boolfn.anf import anf_to_string, to_anf
+from repro.boolfn.expr import ExprBuilder
+from repro.circuits.circuit import Circuit
+from repro.errors import VerificationError
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    """Formulas of every qubit after one gate (rendered in ANF)."""
+
+    step: int
+    gate: str
+    formulas: Dict[str, str]
+
+
+def formula_trace(circuit: Circuit, anf_budget: int = 512) -> List[TraceRow]:
+    """Gate-by-gate formula table (row 0 is the initial assignment)."""
+    builder = ExprBuilder()
+    names = {q: circuit.label_of(q) for q in range(circuit.num_qubits)}
+    formulas = {q: builder.var(names[q]) for q in range(circuit.num_qubits)}
+
+    def snapshot(step: int, gate_text: str) -> TraceRow:
+        rendered = {
+            names[q]: anf_to_string(to_anf(formulas[q], budget=anf_budget))
+            for q in range(circuit.num_qubits)
+        }
+        return TraceRow(step, gate_text, rendered)
+
+    rows = [snapshot(0, "initial")]
+    for index, gate in enumerate(circuit.gates, start=1):
+        if not gate.is_classical:
+            raise VerificationError(f"gate {gate} is not classical")
+        if gate.controls:
+            controls = builder.and_([formulas[c] for c in gate.controls])
+            formulas[gate.target] = builder.xor_(
+                [formulas[gate.target], controls]
+            )
+        else:
+            formulas[gate.target] = builder.not_(formulas[gate.target])
+        rows.append(snapshot(index, str(gate)))
+    return rows
+
+
+def render_trace(rows: List[TraceRow]) -> str:
+    """Pretty-print the trace as a fixed-width table."""
+    if not rows:
+        return ""
+    names = list(rows[0].formulas)
+    widths = {
+        name: max(
+            len(name), max(len(row.formulas[name]) for row in rows)
+        )
+        for name in names
+    }
+    gate_width = max(len("gate"), max(len(row.gate) for row in rows))
+    header = "  ".join(
+        ["gate".ljust(gate_width)]
+        + [f"b_{name}".ljust(widths[name] + 2) for name in names]
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                [row.gate.ljust(gate_width)]
+                + [row.formulas[name].ljust(widths[name] + 2) for name in names]
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Definition 5.1: safe uncomputation at the quantum-operation level, and
+its lift to whole programs.
+
+``E = I_q ⊗ E'`` is decided through the Kraus representation: any two
+Kraus representations of a CP map are related by an isometric mixing, so
+*every* Kraus operator of ``I_q ⊗ E'`` has the block form
+``[[B, 0], [0, B]]`` with the dirty qubit's wire in front.  The block test
+of :mod:`repro.verify.unitary` therefore applies operator by operator
+(now allowing the two diagonal blocks to be any equal matrices, not
+unitaries).
+
+The module also implements:
+
+* :func:`program_safely_uncomputes` — Definition 5.1 quantified over all
+  executions ``E ∈ ⟦S⟧``;
+* :func:`borrow_statement_safe` — the paper's "the borrow is safe" notion;
+* :func:`program_is_safe` — all borrows safe, with the Theorem 5.5
+  determinism criterion available as :func:`semantics_is_deterministic`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.channels.operation import QuantumOperation
+from repro.errors import SemanticsError
+from repro.lang.ast import Borrow, If, Seq, Statement, While, idle, substitute
+from repro.semantics.denotational import Interpretation
+from repro.verify.unitary import move_qubit_front
+
+
+def operation_acts_identity_on(
+    operation: QuantumOperation, qubit: int, atol: float = 1e-9
+) -> bool:
+    """Definition 5.1 for one operation: ``E = I_q ⊗ E'``?"""
+    n = operation.num_qubits
+    half = 2 ** (n - 1)
+    for kraus in operation.kraus:
+        moved = move_qubit_front(kraus, qubit, n)
+        a = moved[:half, :half]
+        b = moved[:half, half:]
+        c = moved[half:, :half]
+        d = moved[half:, half:]
+        if not (
+            np.allclose(b, 0.0, atol=atol)
+            and np.allclose(c, 0.0, atol=atol)
+            and np.allclose(a, d, atol=atol)
+        ):
+            return False
+    return True
+
+
+def program_safely_uncomputes(
+    stmt: Statement,
+    qubit: str,
+    universe: Sequence[str],
+    interpretation: Optional[Interpretation] = None,
+    atol: float = 1e-9,
+) -> bool:
+    """Definition 5.1: every execution of ``stmt`` is identity on ``qubit``.
+
+    A stuck program (empty semantics) vacuously safely uncomputes every
+    qubit, matching the universal quantification.
+    """
+    interp = interpretation or Interpretation(universe)
+    if qubit not in interp.universe:
+        raise SemanticsError(f"qubit {qubit!r} is not in the universe")
+    wire = interp.universe.index(qubit)
+    return all(
+        operation_acts_identity_on(op, wire, atol=atol)
+        for op in interp.denote(stmt)
+    )
+
+
+def borrow_statement_safe(
+    stmt: Borrow,
+    universe: Sequence[str],
+    interpretation: Optional[Interpretation] = None,
+    atol: float = 1e-9,
+) -> bool:
+    """Is ``borrow a; S; release a`` safe?
+
+    Following Definition 5.1's reading: for every candidate instantiation
+    ``q ∈ idle(S)``, the instantiated body ``S[q/a]`` must safely
+    uncompute ``q``.
+    """
+    interp = interpretation or Interpretation(universe)
+    pool = idle(stmt.body, interp.universe)
+    for qubit in sorted(pool):
+        body = substitute(stmt.body, {stmt.placeholder: qubit})
+        if not program_safely_uncomputes(
+            body, qubit, interp.universe, interpretation=interp, atol=atol
+        ):
+            return False
+    return True
+
+
+def program_is_safe(
+    stmt: Statement,
+    universe: Sequence[str],
+    interpretation: Optional[Interpretation] = None,
+    atol: float = 1e-9,
+) -> bool:
+    """All ``borrow`` statements in ``stmt`` are safe (Section 5)."""
+    interp = interpretation or Interpretation(universe)
+
+    def walk(node: Statement) -> bool:
+        if isinstance(node, Borrow):
+            return borrow_statement_safe(
+                node, interp.universe, interpretation=interp, atol=atol
+            ) and walk(node.body)
+        if isinstance(node, Seq):
+            return all(walk(item) for item in node.items)
+        if isinstance(node, If):
+            return walk(node.then_branch) and walk(node.else_branch)
+        if isinstance(node, While):
+            return walk(node.body)
+        return True
+
+    return walk(stmt)
+
+
+def semantics_is_deterministic(
+    stmt: Statement,
+    universe: Sequence[str],
+    interpretation: Optional[Interpretation] = None,
+) -> bool:
+    """Theorem 5.5's criterion: ``|⟦S⟧| <= 1``."""
+    interp = interpretation or Interpretation(universe)
+    return len(interp.denote(stmt)) <= 1

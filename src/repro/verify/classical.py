@@ -1,0 +1,83 @@
+"""Theorem 6.2 decided exactly by truth-table enumeration.
+
+For a classical circuit (X / multi-controlled-NOT only) with permutation
+``f``, qubit ``q`` is safely uncomputed iff for every input ``x`` with
+``q``-bit clear::
+
+    f(x) has the q-bit clear            (|0> restoration)
+    f(x) XOR f(x | q-bit) == q-bit      (|+> restoration / independence)
+
+The second line says toggling the dirty qubit's input bit toggles exactly
+that bit of the output.  (``f(x|q)`` having the bit *set* then follows
+from injectivity of ``f``.)
+
+This checker is exponential in the register width; it serves as the
+differential-testing oracle for the SAT/BDD reduction of Theorem 6.4,
+and as the naive-definition baseline that the Figure 1.4 counterexample
+defeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.classical import truth_table
+
+
+@dataclass(frozen=True)
+class ClassicalCheckResult:
+    """Outcome of the Theorem 6.2 brute-force check.
+
+    ``counterexample_input`` is the offending basis input (as a bit list,
+    with the dirty qubit forced to 0); ``failed_condition`` is
+    ``"zero-restoration"`` or ``"plus-restoration"``.
+    """
+
+    safe: bool
+    failed_condition: Optional[str] = None
+    counterexample_input: Optional[List[int]] = None
+
+    def __bool__(self) -> bool:
+        return self.safe
+
+
+def classical_safe_uncomputation(
+    circuit: Circuit, qubit: int
+) -> ClassicalCheckResult:
+    """Run the two Theorem 6.2 conditions over the full truth table."""
+    n = circuit.num_qubits
+    table = truth_table(circuit)
+    bit = 1 << (n - 1 - qubit)
+    for x in range(2**n):
+        if x & bit:
+            continue
+        y0 = int(table[x])
+        y1 = int(table[x | bit])
+        if y0 & bit:
+            return ClassicalCheckResult(
+                False, "zero-restoration", _bits(x, n)
+            )
+        if (y0 ^ y1) != bit:
+            return ClassicalCheckResult(
+                False, "plus-restoration", _bits(x, n)
+            )
+    return ClassicalCheckResult(True)
+
+
+def naive_classical_check(circuit: Circuit, qubit: int) -> bool:
+    """The *insufficient* clean-qubit criterion from Section 1.
+
+    Checks only that every computational-basis input has its ``qubit``
+    bit restored — the condition the Figure 1.4 circuit satisfies while
+    still failing dirty-qubit safety.  Kept as an executable foil.
+    """
+    n = circuit.num_qubits
+    table = truth_table(circuit)
+    bit = 1 << (n - 1 - qubit)
+    return all((int(table[x]) & bit) == (x & bit) for x in range(2**n))
+
+
+def _bits(x: int, n: int) -> List[int]:
+    return [(x >> (n - 1 - i)) & 1 for i in range(n)]

@@ -1,0 +1,127 @@
+"""Turn Boolean counterexamples into *quantum* demonstrations.
+
+A satisfying model of formula (6.1)/(6.2) is a classical input; this
+module runs the corresponding quantum states through the statevector
+simulator and reports fidelities, making the abstract verdict tangible:
+
+* ``zero-restoration`` — start the dirty qubit in ``|0>``: it comes back
+  ``|1>`` (fidelity 0);
+* ``plus-restoration`` — start it in ``|+>``: the reduced output state
+  has fidelity < 1 with ``|+>`` (Theorem 5.3's criterion violated);
+* additionally, the *entanglement* demonstration of Theorem 5.4: put
+  the dirty qubit in a Bell pair with a hypothetical external qubit and
+  watch the Bell fidelity drop — the corruption an unsafe borrow would
+  inflict on a co-tenant program.
+
+These functions power ``examples/entanglement_demo.py`` and the
+integration tests that tie the Section 6 pipeline back to the
+Section 5 semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.statevector import run_statevector
+from repro.errors import VerificationError
+from repro.linalg.partial_trace import reduced_from_ket
+from repro.linalg.states import density, fidelity, ket0, ket1, ket_plus
+from repro.verify.pipeline import Counterexample
+
+_SQRT2 = math.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class ViolationDemo:
+    """Measured effect of running a violating initial state."""
+
+    kind: str
+    fidelity: float  # of the dirty qubit's (or Bell pair's) final state
+    expected: str
+
+    @property
+    def violated(self) -> bool:
+        return self.fidelity < 1.0 - 1e-9
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind}: fidelity with {self.expected} dropped to "
+            f"{self.fidelity:.4f}"
+        )
+
+
+def _product_ket(bits: Sequence[int], qubit: int, local: np.ndarray):
+    """``|b_0 ... local ... b_{n-1}>`` with ``local`` at ``qubit``."""
+    state = np.array([1.0], dtype=complex)
+    for wire, bit in enumerate(bits):
+        factor = local if wire == qubit else (ket1 if bit else ket0)
+        state = np.kron(state, factor)
+    return state
+
+
+def demonstrate_plus_violation(
+    circuit: Circuit, qubit: int, counterexample: Counterexample
+) -> ViolationDemo:
+    """Run the counterexample with the dirty qubit in ``|+>``."""
+    ket = _product_ket(counterexample.input_bits, qubit, ket_plus)
+    out = run_statevector(circuit, ket)
+    reduced = reduced_from_ket(out, [qubit], circuit.num_qubits)
+    fid = fidelity(reduced, density(ket_plus))
+    return ViolationDemo("plus-restoration", fid, "|+>")
+
+
+def demonstrate_zero_violation(
+    circuit: Circuit, qubit: int, counterexample: Counterexample
+) -> ViolationDemo:
+    """Run the counterexample with the dirty qubit in ``|0>``."""
+    bits = list(counterexample.input_bits)
+    bits[qubit] = 0
+    ket = _product_ket(bits, qubit, ket0)
+    out = run_statevector(circuit, ket)
+    reduced = reduced_from_ket(out, [qubit], circuit.num_qubits)
+    fid = fidelity(reduced, density(ket0))
+    return ViolationDemo("zero-restoration", fid, "|0>")
+
+
+def demonstrate_entanglement_violation(
+    circuit: Circuit, qubit: int, counterexample: Counterexample
+) -> ViolationDemo:
+    """Theorem 5.4's reading: Bell-pair corruption.
+
+    Extends the register with one hypothetical external qubit maximally
+    entangled with the dirty qubit and measures the Bell fidelity of
+    their joint state after the circuit.
+    """
+    n = circuit.num_qubits
+    extended = Circuit(n + 1, labels=None)
+    for gate in circuit.gates:
+        extended.append(gate)
+    bits = counterexample.input_bits
+    # Build sum over the Bell branches: (|0>_q|0>_ext + |1>_q|1>_ext)/sqrt2
+    branch0 = np.kron(_product_ket(bits, qubit, ket0), ket0)
+    branch1 = np.kron(_product_ket(bits, qubit, ket1), ket1)
+    ket = (branch0 + branch1) / _SQRT2
+    out = run_statevector(extended, ket)
+    reduced = reduced_from_ket(out, [qubit, n], n + 1)
+    bell = np.zeros(4, dtype=complex)
+    bell[0] = bell[3] = 1.0 / _SQRT2
+    fid = fidelity(reduced, density(bell))
+    return ViolationDemo("entanglement-preservation", fid, "|Phi>")
+
+
+def demonstrate(
+    circuit: Circuit, qubit: int, counterexample: Counterexample
+) -> ViolationDemo:
+    """Dispatch on the counterexample kind."""
+    if counterexample.kind == "zero-restoration":
+        return demonstrate_zero_violation(circuit, qubit, counterexample)
+    if counterexample.kind == "plus-restoration":
+        return demonstrate_plus_violation(circuit, qubit, counterexample)
+    raise VerificationError(
+        f"unknown counterexample kind {counterexample.kind!r}"
+    )

@@ -1,0 +1,59 @@
+"""Definition 3.1: a dirty qubit is safely uncomputed in a circuit iff the
+circuit's unitary factorises as ``U = V ⊗ I_q``.
+
+The check moves the qubit's wire to the front and inspects the four
+blocks: ``U = [[A, B], [C, D]]`` acts as the identity on the front qubit
+iff ``B = C = 0`` and ``A = D``.  Note a *global phase between the blocks
+is not allowed* — ``Z ⊗ V`` alters ``|+>`` and must be rejected, which is
+precisely the Figure 1.4 subtlety.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import QubitError
+
+
+def move_qubit_front(matrix: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+    """Rewrite an ``n``-qubit operator in the basis with ``qubit`` first."""
+    if not 0 <= qubit < num_qubits:
+        raise QubitError(f"qubit {qubit} out of range for {num_qubits} qubits")
+    dim = 2**num_qubits
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (dim, dim):
+        raise QubitError(
+            f"matrix of shape {matrix.shape} is not on {num_qubits} qubits"
+        )
+    order = [qubit] + [p for p in range(num_qubits) if p != qubit]
+    tensor = matrix.reshape([2] * (2 * num_qubits))
+    perm = order + [num_qubits + p for p in order]
+    return tensor.transpose(perm).reshape(dim, dim)
+
+
+def factor_unitary(
+    unitary: np.ndarray, qubit: int, num_qubits: int, atol: float = 1e-9
+) -> Optional[np.ndarray]:
+    """Return ``V`` such that ``U = V ⊗ I_qubit``, or None if impossible."""
+    moved = move_qubit_front(unitary, qubit, num_qubits)
+    half = 2 ** (num_qubits - 1)
+    a = moved[:half, :half]
+    b = moved[:half, half:]
+    c = moved[half:, :half]
+    d = moved[half:, half:]
+    if not np.allclose(b, 0.0, atol=atol):
+        return None
+    if not np.allclose(c, 0.0, atol=atol):
+        return None
+    if not np.allclose(a, d, atol=atol):
+        return None
+    return a
+
+
+def unitary_acts_identity_on(
+    unitary: np.ndarray, qubit: int, num_qubits: int, atol: float = 1e-9
+) -> bool:
+    """Definition 3.1: does the circuit safely uncompute ``qubit``?"""
+    return factor_unitary(unitary, qubit, num_qubits, atol=atol) is not None

@@ -1,0 +1,130 @@
+"""Functional tests for all four constant-adder constructions (the
+Figure 1.1 columns) plus their ancilla contracts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders import (
+    cuccaro_constant_adder,
+    draper_constant_adder,
+    haner_ripple_constant_adder,
+    takahashi_constant_adder,
+)
+from repro.circuits import apply_to_bits, circuit_unitary
+from repro.verify import verify_circuit
+
+CLASSICAL_BUILDERS = [
+    pytest.param(cuccaro_constant_adder, id="cuccaro"),
+    pytest.param(takahashi_constant_adder, id="takahashi"),
+]
+
+
+@pytest.mark.parametrize("builder", CLASSICAL_BUILDERS)
+class TestClassicalConstantAdders:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_exhaustive(self, builder, n):
+        for c in range(2**n):
+            layout = builder(n, c)
+            for x_val in range(2**n):
+                bits = layout.encode_target(
+                    x_val, [0] * layout.circuit.num_qubits
+                )
+                out = apply_to_bits(layout.circuit, bits)
+                assert layout.decode_target(out) == (x_val + c) % 2**n
+                for wire in layout.clean_ancillas:
+                    assert out[wire] == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_wide_random(self, builder, data):
+        n = data.draw(st.integers(min_value=4, max_value=32))
+        c = data.draw(st.integers(min_value=0, max_value=2**n - 1))
+        x_val = data.draw(st.integers(min_value=0, max_value=2**n - 1))
+        layout = builder(n, c)
+        bits = layout.encode_target(x_val, [0] * layout.circuit.num_qubits)
+        out = apply_to_bits(layout.circuit, bits)
+        assert layout.decode_target(out) == (x_val + c) % 2**n
+
+
+class TestDraper:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_unitary_maps_basis_correctly(self, n):
+        for c in {0, 1, 2**n - 1, 5 % 2**n}:
+            layout = draper_constant_adder(n, c)
+            unitary = circuit_unitary(layout.circuit)
+            for x_val in range(2**n):
+                col = _state_index(x_val, n)
+                target = _state_index((x_val + c) % 2**n, n)
+                amplitude = unitary[target, col]
+                assert abs(abs(amplitude) - 1) < 1e-8
+
+    def test_no_ancillas(self):
+        layout = draper_constant_adder(6, 13)
+        assert not layout.clean_ancillas and not layout.dirty_ancillas
+
+    def test_quadratic_size(self):
+        small = len(draper_constant_adder(8, 1).circuit.gates)
+        big = len(draper_constant_adder(16, 1).circuit.gates)
+        assert big > 3 * small  # ~4x for Θ(n²)
+
+    def test_not_classical(self):
+        from repro.circuits import is_classical_circuit
+
+        assert not is_classical_circuit(draper_constant_adder(3, 1).circuit)
+
+
+def _state_index(value: int, n: int) -> int:
+    """Little-endian value -> computational-basis index (qubit 0 = MSB)."""
+    return sum(((value >> i) & 1) << (n - 1 - i) for i in range(n))
+
+
+class TestHanerRipple:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_exhaustive_with_dirty_ancillas(self, n):
+        for c in {0, 1, 2**n - 1, 5 % 2**n}:
+            layout = haner_ripple_constant_adder(n, c)
+            total = layout.circuit.num_qubits
+            for x_val in range(2**n):
+                for garbage in range(2 ** (n - 1)):
+                    bits = [0] * total
+                    for i in range(n):
+                        bits[i] = (x_val >> i) & 1
+                    for i in range(n - 1):
+                        bits[2 * n + i] = (garbage >> i) & 1
+                    out = apply_to_bits(layout.circuit, bits)
+                    y = sum(out[n + i] << i for i in range(n))
+                    assert y == (x_val + c) % 2**n
+                    # inputs and dirty ancillas restored
+                    assert out[:n] == bits[:n]
+                    assert out[2 * n :] == bits[2 * n :]
+
+    def test_dirty_ancillas_verified_safe(self):
+        layout = haner_ripple_constant_adder(5, 11)
+        report = verify_circuit(
+            layout.circuit, layout.dirty_ancillas, backend="bdd"
+        )
+        assert report.all_safe
+
+    def test_linear_size(self):
+        small = len(haner_ripple_constant_adder(10, 5).circuit.gates)
+        big = len(haner_ripple_constant_adder(20, 5).circuit.gates)
+        assert big < 2.6 * small
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_wide_random_with_garbage(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=24))
+        c = data.draw(st.integers(min_value=0, max_value=2**n - 1))
+        x_val = data.draw(st.integers(min_value=0, max_value=2**n - 1))
+        garbage = data.draw(st.integers(min_value=0, max_value=2 ** (n - 1) - 1))
+        layout = haner_ripple_constant_adder(n, c)
+        bits = [0] * layout.circuit.num_qubits
+        for i in range(n):
+            bits[i] = (x_val >> i) & 1
+        for i in range(n - 1):
+            bits[2 * n + i] = (garbage >> i) & 1
+        out = apply_to_bits(layout.circuit, bits)
+        assert sum(out[n + i] << i for i in range(n)) == (x_val + c) % 2**n
+        assert out[2 * n :] == bits[2 * n :]

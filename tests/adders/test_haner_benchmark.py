@@ -1,0 +1,119 @@
+"""Tests for the verbatim Figure 6.2 carry benchmark circuit."""
+
+import pytest
+
+from repro.adders import haner_carry_benchmark
+from repro.adders.haner import haner_carry_strip
+from repro.circuits import Circuit, apply_to_bits
+from repro.errors import CircuitError
+from repro.verify import verify_circuit
+
+
+def run(layout, s, q_n, dirt):
+    n = (layout.circuit.num_qubits + 1) // 2
+    bits = [0] * layout.circuit.num_qubits
+    for i in range(n - 1):
+        bits[i] = (s >> i) & 1
+    bits[n - 1] = q_n
+    for i in range(n - 1):
+        bits[n + i] = (dirt >> i) & 1
+    return bits, apply_to_bits(layout.circuit, bits)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_computes_not_of_carry_of_all_ones(self, n):
+        """q_n ^= NOT(msb of s + (1...1)) == [s == 0], as derived from
+        the paper's description of the sum's most significant bit."""
+        layout = haner_carry_benchmark(n)
+        for s in range(2 ** (n - 1)):
+            for q_n in (0, 1):
+                _, out = run(layout, s, q_n, 0)
+                expected = q_n ^ (1 if s == 0 else 0)
+                assert out[n - 1] == expected
+
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_everything_else_restored(self, n):
+        layout = haner_carry_benchmark(n)
+        for s in (0, 1, 2 ** (n - 1) - 1):
+            for dirt in (0, 1, 2 ** (n - 1) - 1):
+                bits, out = run(layout, s, 1, dirt)
+                assert out[: n - 1] == bits[: n - 1]
+                assert out[n:] == bits[n:]
+
+    @pytest.mark.parametrize("n", [3, 4, 6])
+    def test_output_independent_of_dirty_values(self, n):
+        layout = haner_carry_benchmark(n)
+        for s in range(2 ** (n - 1)):
+            outputs = set()
+            for dirt in range(2 ** (n - 1)):
+                _, out = run(layout, s, 0, dirt)
+                outputs.add(out[n - 1])
+            assert len(outputs) == 1
+
+    def test_minimum_size(self):
+        with pytest.raises(CircuitError):
+            haner_carry_benchmark(2)
+
+    def test_gate_count_linear(self):
+        assert len(haner_carry_benchmark(50).circuit.gates) < 12 * 50
+
+
+class TestSafety:
+    @pytest.mark.parametrize("backend", ["bdd", "cdcl"])
+    def test_all_dirty_ancillas_safe(self, backend):
+        layout = haner_carry_benchmark(5)
+        report = verify_circuit(
+            layout.circuit, layout.dirty_ancillas, backend=backend
+        )
+        assert report.all_safe
+
+    def test_mutated_circuit_detected(self):
+        """Failure injection: dropping one uncompute gate must flag at
+        least one dirty ancilla, with a replayable counterexample."""
+        layout = haner_carry_benchmark(5)
+        broken = Circuit(
+            layout.circuit.num_qubits, layout.circuit.gates[:-1],
+            labels=layout.circuit.labels,
+        )
+        report = verify_circuit(broken, layout.dirty_ancillas, backend="bdd")
+        assert not report.all_safe
+        failing = [v for v in report.verdicts if not v.safe]
+        assert failing and failing[0].counterexample is not None
+
+
+class TestCarryStrip:
+    def test_strip_needs_matching_ancillas(self):
+        with pytest.raises(CircuitError):
+            haner_carry_strip(Circuit(4), [0, 1], [2], constant=3)
+
+    @pytest.mark.parametrize("constant", [0, 1, 2, 3])
+    def test_forward_backward_is_identity(self, constant):
+        circuit = Circuit(4)
+        haner_carry_strip(circuit, [0, 1], [2, 3], constant, forward=True)
+        haner_carry_strip(circuit, [0, 1], [2, 3], constant, forward=False)
+        from repro.circuits import truth_table
+
+        table = truth_table(circuit)
+        assert all(int(table[i]) == i for i in range(16))
+
+    @pytest.mark.parametrize("constant", [0, 1, 5, 7])
+    def test_forward_pass_computes_carries(self, constant):
+        m = 3
+        circuit = Circuit(2 * m)
+        haner_carry_strip(
+            circuit, list(range(m)), list(range(m, 2 * m)), constant
+        )
+        for x_val in range(2**m):
+            bits = [0] * (2 * m)
+            for i in range(m):
+                bits[i] = (x_val >> i) & 1
+            out = apply_to_bits(circuit, bits)
+            total = x_val + (constant % 2**m)
+            for i in range(m):
+                carry_out_of_bit_i = (
+                    ((x_val & ((2 ** (i + 1)) - 1))
+                     + (constant & ((2 ** (i + 1)) - 1)))
+                    >> (i + 1)
+                ) & 1
+                assert out[m + i] == carry_out_of_bit_i, (constant, x_val, i)

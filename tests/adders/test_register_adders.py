@@ -1,0 +1,74 @@
+"""Exhaustive functional tests for the Cuccaro and Takahashi register
+adders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adders import cuccaro_add_registers, takahashi_add_registers
+from repro.circuits import apply_to_bits
+from repro.errors import CircuitError
+
+ADDERS = [
+    pytest.param(cuccaro_add_registers, id="cuccaro"),
+    pytest.param(takahashi_add_registers, id="takahashi"),
+]
+
+
+def run_adder(layout, n, a, b):
+    bits = [0] * layout.circuit.num_qubits
+    for i in range(n):
+        bits[i] = (a >> i) & 1
+        bits[n + i] = (b >> i) & 1
+    out = apply_to_bits(layout.circuit, bits)
+    got_a = sum(out[i] << i for i in range(n))
+    got_b = sum(out[n + i] << i for i in range(n))
+    return got_a, got_b, out
+
+
+@pytest.mark.parametrize("builder", ADDERS)
+class TestExhaustiveSmall:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_all_inputs(self, builder, n):
+        layout = builder(n)
+        for a in range(2**n):
+            for b in range(2**n):
+                got_a, got_b, out = run_adder(layout, n, a, b)
+                assert got_b == (a + b) % 2**n
+                assert got_a == a  # operand preserved
+                for wire in layout.clean_ancillas:
+                    assert out[wire] == 0
+
+    def test_rejects_zero_width(self, builder):
+        with pytest.raises(CircuitError):
+            builder(0)
+
+
+@pytest.mark.parametrize("builder", ADDERS)
+class TestRandomLarge:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_wide_random_instances(self, builder, data):
+        n = data.draw(st.integers(min_value=5, max_value=48))
+        a = data.draw(st.integers(min_value=0, max_value=2**n - 1))
+        b = data.draw(st.integers(min_value=0, max_value=2**n - 1))
+        layout = builder(n)
+        got_a, got_b, _ = run_adder(layout, n, a, b)
+        assert got_b == (a + b) % 2**n
+        assert got_a == a
+
+
+class TestStructure:
+    def test_cuccaro_uses_one_ancilla(self):
+        layout = cuccaro_add_registers(8)
+        assert len(layout.clean_ancillas) == 1
+
+    def test_takahashi_uses_none(self):
+        layout = takahashi_add_registers(8)
+        assert layout.clean_ancillas == []
+
+    def test_both_linear_size(self):
+        for builder in (cuccaro_add_registers, takahashi_add_registers):
+            small = len(builder(10).circuit.gates)
+            big = len(builder(20).circuit.gates)
+            assert big < 2.5 * small

@@ -1,0 +1,70 @@
+"""Tests for ANF expansion and rendering."""
+
+import pytest
+
+from repro.boolfn import AnfOverflowError, ExprBuilder, anf_to_string, to_anf
+from repro.boolfn.anf import anf_equal
+
+
+@pytest.fixture
+def b():
+    return ExprBuilder()
+
+
+class TestExpansion:
+    def test_variable(self, b):
+        assert to_anf(b.var("x")) == frozenset({frozenset({"x"})})
+
+    def test_constants(self, b):
+        assert to_anf(b.true) == frozenset({frozenset()})
+        assert to_anf(b.false) == frozenset()
+
+    def test_figure_61_formula(self, b):
+        # b_a after the first Toffoli: a ^ q1 q2.
+        expr = b.xor_([b.var("a"), b.and_([b.var("q1"), b.var("q2")])])
+        assert anf_to_string(to_anf(expr)) == "a ^ q1&q2"
+
+    def test_or_expansion(self, b):
+        # x | y = x ^ y ^ xy
+        expr = b.or_([b.var("x"), b.var("y")])
+        assert to_anf(expr) == frozenset(
+            {frozenset({"x"}), frozenset({"y"}), frozenset({"x", "y"})}
+        )
+
+    def test_negation(self, b):
+        expr = b.not_(b.var("x"))
+        assert anf_to_string(to_anf(expr)) == "1 ^ x"
+
+    def test_distribution_cancels(self, b):
+        # (x ^ y)(x ^ y) = x ^ y  (GF(2) squaring)
+        xy = b.xor_([b.var("x"), b.var("y")])
+        b2 = ExprBuilder(simplify_xor=False)
+        xy2 = b2.xor_([b2.var("x"), b2.var("y")])
+        product = b2.and_([xy2, b2.xor_([b2.var("x"), b2.var("y"), b2.false])])
+        # even without builder simplification, ANF canonicalises
+        assert to_anf(product) == to_anf(xy2)
+
+    def test_budget_overflow(self, b):
+        terms = [
+            b.xor_([b.var(f"x{i}"), b.var(f"y{i}")]) for i in range(12)
+        ]
+        with pytest.raises(AnfOverflowError):
+            to_anf(b.and_(terms), budget=64)
+
+
+class TestRendering:
+    def test_zero(self):
+        assert anf_to_string(frozenset()) == "0"
+
+    def test_sorted_by_degree(self, b):
+        expr = b.xor_(
+            [b.and_([b.var("p"), b.var("q")]), b.var("z"), b.true]
+        )
+        assert anf_to_string(to_anf(expr)) == "1 ^ z ^ p&q"
+
+    def test_anf_equality_is_semantic(self, b):
+        left = b.or_([b.var("x"), b.var("y")])
+        right = b.xor_(
+            [b.var("x"), b.var("y"), b.and_([b.var("x"), b.var("y")])]
+        )
+        assert anf_equal(to_anf(left), to_anf(right))

@@ -1,0 +1,110 @@
+"""Tests for CNF structures and the Tseitin transformation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfn import Cnf, ExprBuilder, TseitinEncoder, tseitin_encode
+from repro.errors import BooleanError
+from repro.sat import brute_force_solve
+
+
+class TestCnf:
+    def test_literal_validation(self):
+        cnf = Cnf()
+        v = cnf.new_var()
+        cnf.add_clause([v, -v])
+        with pytest.raises(BooleanError):
+            cnf.add_clause([0])
+        with pytest.raises(BooleanError):
+            cnf.add_clause([v + 5])
+
+    def test_dimacs_render(self):
+        cnf = Cnf()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([a, -b])
+        text = cnf.to_dimacs()
+        assert text.splitlines()[0] == "p cnf 2 1"
+        assert "1 -2 0" in text
+
+
+def _models(expr, builder):
+    """All satisfying assignments of an expression by enumeration."""
+    names = sorted(expr.variables())
+    models = set()
+    for bits in itertools.product([False, True], repeat=len(names)):
+        env = dict(zip(names, bits))
+        if builder.evaluate(expr, env):
+            models.add(bits)
+    return names, models
+
+
+class TestTseitin:
+    def test_equisatisfiable_simple(self):
+        b = ExprBuilder()
+        expr = b.and_([b.var("x"), b.not_(b.var("y"))])
+        cnf, varmap = tseitin_encode(expr)
+        result = brute_force_solve(cnf)
+        assert result.is_sat
+        assert result.model[varmap["x"]] is True
+        assert result.model[varmap["y"]] is False
+
+    def test_unsat_preserved(self):
+        b = ExprBuilder(simplify_xor=False)
+        x = b.var("x")
+        expr = b.and_([b.xor_([x, x]), b.true])
+        cnf, _ = tseitin_encode(expr)
+        assert brute_force_solve(cnf).is_unsat
+
+    def test_wide_xor_is_linear_clauses(self):
+        b = ExprBuilder()
+        expr = b.xor_([b.var(f"v{i}") for i in range(20)])
+        cnf, _ = tseitin_encode(expr)
+        # chained binary XORs: ~4 clauses per link, far below 2**20
+        assert len(cnf.clauses) < 100
+
+    def test_shared_nodes_encoded_once(self):
+        b = ExprBuilder()
+        x, y = b.var("x"), b.var("y")
+        shared = b.and_([x, y])
+        encoder = TseitinEncoder()
+        lit1 = encoder.literal(shared)
+        lit2 = encoder.literal(b.or_([shared, x]))
+        assert encoder.literal(shared) == lit1
+        assert lit1 != lit2
+
+    def test_decode_model_defaults_unseen_to_false(self):
+        b = ExprBuilder()
+        encoder = TseitinEncoder()
+        encoder.assert_true(b.var("x"))
+        decoded = encoder.decode_model({})
+        assert decoded == {"x": False}
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_model_count_preserved_on_projection(self, seed):
+        """Tseitin is equisatisfiable *and* model-preserving on inputs."""
+        import random
+
+        rng = random.Random(seed)
+        b = ExprBuilder()
+        pool = [b.var(f"v{i}") for i in range(4)]
+        for _ in range(5):
+            op = rng.choice(["and", "or", "xor", "not"])
+            if op == "not":
+                pool.append(b.not_(rng.choice(pool)))
+            else:
+                args = [rng.choice(pool) for _ in range(rng.randint(2, 3))]
+                pool.append(getattr(b, op + "_")(args))
+        expr = pool[-1]
+        names, truth_models = _models(expr, b)
+        cnf, varmap = tseitin_encode(expr)
+        sat = brute_force_solve(cnf)
+        assert sat.is_sat == bool(truth_models)
+        if sat.is_sat and names:
+            projected = tuple(
+                sat.model.get(varmap.get(name, 0), False) for name in names
+            )
+            assert projected in truth_models

@@ -1,0 +1,160 @@
+"""Tests for the hash-consed Boolean DAG."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfn import ExprBuilder
+from repro.errors import BooleanError
+
+
+@pytest.fixture
+def b():
+    return ExprBuilder()
+
+
+class TestInterning:
+    def test_vars_are_unique(self, b):
+        assert b.var("x") is b.var("x")
+        assert b.var("x") is not b.var("y")
+
+    def test_structural_identity(self, b):
+        x, y = b.var("x"), b.var("y")
+        assert b.and_([x, y]) is b.and_([y, x])  # sorted children
+        assert b.xor_([x, y]) is b.xor_([y, x])
+
+    def test_cross_builder_rejected(self):
+        b1, b2 = ExprBuilder(), ExprBuilder()
+        with pytest.raises(BooleanError):
+            b1.and_([b1.var("x"), b2.var("x")])
+
+
+class TestSimplification:
+    def test_xor_pair_cancellation(self, b):
+        """The paper's x ⊕ x = 0 rule (Figure 6.1)."""
+        x, y = b.var("x"), b.var("y")
+        assert b.xor_([x, x]).is_false
+        assert b.xor_([x, y, x]) is y
+
+    def test_xor_triple(self, b):
+        x = b.var("x")
+        assert b.xor_([x, x, x]) is x
+
+    def test_xor_constant_folding(self, b):
+        x = b.var("x")
+        assert b.xor_([x, b.true, b.true]) is x
+        assert b.xor_([b.true, b.false]) is b.true
+
+    def test_not_is_xor_with_one(self, b):
+        x = b.var("x")
+        negated = b.not_(x)
+        assert negated.kind == "xor"
+        assert b.not_(negated) is x
+
+    def test_and_identity_and_annihilator(self, b):
+        x = b.var("x")
+        assert b.and_([x, b.true]) is x
+        assert b.and_([x, b.false]).is_false
+        assert b.and_([]) is b.true
+
+    def test_and_idempotent(self, b):
+        x, y = b.var("x"), b.var("y")
+        assert b.and_([x, x, y]) is b.and_([x, y])
+
+    def test_and_complement_is_false(self, b):
+        x = b.var("x")
+        assert b.and_([x, b.not_(x)]).is_false
+
+    def test_or_rules(self, b):
+        x = b.var("x")
+        assert b.or_([x, b.false]) is x
+        assert b.or_([x, b.true]) is b.true
+        assert b.or_([]) is b.false
+        assert b.or_([x, x]) is x
+
+    def test_flattening(self, b):
+        x, y, z = b.var("x"), b.var("y"), b.var("z")
+        nested = b.and_([x, b.and_([y, z])])
+        flat = b.and_([x, y, z])
+        assert nested is flat
+
+    def test_implies(self, b):
+        x, y = b.var("x"), b.var("y")
+        imp = b.implies(x, y)
+        assert b.evaluate(imp, {"x": True, "y": False}) is False
+        assert b.evaluate(imp, {"x": False, "y": False}) is True
+
+    def test_simplify_xor_off_keeps_duplicates(self):
+        b = ExprBuilder(simplify_xor=False)
+        x = b.var("x")
+        doubled = b.xor_([x, x])
+        assert not doubled.is_false
+        assert b.evaluate(doubled, {"x": True}) is False
+
+
+class TestSemanticOperations:
+    def test_evaluate_requires_assignment(self, b):
+        with pytest.raises(BooleanError):
+            b.evaluate(b.var("x"), {})
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 7))
+    def test_cofactor_agrees_with_evaluate(self, bits):
+        b = ExprBuilder()
+        x, y, z = b.var("x"), b.var("y"), b.var("z")
+        expr = b.xor_([b.and_([x, y]), b.or_([y, z]), b.not_(x)])
+        env = {
+            "x": bool(bits & 1),
+            "y": bool(bits & 2),
+            "z": bool(bits & 4),
+        }
+        for value in (False, True):
+            cof = b.cofactor(expr, "y", value)
+            env2 = dict(env, y=value)
+            assert b.evaluate(cof, env2) == b.evaluate(expr, env2)
+
+    def test_substitute_composition(self, b):
+        x, y = b.var("x"), b.var("y")
+        expr = b.and_([x, b.not_(y)])
+        swapped = b.substitute(expr, {"x": y, "y": x})
+        assert b.evaluate(swapped, {"x": False, "y": True}) is True
+
+    def test_variables_collection(self, b):
+        expr = b.xor_([b.var("p"), b.and_([b.var("q"), b.var("p")])])
+        assert expr.variables() == frozenset({"p", "q"})
+
+    def test_dag_size_counts_shared_nodes_once(self, b):
+        x, y = b.var("x"), b.var("y")
+        shared = b.and_([x, y])
+        expr = b.xor_([shared, b.or_([shared, x])])
+        # nodes: x, y, and, or, xor (true not reachable)
+        assert expr.dag_size() == 5
+
+
+class TestPrinting:
+    def test_render(self, b):
+        expr = b.xor_([b.var("a"), b.and_([b.var("q1"), b.var("q2")])])
+        text = b.to_string(expr)
+        assert "a" in text and "&" in text and "^" in text
+
+    def test_truncation(self, b):
+        big = b.or_([b.var(f"v{i}") for i in range(100)])
+        assert len(b.to_string(big, limit=50)) == 50
+
+
+class TestExhaustiveEquivalence:
+    def test_demorgan(self, b):
+        x, y = b.var("x"), b.var("y")
+        left = b.not_(b.and_([x, y]))
+        right = b.or_([b.not_(x), b.not_(y)])
+        for vx, vy in itertools.product([False, True], repeat=2):
+            env = {"x": vx, "y": vy}
+            assert b.evaluate(left, env) == b.evaluate(right, env)
+
+    def test_xor_as_inequality(self, b):
+        x, y = b.var("x"), b.var("y")
+        expr = b.xor_([x, y])
+        for vx, vy in itertools.product([False, True], repeat=2):
+            assert b.evaluate(expr, {"x": vx, "y": vy}) == (vx != vy)

@@ -1,0 +1,152 @@
+"""Tests for the QuantumOperation algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels import QuantumOperation, initialization
+from repro.channels.operation import dedup_operations
+from repro.errors import QubitError
+from repro.linalg import density, ket0, ket1, random_density, random_unitary
+
+
+def x_op(n=1, qubit=0):
+    from repro.channels import unitary_operation
+
+    return unitary_operation(np.array([[0, 1], [1, 0]]), [qubit], n)
+
+
+class TestConstruction:
+    def test_identity(self):
+        ident = QuantumOperation.identity(2)
+        rho = density(np.kron(ket0, ket1))
+        assert np.allclose(ident(rho), rho)
+
+    def test_zero(self):
+        zero = QuantumOperation.zero(1)
+        assert np.allclose(zero(density(ket0)), 0)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(QubitError):
+            QuantumOperation([np.eye(2)], 2)
+
+    def test_rejects_empty_kraus(self):
+        with pytest.raises(QubitError):
+            QuantumOperation([], 1)
+
+    def test_rejects_trace_increasing(self):
+        with pytest.raises(QubitError):
+            QuantumOperation([np.eye(2) * 2], 1)
+
+
+class TestAlgebra:
+    def test_composition_order(self, rng):
+        u = random_unitary(1, rng)
+        v = random_unitary(1, rng)
+        first = QuantumOperation.from_unitary(u, 1)
+        second = QuantumOperation.from_unitary(v, 1)
+        rho = random_density(1, rng)
+        composed = second @ first
+        assert np.allclose(composed(rho), v @ (u @ rho @ u.conj().T) @ v.conj().T)
+
+    def test_sum_is_branching(self, rng):
+        init = initialization(0, 1)
+        rho = random_density(1, rng)
+        split = QuantumOperation(
+            [k * np.sqrt(0.5) for k in init.kraus], 1
+        )
+        total = split + split
+        assert np.allclose(total(rho), init(rho))
+
+    def test_tensor(self, rng):
+        u = random_unitary(1, rng)
+        a = QuantumOperation.from_unitary(u, 1)
+        b = QuantumOperation.identity(1)
+        prod = a.tensor(b)
+        assert prod.num_qubits == 2
+        rho = random_density(2, rng)
+        expected_u = np.kron(u, np.eye(2))
+        assert np.allclose(prod(rho), expected_u @ rho @ expected_u.conj().T)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(QubitError):
+            QuantumOperation.identity(1) @ QuantumOperation.identity(2)
+        with pytest.raises(QubitError):
+            QuantumOperation.identity(1) + QuantumOperation.identity(2)
+
+    def test_apply_to_ket(self):
+        op = x_op()
+        out = op.apply_to_ket(ket0)
+        assert np.allclose(out, density(ket1))
+
+
+class TestPredicates:
+    def test_unitary_is_trace_preserving(self, rng):
+        op = QuantumOperation.from_unitary(random_unitary(2, rng), 2)
+        assert op.is_trace_preserving()
+        assert op.is_trace_nonincreasing()
+
+    def test_measurement_branch_is_trace_decreasing(self):
+        branch = QuantumOperation([np.diag([1.0, 0.0])], 1)
+        assert not branch.is_trace_preserving()
+        assert branch.is_trace_nonincreasing()
+
+    def test_initialization_trace_preserving(self):
+        assert initialization(0, 2).is_trace_preserving()
+
+
+class TestCpOrder:
+    def test_prefix_below_total(self):
+        # E_F <= E_F + E_T: the while-loop prefix-sum monotonicity.
+        branch_f = QuantumOperation([np.diag([1.0, 0.0])], 1)
+        branch_t = QuantumOperation([np.diag([0.0, 1.0])], 1)
+        total = branch_f + branch_t
+        assert branch_f.cp_leq(total)
+        assert not total.cp_leq(branch_f)
+
+    def test_reflexive(self, rng):
+        op = QuantumOperation.from_unitary(random_unitary(1, rng), 1)
+        assert op.cp_leq(op)
+
+
+class TestEqualityAndDedup:
+    def test_close_to_ignores_kraus_representation(self):
+        # |0><0|, |0><1| vs a rotated Kraus pair of the same channel.
+        init = initialization(0, 1)
+        k0, k1 = init.kraus
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        rotated = QuantumOperation(
+            [h[0, 0] * k0 + h[0, 1] * k1, h[1, 0] * k0 + h[1, 1] * k1], 1
+        )
+        assert init.close_to(rotated)
+
+    def test_key_distinguishes_channels(self):
+        assert QuantumOperation.identity(1).key() != x_op().key()
+
+    def test_dedup(self, rng):
+        u = random_unitary(1, rng)
+        a = QuantumOperation.from_unitary(u, 1)
+        b = QuantumOperation.from_unitary(u.copy(), 1)
+        c = QuantumOperation.identity(1)
+        unique = dedup_operations([a, b, c, c])
+        assert len(unique) == 2
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=9999))
+    def test_superoperator_characterises_action(self, seed):
+        rng = np.random.default_rng(seed)
+        op = QuantumOperation.from_unitary(random_unitary(1, rng), 1)
+        rho = random_density(1, rng)
+        via_super = (op.superoperator() @ rho.reshape(4, 1)).reshape(2, 2)
+        # Natural representation convention: vec is row-major kron.
+        expected = op(rho)
+        assert np.allclose(via_super, expected)
+
+
+class TestChoi:
+    def test_choi_psd_and_trace(self, rng):
+        op = QuantumOperation.from_unitary(random_unitary(1, rng), 1)
+        choi = op.choi()
+        assert np.linalg.eigvalsh(choi).min() > -1e-10
+        assert choi.trace() == pytest.approx(2.0, abs=1e-9)

@@ -1,0 +1,103 @@
+"""Tests for initialization, unitary, and measurement primitives."""
+
+import numpy as np
+import pytest
+
+from repro.channels import (
+    basis_measurement,
+    initialization,
+    measurement_branch,
+    unitary_operation,
+)
+from repro.channels.primitives import check_binary_measurement
+from repro.errors import QubitError
+from repro.linalg import (
+    bell_phi,
+    density,
+    ket0,
+    ket1,
+    ket_plus,
+    partial_trace,
+    random_density,
+)
+
+
+class TestInitialization:
+    def test_resets_plus_state(self):
+        init = initialization(0, 1)
+        assert np.allclose(init(density(ket_plus)), density(ket0))
+
+    def test_resets_one(self):
+        init = initialization(0, 1)
+        assert np.allclose(init(density(ket1)), density(ket0))
+
+    def test_matches_paper_definition(self, rng):
+        # E(rho) = |0><0| rho |0><0| + |0><1| rho |1><0|
+        rho = random_density(1, rng)
+        init = initialization(0, 1)
+        p00 = np.outer(ket0, ket0.conj())
+        p01 = np.outer(ket0, ket1.conj())
+        expected = p00 @ rho @ p00.conj().T + p01 @ rho @ p01.conj().T
+        assert np.allclose(init(rho), expected)
+
+    def test_breaks_entanglement_but_keeps_marginal(self):
+        init = initialization(0, 2)
+        rho = density(bell_phi())
+        out = init(rho)
+        assert np.allclose(partial_trace(out, [0], 2), density(ket0))
+        assert np.allclose(partial_trace(out, [1], 2), np.eye(2) / 2)
+
+    def test_only_touches_its_qubit(self, rng):
+        init = initialization(1, 2)
+        a = random_density(1, rng)
+        b = random_density(1, rng)
+        out = init(np.kron(a, b))
+        assert np.allclose(out, np.kron(a, density(ket0)))
+
+
+class TestUnitaryOperation:
+    def test_x_flip(self):
+        op = unitary_operation(np.array([[0, 1], [1, 0]]), [0], 1)
+        assert np.allclose(op(density(ket0)), density(ket1))
+
+    def test_embedded_on_chosen_wire(self):
+        op = unitary_operation(np.array([[0, 1], [1, 0]]), [1], 2)
+        rho = density(np.kron(ket0, ket0))
+        out = op(rho)
+        assert np.allclose(out, density(np.kron(ket0, ket1)))
+
+
+class TestMeasurement:
+    def test_branch_probabilities_encoded_in_trace(self):
+        branches = basis_measurement(0, 1)
+        rho = density(ket_plus)
+        assert branches[True](rho).trace() == pytest.approx(0.5)
+        assert branches[False](rho).trace() == pytest.approx(0.5)
+
+    def test_branches_sum_to_trace_preserving(self):
+        branches = basis_measurement(0, 2)
+        total = branches[True] + branches[False]
+        assert total.is_trace_preserving()
+
+    def test_post_measurement_state(self):
+        branches = basis_measurement(0, 1)
+        out = branches[True](density(ket_plus))
+        assert np.allclose(out / out.trace(), density(ket1))
+
+    def test_measurement_branch_on_subset(self, rng):
+        m = np.outer(ket0, ket0.conj())
+        op = measurement_branch(m, [1], 2)
+        rho = random_density(2, rng)
+        out = op(rho)
+        assert out.trace().real <= rho.trace().real + 1e-10
+
+    def test_completeness_checker(self):
+        m_true = np.outer(ket1, ket1.conj())
+        m_false = np.outer(ket0, ket0.conj())
+        check_binary_measurement(m_true, m_false)
+        with pytest.raises(QubitError):
+            check_binary_measurement(m_true, m_true)
+
+    def test_completeness_shape_mismatch(self):
+        with pytest.raises(QubitError):
+            check_binary_measurement(np.eye(2), np.eye(4))

@@ -1,0 +1,73 @@
+"""Tests for the Circuit container."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, circuit_unitary, cnot, hadamard, toffoli, x
+from repro.errors import CircuitError
+
+
+class TestConstruction:
+    def test_out_of_range_gate_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).append(toffoli(0, 1, 2))
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(-1)
+
+    def test_label_count_must_match(self):
+        with pytest.raises(CircuitError):
+            Circuit(2, labels=["a"])
+
+    def test_extend_returns_self(self):
+        c = Circuit(2)
+        assert c.extend([x(0), x(1)]) is c
+        assert len(c) == 2
+
+
+class TestCompositionAndInverse:
+    def test_compose(self):
+        a = Circuit(2).append(x(0))
+        b = Circuit(2).append(cnot(0, 1))
+        ab = a.compose(b)
+        assert [g.name for g in ab] == ["X", "CX"]
+
+    def test_compose_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).compose(Circuit(3))
+
+    def test_inverse_undoes(self, rng):
+        c = Circuit(3).extend(
+            [hadamard(0), cnot(0, 1), toffoli(0, 1, 2), x(2)]
+        )
+        u = circuit_unitary(c)
+        v = circuit_unitary(c.inverse())
+        assert np.allclose(v @ u, np.eye(8), atol=1e-9)
+
+    def test_remap(self):
+        c = Circuit(2).extend([cnot(0, 1)])
+        moved = c.remap({0: 2, 1: 0}, 3)
+        assert moved.gates[0].qubits == (2, 0)
+
+
+class TestIntrospection:
+    def test_qubits_touched_and_idle(self):
+        c = Circuit(4).extend([cnot(0, 2)])
+        assert c.qubits_touched() == {0, 2}
+        assert c.idle_qubits() == {1, 3}
+
+    def test_labels(self):
+        c = Circuit(2, labels=["alpha", "beta"])
+        assert c.label_of(0) == "alpha"
+        assert Circuit(1).label_of(0) == "q0"
+
+    def test_iteration_and_indexing(self):
+        c = Circuit(2).extend([x(0), x(1)])
+        assert list(c)[1].qubits == (1,)
+        assert c[0].qubits == (0,)
+
+    def test_str_truncates(self):
+        c = Circuit(1).extend([x(0)] * 50)
+        text = str(c)
+        assert "more" in text

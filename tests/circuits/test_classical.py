@@ -1,0 +1,98 @@
+"""Tests for classical permutation simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.circuits import (
+    Circuit,
+    apply_to_bits,
+    circuit_unitary,
+    cnot,
+    hadamard,
+    is_classical_circuit,
+    mcx,
+    toffoli,
+    truth_table,
+    x,
+)
+from repro.errors import VerificationError
+from tests.conftest import classical_circuit_strategy
+
+
+class TestApplyToBits:
+    def test_x(self):
+        c = Circuit(2).append(x(1))
+        assert apply_to_bits(c, [0, 0]) == [0, 1]
+
+    def test_cnot_control_off(self):
+        c = Circuit(2).append(cnot(0, 1))
+        assert apply_to_bits(c, [0, 1]) == [0, 1]
+
+    def test_cnot_control_on(self):
+        c = Circuit(2).append(cnot(0, 1))
+        assert apply_to_bits(c, [1, 0]) == [1, 1]
+
+    def test_mcx_needs_all_controls(self):
+        c = Circuit(4).append(mcx([0, 1, 2], 3))
+        assert apply_to_bits(c, [1, 1, 0, 0]) == [1, 1, 0, 0]
+        assert apply_to_bits(c, [1, 1, 1, 0]) == [1, 1, 1, 1]
+
+    def test_rejects_non_classical(self):
+        c = Circuit(1).append(hadamard(0))
+        with pytest.raises(VerificationError):
+            apply_to_bits(c, [0])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(VerificationError):
+            apply_to_bits(Circuit(2), [0])
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(VerificationError):
+            apply_to_bits(Circuit(1), [2])
+
+    def test_scales_to_thousands_of_qubits(self):
+        n = 2000
+        c = Circuit(n)
+        for i in range(n - 1):
+            c.append(cnot(i, i + 1))
+        bits = [1] + [0] * (n - 1)
+        out = apply_to_bits(c, bits)
+        assert out == [1] * n
+
+
+class TestTruthTable:
+    def test_is_permutation(self):
+        c = Circuit(3).extend([toffoli(0, 1, 2), cnot(0, 2), x(1)])
+        table = truth_table(c)
+        assert sorted(table.tolist()) == list(range(8))
+
+    def test_matches_unitary(self):
+        c = Circuit(3).extend([toffoli(0, 1, 2), x(0), cnot(1, 2)])
+        table = truth_table(c)
+        unitary = circuit_unitary(c)
+        for col in range(8):
+            assert abs(unitary[int(table[col]), col] - 1) < 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(classical_circuit_strategy(4))
+    def test_truth_table_agrees_with_bit_simulation(self, circuit):
+        table = truth_table(circuit)
+        n = circuit.num_qubits
+        for state in (0, 1, 5, 9, 15):
+            bits = [(state >> (n - 1 - i)) & 1 for i in range(n)]
+            out = apply_to_bits(circuit, bits)
+            packed = 0
+            for b in out:
+                packed = (packed << 1) | b
+            assert packed == int(table[state])
+
+    def test_caps_width(self):
+        with pytest.raises(VerificationError):
+            truth_table(Circuit(30))
+
+
+class TestClassification:
+    def test_is_classical(self):
+        assert is_classical_circuit(Circuit(2).append(cnot(0, 1)))
+        assert not is_classical_circuit(Circuit(1).append(hadamard(0)))

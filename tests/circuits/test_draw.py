@@ -1,0 +1,58 @@
+"""Tests for ASCII circuit rendering."""
+
+from repro.circuits import Circuit, cnot, draw_circuit, hadamard, toffoli, x
+from tests.conftest import fig13_circuit
+
+
+class TestDrawing:
+    def test_empty_register(self):
+        assert draw_circuit(Circuit(0)) == "(empty register)"
+
+    def test_empty_circuit_draws_wires(self):
+        text = draw_circuit(Circuit(2, labels=["top", "bot"]))
+        assert "top:" in text and "bot:" in text
+
+    def test_controls_and_targets(self):
+        text = draw_circuit(Circuit(2).append(cnot(0, 1)))
+        lines = text.splitlines()
+        assert "●" in lines[0]
+        assert "X" in lines[2]
+        assert "│" in lines[1]
+
+    def test_x_gate_has_no_connector(self):
+        text = draw_circuit(Circuit(2).append(x(0)))
+        assert "│" not in text
+
+    def test_named_box_for_non_classical(self):
+        text = draw_circuit(Circuit(1).append(hadamard(0)))
+        assert "H" in text
+
+    def test_figure_13_layout(self):
+        text = draw_circuit(fig13_circuit())
+        lines = text.splitlines()
+        assert lines[0].startswith("q1:")
+        assert lines[4].lstrip().startswith("a:")
+        # four gate columns
+        assert lines[4].count("X") + lines[4].count("●") == 4
+
+    def test_parallel_gates_share_column(self):
+        both = draw_circuit(Circuit(2).extend([x(0), x(1)]))
+        serial = draw_circuit(Circuit(1).extend([x(0), x(0)]))
+        # parallel: single column; serial: two columns on one wire
+        assert both.splitlines()[0].count("X") == 1
+        assert serial.splitlines()[0].count("X") == 2
+
+    def test_crossing_idle_wire_marked(self):
+        text = draw_circuit(Circuit(3).append(cnot(0, 2)))
+        assert "┼" in text.splitlines()[2]
+
+    def test_wrapping_into_banks(self):
+        circuit = Circuit(1).extend([x(0)] * 100)
+        text = draw_circuit(circuit, max_width=40)
+        assert text.count("q0:") > 1
+
+    def test_labels_used(self):
+        text = draw_circuit(
+            Circuit(2, labels=["alpha", "b"]).append(cnot(0, 1))
+        )
+        assert "alpha:" in text and "    b:" in text

@@ -1,0 +1,49 @@
+"""Tests for circuit cost metrics."""
+
+from repro.circuits import Circuit, circuit_costs, cnot, depth, size, toffoli, x
+from repro.circuits.metrics import gate_histogram, toffoli_count, width
+
+
+class TestSizeDepthWidth:
+    def test_empty(self):
+        c = Circuit(3)
+        assert size(c) == 0 and depth(c) == 0 and width(c) == 0
+
+    def test_parallel_gates_share_a_level(self):
+        c = Circuit(4).extend([x(0), x(1), x(2), x(3)])
+        assert depth(c) == 1 and size(c) == 4
+
+    def test_serial_chain(self):
+        c = Circuit(1).extend([x(0), x(0), x(0)])
+        assert depth(c) == 3
+
+    def test_staggered_depth(self):
+        # cnot(0,1) then cnot(1,2): must serialise on qubit 1.
+        c = Circuit(3).extend([cnot(0, 1), cnot(1, 2)])
+        assert depth(c) == 2
+
+    def test_independent_pairs_parallel(self):
+        c = Circuit(4).extend([cnot(0, 1), cnot(2, 3)])
+        assert depth(c) == 1
+
+    def test_width_counts_touched_only(self):
+        c = Circuit(10).extend([cnot(0, 9)])
+        assert width(c) == 2
+
+
+class TestHistograms:
+    def test_gate_histogram(self):
+        c = Circuit(3).extend([x(0), x(1), toffoli(0, 1, 2)])
+        assert gate_histogram(c) == {"X": 2, "CCX": 1}
+
+    def test_toffoli_count(self):
+        c = Circuit(3).extend([toffoli(0, 1, 2), cnot(0, 1), toffoli(0, 1, 2)])
+        assert toffoli_count(c) == 2
+
+    def test_costs_bundle(self):
+        c = Circuit(3).extend([x(0), toffoli(0, 1, 2)])
+        costs = circuit_costs(c)
+        assert costs.size == 2
+        assert costs.depth == 2
+        assert costs.width == 3
+        assert "CCX" in str(costs)

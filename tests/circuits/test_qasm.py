@@ -1,0 +1,98 @@
+"""Tests for OpenQASM 2.0 interchange."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.circuits import Circuit, circuit_unitary, cnot, hadamard, mcx, x
+from repro.circuits.gates import cphase, phase, s_gate, swap, toffoli
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.errors import CircuitError
+from tests.conftest import classical_circuit_strategy, fig13_circuit
+
+
+class TestExport:
+    def test_header(self):
+        text = to_qasm(Circuit(3))
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in text
+
+    def test_standard_gates(self):
+        circuit = Circuit(3).extend(
+            [x(0), hadamard(1), cnot(0, 1), toffoli(0, 1, 2), swap(0, 2)]
+        )
+        text = to_qasm(circuit)
+        for expected in ("x q[0];", "h q[1];", "cx q[0],q[1];",
+                         "ccx q[0],q[1],q[2];", "swap q[0],q[2];"):
+            assert expected in text
+
+    def test_parametric_gates(self):
+        circuit = Circuit(2).extend([phase(0.5, 0), cphase(0.25, 0, 1)])
+        text = to_qasm(circuit)
+        assert "p(0.5) q[0];" in text
+        assert "cp(0.25) q[0],q[1];" in text
+
+    def test_wide_mcx_rejected(self):
+        with pytest.raises(CircuitError):
+            to_qasm(Circuit(5).append(mcx([0, 1, 2, 3], 4)))
+
+    def test_custom_matrix_rejected(self):
+        from repro.circuits import unitary_gate
+
+        gate = unitary_gate(np.eye(2), [0], "CUSTOM")
+        with pytest.raises(CircuitError):
+            to_qasm(Circuit(1).append(gate))
+
+
+class TestImport:
+    def test_round_trip_fig13(self):
+        original = fig13_circuit()
+        restored = from_qasm(to_qasm(original))
+        assert [(g.name, g.qubits) for g in restored.gates] == [
+            (g.name, g.qubits) for g in original.gates
+        ]
+
+    def test_round_trip_unitary_equal(self):
+        circuit = Circuit(2).extend(
+            [hadamard(0), cnot(0, 1), s_gate(1), phase(0.7, 0)]
+        )
+        restored = from_qasm(to_qasm(circuit))
+        assert np.allclose(
+            circuit_unitary(restored), circuit_unitary(circuit)
+        )
+
+    def test_pi_expressions(self):
+        text = (
+            "OPENQASM 2.0;\nqreg q[1];\np(pi/2) q[0];\n"
+        )
+        circuit = from_qasm(text)
+        assert circuit.gates[0].params[0] == pytest.approx(np.pi / 2)
+
+    def test_comments_and_blank_lines(self):
+        text = "OPENQASM 2.0;\n// c\n\nqreg q[2];\ncx q[0],q[1]; // tail\n"
+        assert len(from_qasm(text).gates) == 1
+
+    def test_errors(self):
+        with pytest.raises(CircuitError):
+            from_qasm("x q[0];")  # gate before qreg
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nfrob q[0];")
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\ncx q[0];")
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nqreg q[2];")
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\np(import) q[0];")
+        with pytest.raises(CircuitError):
+            from_qasm("")
+
+    @settings(max_examples=25, deadline=None)
+    @given(classical_circuit_strategy(4, max_gates=8))
+    def test_random_classical_round_trips(self, circuit):
+        # MCX with 3 controls exists in the strategy; skip those circuits.
+        if any(len(g.qubits) > 3 for g in circuit.gates):
+            return
+        restored = from_qasm(to_qasm(circuit))
+        assert [(g.name, g.qubits) for g in restored.gates] == [
+            (g.name, g.qubits) for g in circuit.gates
+        ]

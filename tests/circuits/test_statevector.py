@@ -1,0 +1,118 @@
+"""Tests for the statevector simulator, cross-validated against the
+dense unitary and classical simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    Circuit,
+    apply_to_bits,
+    circuit_unitary,
+    cnot,
+    hadamard,
+    run_on_basis_state,
+    run_statevector,
+    toffoli,
+    x,
+)
+from repro.circuits.statevector import apply_gate_to_ket
+from repro.errors import CircuitError, QubitError
+from repro.linalg import basis_ket, random_unitary
+from tests.conftest import classical_circuit_strategy
+
+
+class TestBasics:
+    def test_default_initial_state(self):
+        out = run_statevector(Circuit(2))
+        assert np.allclose(out, basis_ket(0, 2))
+
+    def test_x_flips(self):
+        out = run_statevector(Circuit(2).append(x(0)))
+        assert np.allclose(out, basis_ket(0b10, 2))
+
+    def test_ghz_preparation(self):
+        circuit = Circuit(3).extend([hadamard(0), cnot(0, 1), cnot(1, 2)])
+        out = run_statevector(circuit)
+        expected = (basis_ket(0, 3) + basis_ket(7, 3)) / np.sqrt(2)
+        assert np.allclose(out, expected)
+
+    def test_initial_state_validation(self):
+        with pytest.raises(QubitError):
+            run_statevector(Circuit(1), np.array([1.0, 1.0]))  # unnormalised
+        with pytest.raises(QubitError):
+            run_statevector(Circuit(2), np.array([1.0, 0.0]))  # wrong size
+
+    def test_width_cap(self):
+        with pytest.raises(CircuitError):
+            run_statevector(Circuit(23))
+
+    def test_basis_state_runner(self):
+        out = run_on_basis_state(Circuit(2).append(cnot(0, 1)), 0b10)
+        assert np.allclose(out, basis_ket(0b11, 2))
+        with pytest.raises(QubitError):
+            run_on_basis_state(Circuit(2), 7)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_dense_unitary(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = Circuit(3)
+        for _ in range(4):
+            wires = list(rng.permutation(3)[:2])
+            circuit.append(
+                Circuit(3)
+                .append(cnot(wires[0], wires[1]))
+                .gates[0]
+            )
+            circuit.append(hadamard(int(rng.integers(0, 3))))
+        u = circuit_unitary(circuit)
+        for col in (0, 3, 5):
+            out = run_on_basis_state(circuit, col)
+            assert np.allclose(out, u[:, col])
+
+    @settings(max_examples=20, deadline=None)
+    @given(classical_circuit_strategy(4, max_gates=8))
+    def test_matches_classical_simulation(self, circuit):
+        n = circuit.num_qubits
+        for index in (0, 5, 9, 15):
+            bits = [(index >> (n - 1 - i)) & 1 for i in range(n)]
+            out_bits = apply_to_bits(circuit, bits)
+            packed = 0
+            for b in out_bits:
+                packed = (packed << 1) | b
+            out = run_on_basis_state(circuit, index)
+            assert abs(abs(out[packed]) - 1) < 1e-9
+
+    def test_norm_preserved_on_random_circuit(self, rng):
+        from repro.circuits import unitary_gate
+
+        circuit = Circuit(4)
+        for _ in range(5):
+            wires = list(rng.permutation(4)[:2])
+            circuit.append(
+                unitary_gate(random_unitary(2, rng), wires, "R")
+            )
+        out = run_statevector(circuit)
+        assert abs(np.linalg.norm(out) - 1) < 1e-9
+
+
+class TestApplyGateToKet:
+    def test_non_adjacent_wires(self):
+        ket = basis_ket(0b101, 3)  # q0=1, q2=1
+        out = apply_gate_to_ket(ket, toffoli(0, 2, 1), 3)
+        assert np.allclose(out, basis_ket(0b111, 3))
+
+    def test_shape_check(self):
+        with pytest.raises(QubitError):
+            apply_gate_to_ket(np.zeros(3), x(0), 2)
+
+    def test_moderately_wide_register(self):
+        n = 16
+        circuit = Circuit(n)
+        for i in range(n - 1):
+            circuit.append(cnot(i, i + 1))
+        out = run_on_basis_state(circuit, 1 << (n - 1))  # q0 = 1
+        assert abs(abs(out[(1 << n) - 1]) - 1) < 1e-9

@@ -1,0 +1,110 @@
+"""Tests for the fluent program builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemanticsError
+from repro.lang import Borrow, Skip, basis_measurement_on, seq, unitary
+from repro.lang.ast import If, While
+from repro.lang.dsl import ProgramBuilder
+from repro.semantics import programs_equivalent
+from repro.verify import program_is_safe
+
+
+class TestStraightLine:
+    def test_gates(self):
+        b = ProgramBuilder()
+        b.x("q1").cx("q1", "q2").ccx("q1", "q2", "q3")
+        program = b.build()
+        expected = seq(
+            unitary("X", "q1"),
+            unitary("CX", "q1", "q2"),
+            unitary("CCX", "q1", "q2", "q3"),
+        )
+        assert program == expected
+
+    def test_empty_is_skip(self):
+        assert ProgramBuilder().build() == Skip()
+
+    def test_reset_and_matrix(self):
+        b = ProgramBuilder()
+        b.reset("q")
+        b.apply(np.diag([1.0, 1.0j]), "S", "q")
+        program = b.build()
+        assert len(program.items) == 2
+
+
+class TestBorrowBlock:
+    def test_fresh_placeholder(self):
+        b = ProgramBuilder()
+        with b.borrow() as a:
+            b.x(a)
+            b.x(a)
+        program = b.build()
+        assert isinstance(program, Borrow)
+        assert program.placeholder.startswith("_a")
+
+    def test_named_placeholder(self):
+        b = ProgramBuilder()
+        with b.borrow("anc") as a:
+            b.cx("q", a)
+            b.cx("q", a)
+        program = b.build()
+        assert program.placeholder == "anc"
+        assert program_is_safe(program, ["q", "p1"])
+
+    def test_nested_borrows_get_distinct_names(self):
+        b = ProgramBuilder()
+        with b.borrow() as a1:
+            b.x(a1)
+            with b.borrow() as a2:
+                b.cx(a1, a2)
+        program = b.build()
+        assert a1 != a2  # noqa: F821 — names captured in the with blocks
+
+    def test_unclosed_block_detected(self):
+        b = ProgramBuilder()
+        cm = b.borrow()
+        cm.__enter__()
+        with pytest.raises(SemanticsError):
+            b.build()
+
+
+class TestControlFlowBlocks:
+    def test_if_measures_one(self):
+        b = ProgramBuilder()
+        with b.if_measures_one("q"):
+            b.x("p")
+        program = b.build()
+        assert isinstance(program, If)
+        assert program.else_branch == Skip()
+
+    def test_if_else(self):
+        b = ProgramBuilder()
+        with b.if_else(basis_measurement_on("q")) as (then, other):
+            then.x("p")
+            other.x("r")
+        program = b.build()
+        assert isinstance(program, If)
+        assert program.then_branch == unitary("X", "p")
+        assert program.else_branch == unitary("X", "r")
+
+    def test_while_block(self):
+        b = ProgramBuilder()
+        with b.while_measures_one("q"):
+            b.x("q")
+        program = b.build()
+        assert isinstance(program, While)
+
+    def test_equivalence_with_manual_ast(self):
+        b = ProgramBuilder()
+        b.x("q1")
+        with b.borrow("a") as a:
+            b.cx("q1", a)
+            b.cx("q1", a)
+        built = b.build()
+        manual = seq(
+            unitary("X", "q1"),
+            Borrow("a", seq(unitary("CX", "q1", "a"), unitary("CX", "q1", "a"))),
+        )
+        assert programs_equivalent(built, manual, ["q1", "q2", "q3"])

@@ -1,0 +1,142 @@
+"""Tests for the idle-qubit analysis against the Figure 4.2 rules.
+
+The implementation computes ``idle(S) = universe - mentioned(S)``; here
+we re-implement the paper's structural rules literally and check both
+agree on randomly generated programs, plus the worked example of
+Section 4.2.
+"""
+
+import random
+
+from repro.lang import (
+    borrow,
+    idle,
+    init,
+    seq,
+    skip,
+    unitary,
+)
+from repro.lang.ast import (
+    Borrow,
+    If,
+    Init,
+    Seq,
+    Skip,
+    Statement,
+    UnitaryStmt,
+    While,
+    basis_measurement_on,
+)
+
+UNIVERSE = frozenset({"q1", "q2", "q3", "q4", "q5"})
+
+
+def idle_structural(stmt: Statement, universe: frozenset) -> frozenset:
+    """Literal transcription of Figure 4.2."""
+    if isinstance(stmt, Skip):
+        return universe
+    if isinstance(stmt, Init):
+        return universe - {stmt.qubit}
+    if isinstance(stmt, UnitaryStmt):
+        return universe - set(stmt.qubits)
+    if isinstance(stmt, Seq):
+        result = universe
+        for item in stmt.items:
+            result = result & idle_structural(item, universe)
+        return result
+    if isinstance(stmt, If):
+        return (
+            idle_structural(stmt.then_branch, universe)
+            & idle_structural(stmt.else_branch, universe)
+        ) - set(stmt.measurement.qubits)
+    if isinstance(stmt, While):
+        return idle_structural(stmt.body, universe) - set(
+            stmt.measurement.qubits
+        )
+    if isinstance(stmt, Borrow):
+        return idle_structural(stmt.body, universe)
+    raise AssertionError(stmt)
+
+
+def random_program(rng: random.Random, depth: int, names) -> Statement:
+    roll = rng.random()
+    if depth == 0 or roll < 0.3:
+        kind = rng.choice(["skip", "init", "x", "cx"])
+        if kind == "skip":
+            return skip()
+        if kind == "init":
+            return init(rng.choice(names))
+        if kind == "x":
+            return unitary("X", rng.choice(names))
+        a, b = rng.sample(names, 2)
+        return unitary("CX", a, b)
+    if roll < 0.55:
+        return seq(
+            random_program(rng, depth - 1, names),
+            random_program(rng, depth - 1, names),
+        )
+    if roll < 0.75:
+        return If(
+            basis_measurement_on(rng.choice(names)),
+            random_program(rng, depth - 1, names),
+            random_program(rng, depth - 1, names),
+        )
+    if roll < 0.9:
+        return While(
+            basis_measurement_on(rng.choice(names)),
+            random_program(rng, depth - 1, names),
+        )
+    fresh = f"a{depth}_{rng.randrange(1000)}"
+    return Borrow(
+        fresh, random_program(rng, depth - 1, names + [fresh])
+    )
+
+
+class TestFigure42Rules:
+    def test_skip_is_fully_idle(self):
+        assert idle(skip(), UNIVERSE) == UNIVERSE
+
+    def test_unitary_removes_operands(self):
+        assert idle(unitary("CX", "q1", "q2"), UNIVERSE) == frozenset(
+            {"q3", "q4", "q5"}
+        )
+
+    def test_if_removes_guard(self):
+        s = If(basis_measurement_on("q1"), unitary("X", "q2"), skip())
+        assert idle(s, UNIVERSE) == frozenset({"q3", "q4", "q5"})
+
+    def test_borrow_is_transparent(self):
+        s = borrow("a", unitary("CX", "a", "q1"))
+        assert idle(s, UNIVERSE) == frozenset({"q2", "q3", "q4", "q5"})
+
+    def test_placeholders_do_not_subtract(self):
+        s = unitary("CX", "a", "q1")  # 'a' not in universe
+        assert idle(s, UNIVERSE) == frozenset({"q2", "q3", "q4", "q5"})
+
+    def test_section_42_worked_example(self):
+        """idle(S1) = {q3} and idle(S2[q3/a1]) = {q3} from the paper."""
+        s1_body = seq(
+            unitary("CCX", "q1", "q2", "a1"),
+            unitary("CCX", "a1", "q4", "q5"),
+            unitary("CCX", "q1", "q2", "a1"),
+            unitary("CCX", "a1", "q4", "q5"),
+            borrow(
+                "a2",
+                seq(
+                    unitary("CCX", "q4", "q5", "a2"),
+                    unitary("CCX", "a2", "q2", "q1"),
+                    unitary("CCX", "q4", "q5", "a2"),
+                    unitary("CCX", "a2", "q2", "q1"),
+                ),
+            ),
+        )
+        assert idle(s1_body, UNIVERSE) == frozenset({"q3"})
+
+    def test_agrees_with_structural_rules_randomly(self):
+        rng = random.Random(7)
+        names = sorted(UNIVERSE)
+        for _ in range(300):
+            program = random_program(rng, rng.randint(0, 4), list(names))
+            assert idle(program, UNIVERSE) == idle_structural(
+                program, UNIVERSE
+            )

@@ -1,0 +1,188 @@
+"""Tests for the .qbr lexer, parser, and elaborator."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.surface import elaborate, parse, tokenize
+from repro.lang.surface.parser import (
+    BinOp,
+    DeclStmt,
+    ForStmt,
+    GateStmt,
+    LetStmt,
+    Num,
+)
+
+
+class TestLexer:
+    def test_keywords_and_ids(self):
+        kinds = [t.kind for t in tokenize("let borrow alloc release for to x")]
+        assert kinds == [
+            "LET", "BORROW", "ALLOC", "RELEASE", "FOR", "TO", "ID", "EOF",
+        ]
+
+    def test_borrow_at(self):
+        tokens = tokenize("borrow@ q;")
+        assert tokens[0].kind == "BORROW_SKIP"
+
+    def test_positions(self):
+        tokens = tokenize("let\nn = 5;")
+        n_token = tokens[1]
+        assert (n_token.line, n_token.column) == (2, 1)
+
+    def test_comments_skipped(self):
+        tokens = tokenize("// hello\nX[q]; /* multi\nline */ X[q];")
+        assert sum(1 for t in tokens if t.kind == "ID") == 4
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("/* never ends")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("let n = 5 $")
+        assert "line 1" in str(err.value)
+
+
+class TestParser:
+    def test_let(self):
+        program = parse("let n = 5 + 2 * 3;")
+        stmt = program.statements[0]
+        assert isinstance(stmt, LetStmt)
+        assert isinstance(stmt.value, BinOp) and stmt.value.op == "+"
+
+    def test_precedence(self):
+        stmt = parse("let n = 2 * 3 + 4;").statements[0]
+        assert stmt.value.op == "+"
+        assert isinstance(stmt.value.left, BinOp)
+
+    def test_parentheses(self):
+        stmt = parse("let n = 2 * (3 + 4);").statements[0]
+        assert stmt.value.op == "*"
+
+    def test_unary_minus(self):
+        program = parse("let n = -3; borrow q; X[q];")
+        assert program.statements[0].value is not None
+
+    def test_gate_arities(self):
+        program = parse(
+            "borrow a; borrow b; borrow c;"
+            "X[a]; CNOT[a, b]; CCNOT[a, b, c];"
+        )
+        gates = [s for s in program.statements if isinstance(s, GateStmt)]
+        assert [g.gate for g in gates] == ["X", "CNOT", "CCNOT"]
+
+    def test_gate_arity_mismatch(self):
+        with pytest.raises(ParseError):
+            parse("borrow a; CNOT[a];")
+
+    def test_for_loop(self):
+        program = parse("for i = 1 to 3 { X[q]; }")
+        loop = program.statements[0]
+        assert isinstance(loop, ForStmt)
+        assert len(loop.body) == 1
+
+    def test_unterminated_for(self):
+        with pytest.raises(ParseError):
+            parse("for i = 1 to 3 { X[q];")
+
+    def test_empty_program(self):
+        with pytest.raises(ParseError):
+            parse("   // nothing\n")
+
+    def test_decl_kinds(self):
+        program = parse("borrow a; borrow@ b; alloc c[3];")
+        kinds = [s.kind for s in program.statements if isinstance(s, DeclStmt)]
+        assert kinds == ["borrow", "borrow_skip", "alloc"]
+
+
+class TestElaborator:
+    def test_scalar_and_array_registers(self):
+        prog = elaborate("borrow a; borrow q[3]; CNOT[a, q[2]];")
+        assert prog.circuit.num_qubits == 4
+        assert prog.circuit.labels == ["a", "q[1]", "q[2]", "q[3]"]
+        assert prog.circuit.gates[0].qubits == (0, 2)
+
+    def test_roles(self):
+        prog = elaborate("borrow d; borrow@ i[2]; alloc c;")
+        assert prog.dirty_wires == [0]
+        assert prog.input_wires == [1, 2]
+        assert prog.clean_wires == [3]
+
+    def test_let_arithmetic(self):
+        prog = elaborate("let n = 2 + 3; borrow q[n - 1]; X[q[4]];")
+        assert prog.circuit.num_qubits == 4
+
+    def test_for_ascending_and_descending(self):
+        up = elaborate("borrow q[3]; for i = 1 to 3 { X[q[i]]; }")
+        down = elaborate("borrow q[3]; for i = 3 to 1 { X[q[i]]; }")
+        assert [g.qubits[0] for g in up.circuit.gates] == [0, 1, 2]
+        assert [g.qubits[0] for g in down.circuit.gates] == [2, 1, 0]
+
+    def test_loop_variable_scoping(self):
+        prog = elaborate(
+            "let i = 9; borrow q[9]; for i = 1 to 2 { X[q[i]]; } X[q[i]];"
+        )
+        assert prog.circuit.gates[-1].qubits == (8,)  # i restored to 9
+
+    def test_nested_loops(self):
+        prog = elaborate(
+            "borrow q[4];"
+            "for i = 1 to 2 { for j = 1 to 2 { X[q[2 * (i - 1) + j]]; } }"
+        )
+        assert [g.qubits[0] for g in prog.circuit.gates] == [0, 1, 2, 3]
+
+    def test_release_lifetime(self):
+        with pytest.raises(ParseError):
+            elaborate("borrow q; release q; X[q];")
+
+    def test_double_release(self):
+        with pytest.raises(ParseError):
+            elaborate("borrow q; release q; release q;")
+
+    def test_release_unknown(self):
+        with pytest.raises(ParseError):
+            elaborate("release zz;")
+
+    def test_index_bounds(self):
+        with pytest.raises(ParseError) as err:
+            elaborate("borrow q[2]; X[q[3]];")
+        assert "out of range" in str(err.value)
+
+    def test_scalar_indexing_rejected(self):
+        with pytest.raises(ParseError):
+            elaborate("borrow q; X[q[1]];")
+
+    def test_array_needs_index(self):
+        with pytest.raises(ParseError):
+            elaborate("borrow q[2]; X[q];")
+
+    def test_variable_register_collisions(self):
+        with pytest.raises(ParseError):
+            elaborate("let q = 3; borrow q;")
+        with pytest.raises(ParseError):
+            elaborate("borrow q; let q = 3;")
+
+    def test_redeclaration_rejected(self):
+        with pytest.raises(ParseError):
+            elaborate("borrow q; borrow q;")
+
+    def test_redeclaration_after_release_allowed(self):
+        prog = elaborate("borrow q; release q; borrow q; X[q];")
+        # the second q is a fresh wire
+        assert prog.circuit.num_qubits == 2
+        assert prog.circuit.gates[0].qubits == (1,)
+
+    def test_undefined_variable(self):
+        with pytest.raises(ParseError):
+            elaborate("borrow q[n];")
+
+    def test_summary(self):
+        prog = elaborate("borrow d; borrow@ i; X[d];")
+        assert "dirty=1" in prog.summary()
+
+    def test_wires_of(self):
+        prog = elaborate("borrow q[2]; borrow a; X[a];")
+        assert prog.wires_of("q") == [0, 1]
+        with pytest.raises(ParseError):
+            prog.wires_of("zz")

@@ -1,0 +1,139 @@
+"""Tests for operator embedding and qubit reordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QubitError
+from repro.linalg import (
+    apply_unitary,
+    embed_operator,
+    identity,
+    kron_all,
+    random_unitary,
+    reorder_qubits,
+)
+
+CX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+class TestKronAll:
+    def test_empty_product_is_scalar_identity(self):
+        assert kron_all([]).shape == (1, 1)
+
+    def test_two_factor_product(self):
+        assert np.allclose(kron_all([X, X]), np.kron(X, X))
+
+    def test_accepts_generator(self):
+        assert kron_all(X for _ in range(2)).shape == (4, 4)
+
+
+class TestEmbedOperator:
+    def test_identity_embedding(self):
+        assert np.allclose(embed_operator(CX, [0, 1], 2), CX)
+
+    def test_x_on_each_wire_of_three(self):
+        for q in range(3):
+            full = embed_operator(X, [q], 3)
+            for state in range(8):
+                vec = np.zeros(8)
+                vec[state] = 1.0
+                out = full @ vec
+                expected = state ^ (1 << (2 - q))  # qubit 0 = MSB
+                assert abs(out[expected] - 1) < 1e-12
+
+    def test_reversed_cnot_wires(self):
+        # control = qubit 1, target = qubit 0
+        rev = embed_operator(CX, [1, 0], 2)
+        vec = np.zeros(4)
+        vec[0b01] = 1.0  # q0=0, q1=1
+        out = rev @ vec
+        assert abs(out[0b11] - 1) < 1e-12
+
+    def test_non_adjacent_wires(self):
+        full = embed_operator(CX, [0, 2], 3)
+        vec = np.zeros(8)
+        vec[0b100] = 1.0  # q0=1, q2=0
+        out = full @ vec
+        assert abs(out[0b101] - 1) < 1e-12
+
+    def test_full_width_shortcut_copies(self):
+        out = embed_operator(CX, [0, 1], 2)
+        out[0, 0] = 99.0
+        assert CX[0, 0] == 1.0
+
+    def test_rejects_duplicate_positions(self):
+        with pytest.raises(QubitError):
+            embed_operator(CX, [0, 0], 2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(QubitError):
+            embed_operator(X, [3], 2)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(QubitError):
+            embed_operator(X, [0, 1], 3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=123456))
+    def test_embedding_preserves_unitarity(self, seed):
+        rng = np.random.default_rng(seed)
+        op = random_unitary(2, rng)
+        positions = list(rng.permutation(4)[:2])
+        full = embed_operator(op, positions, 4)
+        assert np.allclose(full @ full.conj().T, identity(4), atol=1e-9)
+
+    def test_commutes_with_composition(self, rng):
+        u = random_unitary(1, rng)
+        v = random_unitary(1, rng)
+        left = embed_operator(u @ v, [1], 3)
+        right = embed_operator(u, [1], 3) @ embed_operator(v, [1], 3)
+        assert np.allclose(left, right)
+
+    def test_disjoint_embeddings_commute(self, rng):
+        u = embed_operator(random_unitary(1, rng), [0], 3)
+        v = embed_operator(random_unitary(1, rng), [2], 3)
+        assert np.allclose(u @ v, v @ u)
+
+
+class TestReorderQubits:
+    def test_identity_order(self):
+        assert np.allclose(reorder_qubits(CX, [0, 1]), CX)
+
+    def test_swap_order_on_x_tensor_identity(self):
+        xi = np.kron(X, np.eye(2))
+        swapped = reorder_qubits(xi, [1, 0])
+        assert np.allclose(swapped, np.kron(np.eye(2), X))
+
+    def test_double_reorder_is_identity(self, rng):
+        op = random_unitary(3, rng)
+        order = [2, 0, 1]
+        inverse = [order.index(q) for q in range(3)]
+        once = reorder_qubits(op, order)
+        assert np.allclose(reorder_qubits(once, inverse), op)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(QubitError):
+            reorder_qubits(np.eye(3), [0, 1])
+
+
+class TestApplyUnitary:
+    def test_on_ket(self):
+        ket = np.zeros(4)
+        ket[0b10] = 1.0  # q0=1
+        out = apply_unitary(ket, X, [1], 2)
+        assert abs(out[0b11] - 1) < 1e-12
+
+    def test_on_density(self):
+        rho = np.zeros((4, 4), dtype=complex)
+        rho[0, 0] = 1.0
+        out = apply_unitary(rho, X, [0], 2)
+        assert abs(out[0b10, 0b10] - 1) < 1e-12
+
+    def test_rejects_tensor_input(self):
+        with pytest.raises(QubitError):
+            apply_unitary(np.zeros((2, 2, 2)), X, [0], 2)

@@ -1,0 +1,80 @@
+"""Tests for partial trace and reduced states."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QubitError
+from repro.linalg import (
+    bell_phi,
+    density,
+    kron_all,
+    partial_trace,
+    random_density,
+    reduced_state,
+)
+
+
+class TestPartialTrace:
+    def test_product_state_factors(self, rng):
+        a = random_density(1, rng)
+        b = random_density(1, rng)
+        rho = np.kron(a, b)
+        assert np.allclose(partial_trace(rho, [0], 2), a)
+        assert np.allclose(partial_trace(rho, [1], 2), b)
+
+    def test_bell_marginal_is_maximally_mixed(self):
+        rho = density(bell_phi())
+        for keep in ([0], [1]):
+            assert np.allclose(partial_trace(rho, keep, 2), np.eye(2) / 2)
+
+    def test_keep_order_controls_output_wires(self, rng):
+        a = random_density(1, rng)
+        b = random_density(1, rng)
+        c = random_density(1, rng)
+        rho = kron_all([a, b, c])
+        keep_ab = partial_trace(rho, [0, 1], 3)
+        keep_ba = partial_trace(rho, [1, 0], 3)
+        assert np.allclose(keep_ab, np.kron(a, b))
+        assert np.allclose(keep_ba, np.kron(b, a))
+
+    def test_trace_preserved(self, rng):
+        rho = random_density(3, rng)
+        reduced = partial_trace(rho, [1], 3)
+        assert reduced.trace() == pytest.approx(rho.trace(), abs=1e-10)
+
+    def test_keep_everything_is_identity(self, rng):
+        rho = random_density(2, rng)
+        assert np.allclose(partial_trace(rho, [0, 1], 2), rho)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=99999))
+    def test_result_is_psd(self, seed):
+        rng = np.random.default_rng(seed)
+        rho = random_density(3, rng)
+        reduced = partial_trace(rho, [0, 2], 3)
+        assert np.linalg.eigvalsh(reduced).min() > -1e-10
+
+    def test_rejects_duplicates(self, rng):
+        with pytest.raises(QubitError):
+            partial_trace(random_density(2, rng), [0, 0], 2)
+
+    def test_rejects_bad_qubit(self, rng):
+        with pytest.raises(QubitError):
+            partial_trace(random_density(2, rng), [2], 2)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(QubitError):
+            partial_trace(np.eye(3), [0], 2)
+
+
+class TestReducedState:
+    def test_normalises(self, rng):
+        rho = random_density(2, rng) * 0.3  # partial density
+        reduced = reduced_state(rho, [0], 2)
+        assert reduced.trace() == pytest.approx(1.0, abs=1e-10)
+
+    def test_zero_trace_rejected(self):
+        with pytest.raises(QubitError):
+            reduced_state(np.zeros((4, 4)), [0], 2)

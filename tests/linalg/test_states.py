@@ -1,0 +1,132 @@
+"""Tests for standard states and comparison helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QubitError
+from repro.linalg import (
+    BASIS_B,
+    VERIFICATION_KETS,
+    basis_ket,
+    bell_phi,
+    bit_ket,
+    density,
+    fidelity,
+    is_density_operator,
+    ket0,
+    ket1,
+    ket_minus,
+    ket_plus,
+    ket_plus_i,
+    matrices_close,
+    purity,
+    random_density,
+    random_ket,
+)
+
+
+class TestNamedStates:
+    def test_kets_are_normalised(self):
+        for ket in VERIFICATION_KETS:
+            assert abs(np.linalg.norm(ket) - 1) < 1e-12
+
+    def test_plus_minus_orthogonal(self):
+        assert abs(np.vdot(ket_plus, ket_minus)) < 1e-12
+
+    def test_minus_decomposes_over_basis_b(self):
+        # The linear-algebra fact behind the Theorem 6.1 proof:
+        # |-><-| = |0><0| + |1><1| - |+><+| (the |+i><+i| coefficient is
+        # zero), so a |-> run ties the |0>, |1> and |+> output factors
+        # together.
+        minus = density(ket_minus)
+        reconstructed = BASIS_B[0] + BASIS_B[1] - BASIS_B[2]
+        assert np.allclose(minus, reconstructed)
+
+    def test_basis_b_spans_one_qubit_operators(self):
+        stacked = np.stack([rho.reshape(4) for rho in BASIS_B])
+        assert np.linalg.matrix_rank(stacked) == 4
+
+    def test_bell_is_maximally_entangled(self):
+        rho = density(bell_phi())
+        assert abs(purity(rho) - 1) < 1e-12
+        reduced = rho.reshape(2, 2, 2, 2).trace(axis1=1, axis2=3)
+        assert np.allclose(reduced, np.eye(2) / 2)
+
+
+class TestConstructors:
+    def test_basis_ket(self):
+        ket = basis_ket(5, 3)
+        assert ket[5] == 1.0 and np.count_nonzero(ket) == 1
+
+    def test_basis_ket_range_check(self):
+        with pytest.raises(QubitError):
+            basis_ket(8, 3)
+
+    def test_bit_ket_msb_convention(self):
+        assert np.allclose(bit_ket([1, 0]), basis_ket(0b10, 2))
+
+    def test_bit_ket_rejects_non_bits(self):
+        with pytest.raises(QubitError):
+            bit_ket([0, 2])
+
+    def test_density_of_ket0(self):
+        assert np.allclose(density(ket0), [[1, 0], [0, 0]])
+
+
+class TestPredicates:
+    def test_density_detection(self):
+        assert is_density_operator(density(ket_plus_i))
+        assert is_density_operator(np.eye(2) / 2)
+        assert not is_density_operator(np.eye(2))  # trace 2
+        assert not is_density_operator(np.array([[0, 1], [0, 0]]))
+
+    def test_partial_density_allowed(self):
+        assert is_density_operator(density(ket1) * 0.25)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=99999))
+    def test_random_density_is_density(self, seed):
+        rng = np.random.default_rng(seed)
+        assert is_density_operator(random_density(2, rng))
+
+    def test_purity_bounds(self, rng):
+        assert abs(purity(density(random_ket(2, rng))) - 1) < 1e-9
+        assert purity(np.eye(4) / 4) == pytest.approx(0.25)
+
+
+class TestFidelity:
+    def test_identical_states(self, rng):
+        rho = random_density(2, rng)
+        assert fidelity(rho, rho) == pytest.approx(1.0, abs=1e-8)
+
+    def test_orthogonal_states(self):
+        assert fidelity(density(ket0), density(ket1)) == pytest.approx(
+            0.0, abs=1e-10
+        )
+
+    def test_pure_state_formula(self, rng):
+        psi = random_ket(1, rng)
+        phi = random_ket(1, rng)
+        expected = abs(np.vdot(psi, phi)) ** 2
+        assert fidelity(density(psi), density(phi)) == pytest.approx(
+            expected, abs=1e-8
+        )
+
+    def test_symmetry(self, rng):
+        a = random_density(1, rng)
+        b = random_density(1, rng)
+        assert fidelity(a, b) == pytest.approx(fidelity(b, a), abs=1e-8)
+
+
+class TestMatricesClose:
+    def test_equal(self):
+        assert matrices_close(np.eye(2), np.eye(2))
+
+    def test_shape_mismatch(self):
+        assert not matrices_close(np.eye(2), np.eye(4))
+
+    def test_tolerance(self):
+        assert matrices_close(np.eye(2), np.eye(2) + 1e-12)
+        assert not matrices_close(np.eye(2), np.eye(2) + 1e-3)

@@ -1,0 +1,110 @@
+"""Tests for the Barenco-family MCX decompositions."""
+
+import pytest
+
+from repro.circuits import Circuit, truth_table
+from repro.circuits.metrics import toffoli_count
+from repro.errors import CircuitError
+from repro.mcx import cccnot_with_dirty_ancilla, mcx_clean_ladder, mcx_dirty_chain
+from repro.verify import verify_circuit
+
+
+def check_mcx_behaviour(circuit, controls, target, clean_wires=()):
+    """All basis inputs: target flips iff all controls set; everything
+    else (including dirty ancillas) restored.  ``clean_wires`` restricts
+    inputs to those wires being 0."""
+    n = circuit.num_qubits
+    table = truth_table(circuit)
+    target_bit = 1 << (n - 1 - target)
+    for state in range(2**n):
+        if any((state >> (n - 1 - w)) & 1 for w in clean_wires):
+            continue
+        out = int(table[state])
+        all_on = all((state >> (n - 1 - w)) & 1 for w in controls)
+        assert bool((out ^ state) & target_bit) == all_on, bin(state)
+        assert (out ^ state) & ~target_bit == 0, bin(state)
+
+
+class TestCccnot:
+    def test_figure_13_behaviour(self):
+        gates = cccnot_with_dirty_ancilla([0, 1, 2], 3, 4)
+        circuit = Circuit(5).extend(gates)
+        check_mcx_behaviour(circuit, [0, 1, 2], 3)
+
+    def test_uses_four_toffolis(self):
+        assert len(cccnot_with_dirty_ancilla([0, 1, 2], 3, 4)) == 4
+
+    def test_ancilla_safe(self):
+        circuit = Circuit(5).extend(cccnot_with_dirty_ancilla([0, 1, 2], 3, 4))
+        assert verify_circuit(circuit, [4], backend="bdd").all_safe
+
+    def test_requires_three_controls(self):
+        with pytest.raises(CircuitError):
+            cccnot_with_dirty_ancilla([0, 1], 2, 3)
+
+
+class TestCleanLadder:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_behaviour(self, k):
+        ancillas = list(range(k + 1, k + 1 + max(k - 2, 0)))
+        circuit = Circuit(k + 1 + len(ancillas)).extend(
+            mcx_clean_ladder(list(range(k)), k, ancillas)
+        )
+        check_mcx_behaviour(circuit, list(range(k)), k, clean_wires=ancillas)
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 8])
+    def test_toffoli_count_is_2k_minus_3(self, k):
+        gates = mcx_clean_ladder(
+            list(range(k)), k, list(range(k + 1, 2 * k - 1))
+        )
+        assert len(gates) == 2 * k - 3
+
+    def test_ancilla_count_validated(self):
+        with pytest.raises(CircuitError):
+            mcx_clean_ladder([0, 1, 2], 3, [])
+
+    def test_needs_two_controls(self):
+        with pytest.raises(CircuitError):
+            mcx_clean_ladder([0], 1, [])
+
+    def test_ancillas_not_safe_as_dirty(self):
+        """The clean ladder is the paper's contrast case: its ancillas
+        require |0> and are NOT safely uncomputed as dirty qubits."""
+        k = 4
+        ancillas = [5, 6]
+        circuit = Circuit(7).extend(
+            mcx_clean_ladder(list(range(k)), k, ancillas)
+        )
+        report = verify_circuit(circuit, ancillas, backend="bdd")
+        assert not report.all_safe
+
+
+class TestDirtyChain:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6])
+    def test_behaviour_for_all_ancilla_values(self, k):
+        ancillas = list(range(k + 1, k + 1 + max(k - 2, 0)))
+        circuit = Circuit(k + 1 + len(ancillas)).extend(
+            mcx_dirty_chain(list(range(k)), k, ancillas)
+        )
+        check_mcx_behaviour(circuit, list(range(k)), k)
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 8])
+    def test_toffoli_count_is_4k_minus_8(self, k):
+        gates = mcx_dirty_chain(
+            list(range(k)), k, list(range(k + 1, 2 * k - 1))
+        )
+        assert len(gates) == max(4 * (k - 2), 1)
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_all_ancillas_safe(self, k):
+        ancillas = list(range(k + 1, 2 * k - 1))
+        circuit = Circuit(2 * k - 1).extend(
+            mcx_dirty_chain(list(range(k)), k, ancillas)
+        )
+        assert verify_circuit(circuit, ancillas, backend="bdd").all_safe
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            mcx_dirty_chain([0], 1, [])
+        with pytest.raises(CircuitError):
+            mcx_dirty_chain([0, 1, 2], 3, [])

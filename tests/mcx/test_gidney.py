@@ -1,0 +1,73 @@
+"""Tests for the mcx.qbr construction (Figure 10.4)."""
+
+import pytest
+
+from repro.circuits import truth_table
+from repro.circuits.metrics import depth, toffoli_count
+from repro.errors import CircuitError
+from repro.mcx import gidney_mcx
+from repro.verify import verify_circuit
+
+
+class TestCorrectedConstruction:
+    @pytest.mark.parametrize("m", [3, 4, 5])
+    def test_implements_n_controlled_not(self, m):
+        layout = gidney_mcx(m)
+        circuit = layout.circuit
+        n_wires = circuit.num_qubits
+        table = truth_table(circuit)
+        target_bit = 1 << (n_wires - 1 - layout.target)
+        for state in range(2**n_wires):
+            out = int(table[state])
+            all_on = all(
+                (state >> (n_wires - 1 - w)) & 1 for w in layout.controls
+            )
+            assert bool((out ^ state) & target_bit) == all_on
+            assert (out ^ state) & ~target_bit == 0
+
+    @pytest.mark.parametrize("m", [3, 4, 5, 10, 50])
+    def test_toffoli_count(self, m):
+        assert toffoli_count(gidney_mcx(m).circuit) == 16 * (m - 2)
+
+    @pytest.mark.parametrize("m", [3, 4, 5])
+    @pytest.mark.parametrize("backend", ["bdd", "cdcl"])
+    def test_dirty_ancilla_safe(self, m, backend):
+        layout = gidney_mcx(m)
+        report = verify_circuit(layout.circuit, [layout.ancilla], backend=backend)
+        assert report.all_safe
+
+    def test_controls_count(self):
+        layout = gidney_mcx(6)
+        assert layout.n == 11 and len(layout.controls) == 11
+
+    def test_minimum_m(self):
+        with pytest.raises(CircuitError):
+            gidney_mcx(2)
+
+
+class TestVerbatimListing:
+    """The paper's printed loops (documented discrepancy D1)."""
+
+    def test_identity_for_m_above_3(self):
+        layout = gidney_mcx(4, verbatim=True)
+        table = truth_table(layout.circuit)
+        assert all(int(table[s]) == s for s in range(2 ** layout.circuit.num_qubits))
+
+    def test_matches_corrected_for_m3(self):
+        a = [(g.name, g.qubits) for g in gidney_mcx(3).circuit.gates]
+        b = [(g.name, g.qubits) for g in gidney_mcx(3, verbatim=True).circuit.gates]
+        assert a == b
+
+    @pytest.mark.parametrize("m", [4, 5])
+    def test_ancilla_still_safe(self, m):
+        """Safety (what Figure 6.4 measures) holds even for the
+        degenerate verbatim circuit."""
+        layout = gidney_mcx(m, verbatim=True)
+        report = verify_circuit(layout.circuit, [layout.ancilla], backend="bdd")
+        assert report.all_safe
+
+    def test_same_toffoli_count(self):
+        for m in (4, 6):
+            assert toffoli_count(
+                gidney_mcx(m, verbatim=True).circuit
+            ) == toffoli_count(gidney_mcx(m).circuit)

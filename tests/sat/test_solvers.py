@@ -1,0 +1,157 @@
+"""Tests for the CDCL and DPLL solvers, including differential fuzzing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfn import Cnf
+from repro.errors import SolverError
+from repro.sat import CdclSolver, DpllSolver, brute_force_solve
+
+
+def cnf_from(num_vars, clauses):
+    cnf = Cnf()
+    for _ in range(num_vars):
+        cnf.new_var()
+    for clause in clauses:
+        cnf.add_clause(list(clause))
+    return cnf
+
+
+def check_model(cnf, model):
+    for clause in cnf.clauses:
+        if not any(model[abs(l)] == (l > 0) for l in clause):
+            return False
+    return True
+
+
+SOLVERS = [
+    pytest.param(lambda c: CdclSolver(c).solve(), id="cdcl"),
+    pytest.param(lambda c: DpllSolver(c).solve(), id="dpll"),
+]
+
+
+@pytest.mark.parametrize("solve", SOLVERS)
+class TestBasics:
+    def test_empty_cnf_is_sat(self, solve):
+        assert solve(cnf_from(3, [])).is_sat
+
+    def test_unit_clauses(self, solve):
+        cnf = cnf_from(2, [[1], [-2]])
+        result = solve(cnf)
+        assert result.is_sat
+        assert result.model[1] is True and result.model[2] is False
+
+    def test_conflicting_units(self, solve):
+        assert solve(cnf_from(1, [[1], [-1]])).is_unsat
+
+    def test_empty_clause(self, solve):
+        cnf = Cnf()
+        cnf.new_var()
+        cnf.clauses.append([])
+        assert solve(cnf).is_unsat
+
+    def test_chain_implication(self, solve):
+        # x1 and (x_i -> x_{i+1}) forces all true.
+        n = 30
+        clauses = [[1]] + [[-i, i + 1] for i in range(1, n)]
+        result = solve(cnf_from(n, clauses))
+        assert result.is_sat
+        assert all(result.model[v] for v in range(1, n + 1))
+
+    def test_model_satisfies(self, solve):
+        cnf = cnf_from(4, [[1, 2], [-1, 3], [-3, -2, 4], [2, -4]])
+        result = solve(cnf)
+        assert result.is_sat
+        assert check_model(cnf, result.model)
+
+    def test_pigeonhole_3_into_2_unsat(self, solve):
+        # p_ij: pigeon i in hole j; vars 1..6 as (i,j) row-major.
+        def var(i, j):
+            return i * 2 + j + 1
+
+        clauses = []
+        for i in range(3):
+            clauses.append([var(i, 0), var(i, 1)])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    clauses.append([-var(i1, j), -var(i2, j)])
+        assert solve(cnf_from(6, clauses)).is_unsat
+
+
+class TestCdclSpecifics:
+    def test_learns_clauses_on_hard_instance(self):
+        def var(i, j):
+            return i * 3 + j + 1
+
+        clauses = []
+        for i in range(4):
+            clauses.append([var(i, j) for j in range(3)])
+        for j in range(3):
+            for i1 in range(4):
+                for i2 in range(i1 + 1, 4):
+                    clauses.append([-var(i1, j), -var(i2, j)])
+        solver = CdclSolver(cnf_from(12, clauses))
+        assert solver.solve().is_unsat
+        assert solver.stats.conflicts > 0
+        assert solver.stats.learned_clauses > 0
+
+    def test_conflict_budget(self):
+        def var(i, j):
+            return i * 4 + j + 1
+
+        clauses = []
+        for i in range(5):
+            clauses.append([var(i, j) for j in range(4)])
+        for j in range(4):
+            for i1 in range(5):
+                for i2 in range(i1 + 1, 5):
+                    clauses.append([-var(i1, j), -var(i2, j)])
+        with pytest.raises(SolverError):
+            CdclSolver(cnf_from(20, clauses), max_conflicts=3).solve()
+
+    def test_tautology_ignored(self):
+        result = CdclSolver(cnf_from(2, [[1, -1], [2]])).solve()
+        assert result.is_sat and result.model[2] is True
+
+
+class TestBruteForce:
+    def test_caps_variables(self):
+        with pytest.raises(SolverError):
+            brute_force_solve(cnf_from(30, []))
+
+
+@st.composite
+def random_cnf(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=8))
+    num_clauses = draw(st.integers(min_value=0, max_value=20))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=4))
+        clause = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(1, num_vars), st.booleans()
+                ).map(lambda t: t[0] if t[1] else -t[0]),
+                min_size=width,
+                max_size=width,
+            )
+        )
+        clauses.append(clause)
+    return cnf_from(num_vars, clauses)
+
+
+class TestDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(random_cnf())
+    def test_three_solvers_agree(self, cnf):
+        reference = brute_force_solve(cnf)
+        cdcl = CdclSolver(cnf_from(cnf.num_vars, cnf.clauses)).solve()
+        dpll = DpllSolver(cnf_from(cnf.num_vars, cnf.clauses)).solve()
+        assert cdcl.is_sat == reference.is_sat
+        assert dpll.is_sat == reference.is_sat
+        if cdcl.is_sat:
+            assert check_model(cnf, cdcl.model)
+        if dpll.is_sat:
+            assert check_model(cnf, dpll.model)

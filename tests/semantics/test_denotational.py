@@ -1,0 +1,200 @@
+"""Tests for the denotational semantics (Figure 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.channels import QuantumOperation
+from repro.circuits import Circuit, circuit_unitary, cnot, toffoli, x as x_gate
+from repro.errors import SemanticsError
+from repro.lang import (
+    basis_measurement_on,
+    borrow,
+    init,
+    seq,
+    skip,
+    unitary,
+)
+from repro.lang.ast import If, While
+from repro.linalg import bit_ket, density, ket0, ket1, ket_plus
+from repro.semantics import (
+    Interpretation,
+    denote,
+    operations_equal,
+    programs_equivalent,
+    set_of_operations_equal,
+)
+
+
+class TestPrimitives:
+    def test_skip_is_identity(self):
+        ops = denote(skip(), ["q"])
+        assert len(ops) == 1
+        assert operations_equal(ops[0], QuantumOperation.identity(1))
+
+    def test_init(self):
+        ops = denote(init("q"), ["q"])
+        out = ops[0](density(ket_plus))
+        assert np.allclose(out, density(ket0))
+
+    def test_unitary_embeds_on_named_wire(self):
+        ops = denote(unitary("X", "p"), ["q", "p"])
+        rho = density(bit_ket([0, 0]))
+        out = ops[0](rho)
+        assert np.allclose(out, density(bit_ket([0, 1])))
+
+    def test_unknown_qubit(self):
+        with pytest.raises(SemanticsError):
+            denote(unitary("X", "zz"), ["q"])
+
+    def test_universe_size_cap(self):
+        with pytest.raises(SemanticsError):
+            Interpretation([f"q{i}" for i in range(11)])
+
+    def test_duplicate_universe(self):
+        with pytest.raises(SemanticsError):
+            Interpretation(["q", "q"])
+
+
+class TestSequencing:
+    def test_composition_order(self):
+        # X then init: state ends at |0>.
+        ops = denote(seq(unitary("X", "q"), init("q")), ["q"])
+        out = ops[0](density(ket0))
+        assert np.allclose(out, density(ket0))
+        # init then X: state ends at |1>.
+        ops = denote(seq(init("q"), unitary("X", "q")), ["q"])
+        out = ops[0](density(ket0))
+        assert np.allclose(out, density(ket1))
+
+
+class TestIf:
+    def test_if_is_branch_sum(self):
+        prog = If(
+            basis_measurement_on("q"),
+            unitary("X", "p"),
+            skip(),
+        )
+        ops = denote(prog, ["q", "p"])
+        assert len(ops) == 1
+        assert ops[0].is_trace_preserving()
+        rho = density(np.kron(ket_plus, ket0))
+        out = ops[0](rho)
+        # q measured: 50% |1>|1>, 50% |0>|0>
+        assert out[0b11, 0b11] == pytest.approx(0.5)
+        assert out[0b00, 0b00] == pytest.approx(0.5)
+
+    def test_if_with_nondeterministic_branch(self):
+        # the then-branch borrows one of two idle qubits unsafely:
+        # the if denotes two operations.
+        prog = If(
+            basis_measurement_on("q"),
+            borrow("a", unitary("CX", "q", "a")),
+            skip(),
+        )
+        ops = denote(prog, ["q", "p1", "p2"])
+        assert len(ops) == 2
+
+
+class TestWhile:
+    def test_loop_body_runs_until_guard_false(self):
+        # while q: flip q — from |1> this flips once then exits.
+        prog = While(basis_measurement_on("q"), unitary("X", "q"))
+        ops = denote(prog, ["q"])
+        assert len(ops) == 1
+        out = ops[0](density(ket1))
+        assert np.allclose(out, density(ket0))
+
+    def test_loop_never_entered(self):
+        prog = While(basis_measurement_on("q"), unitary("X", "q"))
+        out = denote(prog, ["q"])[0](density(ket0))
+        assert np.allclose(out, density(ket0))
+
+    def test_nonterminating_loop_loses_trace(self):
+        # while q: skip — from |1> never exits: semantics is the zero map
+        # on that branch (truncated sum).
+        prog = While(basis_measurement_on("q"), skip())
+        out = denote(prog, ["q"])[0](density(ket1))
+        assert out.trace() == pytest.approx(0.0, abs=1e-12)
+
+    def test_probabilistic_termination_converges(self):
+        # while q: H q — leaks half the mass out each round.
+        import numpy as np
+
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        from repro.lang import unitary_matrix
+
+        prog = While(basis_measurement_on("q"), unitary_matrix(h, "H", "q"))
+        interp = Interpretation(
+            ["q"], max_while_iterations=40, check_loop_convergence=True
+        )
+        out = interp.denote(prog)[0](density(ket1))
+        assert out.trace().real == pytest.approx(1.0, abs=1e-6)
+        assert np.allclose(out / out.trace(), density(ket0), atol=1e-6)
+
+    def test_convergence_check_raises_when_truncated_early(self):
+        # The H-loop leaks mass geometrically; five iterations leave a
+        # residual term far above the tolerance.
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        from repro.lang import unitary_matrix
+
+        prog = While(basis_measurement_on("q"), unitary_matrix(h, "H", "q"))
+        interp = Interpretation(
+            ["q"], max_while_iterations=5, check_loop_convergence=True
+        )
+        with pytest.raises(SemanticsError):
+            interp.denote(prog)
+
+    def test_instantly_converging_loop_passes_check(self):
+        # while q: skip — every n >= 1 term is the zero map, so even a
+        # shallow truncation is exact.
+        prog = While(basis_measurement_on("q"), skip())
+        interp = Interpretation(
+            ["q"], max_while_iterations=3, check_loop_convergence=True
+        )
+        assert len(interp.denote(prog)) == 1
+
+
+class TestBorrow:
+    def test_union_over_idle_qubits(self):
+        # unsafe borrow: X on the placeholder — distinct op per choice.
+        prog = borrow("a", unitary("X", "a"))
+        ops = denote(prog, ["q1", "q2", "q3"])
+        assert len(ops) == 3
+
+    def test_safe_borrow_collapses(self):
+        # X;X on the placeholder: identity regardless of choice.
+        prog = borrow("a", unitary("X", "a"), unitary("X", "a"))
+        ops = denote(prog, ["q1", "q2", "q3"])
+        assert len(ops) == 1
+
+    def test_stuck_when_no_idle_qubit(self):
+        prog = borrow("a", unitary("CX", "a", "q1"))
+        assert denote(prog, ["q1"]) == []
+
+    def test_stuck_propagates_through_seq(self):
+        prog = seq(unitary("X", "q1"), borrow("a", unitary("CX", "a", "q1")))
+        assert denote(prog, ["q1"]) == []
+
+    def test_borrowed_qubit_excludes_used_ones(self):
+        prog = borrow("a", unitary("CX", "a", "q1"))
+        ops = denote(prog, ["q1", "q2"])
+        # only q2 can be borrowed
+        expected = Circuit(2).append(cnot(1, 0))
+        ref = QuantumOperation.from_unitary(circuit_unitary(expected), 2)
+        assert len(ops) == 1 and operations_equal(ops[0], ref)
+
+
+class TestEquivalence:
+    def test_programs_equivalent(self):
+        double_x = seq(unitary("X", "q"), unitary("X", "q"))
+        assert programs_equivalent(double_x, skip(), ["q", "p"])
+        assert not programs_equivalent(unitary("X", "q"), skip(), ["q"])
+
+    def test_set_equality_is_order_insensitive(self):
+        a = denote(borrow("a", unitary("X", "a")), ["q1", "q2"])
+        b = list(reversed(a))
+        assert set_of_operations_equal(a, b)
+
+    def test_set_equality_detects_size_mismatch(self):
+        a = denote(borrow("a", unitary("X", "a")), ["q1", "q2"])
+        assert not set_of_operations_equal(a, a[:1])

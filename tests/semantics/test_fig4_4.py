@@ -1,0 +1,104 @@
+"""Experiment E5: the Figure 4.4 nested-borrow program.
+
+The paper computes ``⟦S⟧ = {E2}``: with five working qubits, both nested
+borrows can only take q3, so the semantics collapses to the single
+unitary implemented by the Figure 3.1 circuit.
+"""
+
+import numpy as np
+
+from repro.channels import QuantumOperation
+from repro.circuits import circuit_unitary
+from repro.lang import borrow, idle, seq, substitute, unitary
+from repro.semantics import Interpretation
+from repro.verify import program_is_safe, program_safely_uncomputes
+from tests.conftest import fig31_circuit, fig44_verbatim_second_routine
+
+UNIVERSE = ["q1", "q2", "q3", "q4", "q5"]
+
+
+def fig44_program(corrected: bool = True):
+    """The Figure 4.4 program; ``corrected`` selects the a2-as-accumulator
+    reading consistent with Figure 3.1 (see conftest for the discrepancy)."""
+    if corrected:
+        s2 = seq(
+            unitary("CCX", "q4", "q5", "a2"),
+            unitary("CCX", "a2", "q2", "q1"),
+            unitary("CCX", "q4", "q5", "a2"),
+            unitary("CCX", "a2", "q2", "q1"),
+        )
+    else:
+        s2 = seq(
+            unitary("CCX", "q4", "q5", "q2"),
+            unitary("CCX", "a2", "q2", "q1"),
+            unitary("CCX", "q4", "q5", "q2"),
+            unitary("CCX", "a2", "q2", "q1"),
+        )
+    s1 = seq(
+        unitary("CCX", "q1", "q2", "a1"),
+        unitary("CCX", "a1", "q4", "q5"),
+        unitary("CCX", "q1", "q2", "a1"),
+        unitary("CCX", "a1", "q4", "q5"),
+        borrow("a2", s2),
+    )
+    return seq(unitary("CX", "q2", "q3"), borrow("a1", s1))
+
+
+class TestIdleScopes:
+    def test_idle_s1_is_q3(self):
+        program = fig44_program()
+        inner_borrow = program.items[1]
+        assert idle(inner_borrow.body, UNIVERSE) == frozenset({"q3"})
+
+    def test_idle_s2_after_substitution_is_q3(self):
+        program = fig44_program()
+        s1 = substitute(program.items[1].body, {"a1": "q3"})
+        nested = s1.items[-1]
+        assert idle(nested.body, UNIVERSE) == frozenset({"q3"})
+
+
+class TestSemanticsCollapse:
+    def test_singleton_semantics(self):
+        interp = Interpretation(UNIVERSE)
+        ops = interp.denote(fig44_program())
+        assert len(ops) == 1
+
+    def test_singleton_even_for_verbatim_variant(self):
+        # The collapse comes from the singleton idle pool, not safety.
+        interp = Interpretation(UNIVERSE)
+        ops = interp.denote(fig44_program(corrected=False))
+        assert len(ops) == 1
+
+    def test_equals_borrowed_circuit_unitary(self):
+        interp = Interpretation(UNIVERSE)
+        op = interp.denote(fig44_program())[0]
+        # Reference: Figure 3.1c — the circuit with both ancillas mapped
+        # onto q3 (wire 2).
+        circuit = fig31_circuit()
+        remapped = circuit.remap({5: 2, 6: 2}, 7)
+        # drop the two unused ancilla wires by rebuilding on 5 wires
+        from repro.circuits import Circuit
+
+        five = Circuit(5)
+        for gate in remapped.gates:
+            five.append(gate)
+        ref = QuantumOperation.from_unitary(circuit_unitary(five), 5)
+        assert op.close_to(ref)
+
+
+class TestSafety:
+    def test_corrected_program_is_safe(self):
+        assert program_is_safe(fig44_program(), UNIVERSE)
+
+    def test_verbatim_variant_is_unsafe(self):
+        """Documented discrepancy D2: as printed, a2 controls the final
+        CCCNOT and is not safely uncomputed."""
+        assert not program_is_safe(fig44_program(corrected=False), UNIVERSE)
+
+    def test_verbatim_circuit_counterexample(self):
+        from repro.verify import classical_safe_uncomputation
+
+        circuit = fig44_verbatim_second_routine()
+        result = classical_safe_uncomputation(circuit, 6)
+        assert not result.safe
+        assert result.failed_condition == "plus-restoration"

@@ -1,0 +1,94 @@
+"""Tests for the spectral termination analysis (Section 7 companion)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemanticsError
+from repro.lang import basis_measurement_on, borrow, seq, skip, unitary
+from repro.lang.ast import If, While, unitary_matrix
+from repro.semantics import (
+    Interpretation,
+    loop_terminates_almost_surely,
+    program_loops_terminate,
+)
+
+H = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+
+
+class TestSingleLoops:
+    def test_flip_loop_terminates(self):
+        # while q: X[q] — exits after exactly one iteration.
+        loop = While(basis_measurement_on("q"), unitary("X", "q"))
+        verdict = loop_terminates_almost_surely(loop, ["q"])
+        assert verdict.terminates
+        assert verdict.spectral_radius < 1e-6
+
+    def test_skip_loop_diverges(self):
+        loop = While(basis_measurement_on("q"), skip())
+        verdict = loop_terminates_almost_surely(loop, ["q"])
+        assert not verdict.terminates
+        assert verdict.spectral_radius == pytest.approx(1.0, abs=1e-9)
+
+    def test_divergence_witness_is_trapped_state(self):
+        loop = While(basis_measurement_on("q"), skip())
+        verdict = loop_terminates_almost_surely(loop, ["q"])
+        assert verdict.witness is not None
+        # the witness must be |1><1|: measured T forever.
+        assert verdict.witness[1, 1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_hadamard_loop_terminates_probabilistically(self):
+        loop = While(
+            basis_measurement_on("q"), unitary_matrix(H, "H", "q")
+        )
+        verdict = loop_terminates_almost_surely(loop, ["q"])
+        assert verdict.terminates
+        # each round keeps probability 1/2; the superoperator's
+        # spectral radius is the squared Kraus eigenvalue: 0.5
+        assert verdict.spectral_radius == pytest.approx(0.5, abs=1e-6)
+
+    def test_guard_on_other_qubit_diverges(self):
+        # while q: X[p] — q never changes; diverges from q=1.
+        loop = While(basis_measurement_on("q"), unitary("X", "p"))
+        verdict = loop_terminates_almost_surely(loop, ["q", "p"])
+        assert not verdict.terminates
+
+    def test_nondeterministic_body_rejected(self):
+        loop = While(
+            basis_measurement_on("q"),
+            borrow("a", unitary("X", "a")),
+        )
+        with pytest.raises(SemanticsError):
+            loop_terminates_almost_surely(loop, ["q", "p1", "p2"])
+
+
+class TestWholePrograms:
+    def test_loop_free_program(self):
+        program = seq(unitary("X", "q"), unitary("CX", "q", "p"))
+        assert program_loops_terminate(program, ["q", "p"])
+
+    def test_nested_divergent_loop_found(self):
+        program = seq(
+            unitary("X", "q"),
+            If(
+                basis_measurement_on("p"),
+                While(basis_measurement_on("q"), skip()),
+                skip(),
+            ),
+        )
+        assert not program_loops_terminate(program, ["q", "p"])
+
+    def test_terminating_loop_inside_borrow(self):
+        program = borrow(
+            "a",
+            While(basis_measurement_on("q"), unitary("X", "q")),
+        )
+        assert program_loops_terminate(program, ["q", "p1"])
+
+    def test_shared_interpretation(self):
+        interp = Interpretation(["q"])
+        loop = While(basis_measurement_on("q"), unitary("X", "q"))
+        verdict = loop_terminates_almost_surely(
+            loop, ["q"], interpretation=interp
+        )
+        assert verdict.terminates
+        assert "terminates" in str(verdict)

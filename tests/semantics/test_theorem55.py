@@ -1,0 +1,102 @@
+"""Theorem 5.5: a program is safe iff its semantics is deterministic
+(``|⟦S⟧| <= 1``) on sufficiently large universes."""
+
+import random
+
+from repro.lang import borrow, init, seq, skip, unitary
+from repro.lang.ast import If, basis_measurement_on
+from repro.semantics import Interpretation
+from repro.verify import program_is_safe
+from repro.verify.channel import semantics_is_deterministic
+
+UNIVERSE = ["q1", "q2", "q3", "q4"]
+
+
+class TestBothDirections:
+    def test_safe_program_is_deterministic(self):
+        # CX twice on the borrowed qubit: identity -> safe.
+        prog = seq(
+            unitary("X", "q1"),
+            borrow("a", unitary("CX", "q1", "a"), unitary("CX", "q1", "a")),
+        )
+        assert program_is_safe(prog, UNIVERSE)
+        assert semantics_is_deterministic(prog, UNIVERSE)
+
+    def test_unsafe_program_is_nondeterministic(self):
+        prog = borrow("a", unitary("X", "a"))
+        assert not program_is_safe(prog, UNIVERSE)
+        assert not semantics_is_deterministic(prog, UNIVERSE)
+
+    def test_stuck_program_counts_as_deterministic(self):
+        # |⟦S⟧| = 0: every borrow option is exhausted.
+        prog = borrow(
+            "a",
+            unitary("CX", "a", "q1"),
+            unitary("CX", "a", "q2"),
+            unitary("CX", "a", "q3"),
+            unitary("CX", "a", "q4"),
+        )
+        assert semantics_is_deterministic(prog, UNIVERSE)
+
+    def test_example_52_q_safe_but_program_unsafe(self):
+        """Example 5.2: q is safely uncomputed, the borrow is not."""
+        from repro.verify import program_safely_uncomputes
+
+        prog = seq(
+            unitary("X", "q1"),
+            borrow("a", unitary("X", "q1"), unitary("X", "a")),
+        )
+        assert program_safely_uncomputes(prog, "q1", UNIVERSE)
+        assert not program_is_safe(prog, UNIVERSE)
+        assert not semantics_is_deterministic(prog, UNIVERSE)
+
+
+def random_borrow_program(rng, safe):
+    """A borrow whose body either restores the placeholder or not."""
+    target = rng.choice(["q1", "q2"])
+    if safe:
+        body = [
+            unitary("CX", target, "a"),
+            unitary("X", "a"),
+            unitary("X", "a"),
+            unitary("CX", target, "a"),
+        ]
+    else:
+        body = [unitary("CX", target, "a"), unitary("X", "a")]
+    prefix = [unitary("X", target)] if rng.random() < 0.5 else []
+    return seq(*prefix, borrow("a", *body))
+
+
+class TestRandomised:
+    def test_equivalence_on_random_programs(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            safe = rng.random() < 0.5
+            prog = random_borrow_program(rng, safe)
+            assert program_is_safe(prog, UNIVERSE) == safe
+            assert semantics_is_deterministic(prog, UNIVERSE) == safe
+
+
+class TestControlFlowSafety:
+    def test_safe_borrow_inside_if(self):
+        prog = If(
+            basis_measurement_on("q1"),
+            borrow("a", unitary("X", "a"), unitary("X", "a")),
+            skip(),
+        )
+        assert program_is_safe(prog, UNIVERSE)
+        assert semantics_is_deterministic(prog, UNIVERSE)
+
+    def test_unsafe_borrow_inside_if(self):
+        prog = If(
+            basis_measurement_on("q1"),
+            borrow("a", unitary("X", "a")),
+            skip(),
+        )
+        assert not program_is_safe(prog, UNIVERSE)
+        assert not semantics_is_deterministic(prog, UNIVERSE)
+
+    def test_init_on_borrowed_qubit_is_unsafe(self):
+        # Resetting a dirty qubit destroys its state: not identity.
+        prog = borrow("a", init("a"))
+        assert not program_is_safe(prog, UNIVERSE)

@@ -1,0 +1,55 @@
+"""Experiment E6: the Figure 6.1 formula-construction trace."""
+
+import pytest
+
+from repro.circuits import Circuit, hadamard, x
+from repro.errors import VerificationError
+from repro.verify import formula_trace
+from repro.verify.booltrace import render_trace
+from tests.conftest import fig13_circuit
+
+
+class TestFigure61:
+    def test_full_table(self):
+        """Row-by-row reproduction of Figure 6.1."""
+        rows = formula_trace(fig13_circuit())
+        by_step = {row.step: row.formulas for row in rows}
+        assert by_step[0] == {
+            "q1": "q1", "q2": "q2", "a": "a", "q3": "q3", "q4": "q4",
+        }
+        assert by_step[1]["a"] == "a ^ q1&q2"
+        assert by_step[2]["q4"] == "q4 ^ a&q3 ^ q1&q2&q3"
+        # the x ^ x = 0 simplification after the third gate
+        assert by_step[3]["a"] == "a"
+        # final: q4 ^ q3(a ^ q1 q2) ^ q3 a  ==  q4 ^ q1&q2&q3
+        assert by_step[4]["q4"] == "q4 ^ q1&q2&q3"
+        assert by_step[4]["a"] == "a"
+        assert by_step[4]["q1"] == "q1"
+
+    def test_untouched_columns_stay_constant(self):
+        rows = formula_trace(fig13_circuit())
+        for row in rows:
+            assert row.formulas["q1"] == "q1"
+            assert row.formulas["q2"] == "q2"
+            assert row.formulas["q3"] == "q3"
+
+
+class TestRendering:
+    def test_render_contains_headers_and_rows(self):
+        text = render_trace(formula_trace(fig13_circuit()))
+        assert "b_a" in text and "b_q4" in text
+        assert "a ^ q1&q2" in text
+        assert text.count("\n") >= 6
+
+    def test_empty_trace(self):
+        assert render_trace([]) == ""
+
+
+class TestValidation:
+    def test_x_gate_trace(self):
+        rows = formula_trace(Circuit(1, labels=["w"]).append(x(0)))
+        assert rows[1].formulas["w"] == "1 ^ w"
+
+    def test_rejects_non_classical(self):
+        with pytest.raises(VerificationError):
+            formula_trace(Circuit(1).append(hadamard(0)))

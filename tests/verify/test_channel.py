@@ -1,0 +1,102 @@
+"""Tests for the Definition 5.1 channel-level check and theorem cross-
+validation on random operations (experiment E10)."""
+
+import numpy as np
+import pytest
+
+from repro.channels import QuantumOperation, basis_measurement, initialization
+from repro.linalg import embed_operator, random_unitary
+from repro.verify import (
+    operation_acts_identity_on,
+    preserves_bell_entanglement,
+    restores_basis_states,
+)
+
+
+def identity_on_qubit_op(rng, qubit, n):
+    """A random channel of the exact form I_qubit ⊗ E'."""
+    others = [p for p in range(n) if p != qubit]
+    u = random_unitary(n - 1, rng)
+    v = random_unitary(n - 1, rng)
+    k1 = embed_operator(u, others, n) * np.sqrt(0.5)
+    k2 = embed_operator(v, others, n) * np.sqrt(0.5)
+    return QuantumOperation([k1, k2], n)
+
+
+def touching_op(rng, qubit, n):
+    """A random channel that genuinely acts on ``qubit``."""
+    u = random_unitary(n, rng)
+    return QuantumOperation.from_unitary(u, n)
+
+
+class TestKrausFactorisation:
+    def test_accepts_tensor_channels(self, rng):
+        for qubit in range(3):
+            op = identity_on_qubit_op(rng, qubit, 3)
+            assert operation_acts_identity_on(op, qubit)
+
+    def test_rejects_touching_channels(self, rng):
+        op = touching_op(rng, 0, 2)
+        assert not operation_acts_identity_on(op, 0)
+
+    def test_initialization_is_not_identity(self):
+        assert not operation_acts_identity_on(initialization(0, 2), 0)
+        assert operation_acts_identity_on(initialization(0, 2), 1)
+
+    def test_measurement_branch_not_identity(self):
+        branch = basis_measurement(0, 2)[True]
+        assert not operation_acts_identity_on(branch, 0)
+
+    def test_rotated_kraus_representation_still_accepted(self, rng):
+        # Mix the Kraus operators of I ⊗ E' by a unitary: same channel,
+        # different representation — the check must still pass.
+        op = identity_on_qubit_op(rng, 1, 3)
+        k1, k2 = op.kraus
+        theta = 0.8
+        mixed = QuantumOperation(
+            [
+                np.cos(theta) * k1 + np.sin(theta) * k2,
+                -np.sin(theta) * k1 + np.cos(theta) * k2,
+            ],
+            3,
+        )
+        assert operation_acts_identity_on(mixed, 1)
+
+
+class TestTheorem61CrossValidation:
+    """Conditions (2) and (3) of Theorem 6.1 agree with Definition 5.1."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_positive_cases_all_three_checks(self, seed):
+        rng = np.random.default_rng(seed)
+        qubit = int(rng.integers(0, 3))
+        op = identity_on_qubit_op(rng, qubit, 3)
+        assert operation_acts_identity_on(op, qubit)
+        assert restores_basis_states(op, qubit)
+        assert preserves_bell_entanglement(op, qubit)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_negative_cases_all_three_checks(self, seed):
+        rng = np.random.default_rng(seed + 1000)
+        op = touching_op(rng, 0, 2)
+        assert not operation_acts_identity_on(op, 0)
+        assert not restores_basis_states(op, 0)
+        assert not preserves_bell_entanglement(op, 0)
+
+    def test_z_phase_caught_by_all(self):
+        # The Figure 1.4 lesson at channel level: Z restores basis
+        # states per-computational-input but fails |+> and Bell tests.
+        z = embed_operator(np.diag([1.0, -1.0]), [0], 2)
+        op = QuantumOperation.from_unitary(z, 2)
+        assert not operation_acts_identity_on(op, 0)
+        assert not restores_basis_states(op, 0)
+        assert not preserves_bell_entanglement(op, 0)
+
+    def test_control_dependence_caught_by_all(self):
+        from repro.circuits import Circuit, circuit_unitary, cnot
+
+        u = circuit_unitary(Circuit(2).append(cnot(1, 0)))
+        op = QuantumOperation.from_unitary(u, 2)
+        assert not operation_acts_identity_on(op, 1)
+        assert not restores_basis_states(op, 1)
+        assert not preserves_bell_entanglement(op, 1)

@@ -1,0 +1,114 @@
+"""Tests for the Theorem 6.2 classical checker, including the Figure 1.4
+counterexample (experiment E3)."""
+
+import pytest
+
+from repro.circuits import Circuit, cnot, mcx, toffoli, x
+from repro.errors import VerificationError
+from repro.verify import classical_safe_uncomputation
+from repro.verify.classical import naive_classical_check
+from tests.conftest import fig13_circuit
+
+
+class TestFigure14Counterexample:
+    """A circuit that is safe for a *clean* qubit but not a *dirty* one."""
+
+    def circuit(self):
+        # a (wire 1) controls a NOT on q: every computational-basis input
+        # restores a, yet |+> on a is not restored (phase kickback /
+        # copying correlation).
+        return Circuit(2, labels=["q", "a"]).append(cnot(1, 0))
+
+    def test_naive_clean_check_passes(self):
+        assert naive_classical_check(self.circuit(), 1)
+
+    def test_dirty_check_fails(self):
+        result = classical_safe_uncomputation(self.circuit(), 1)
+        assert not result.safe
+        assert result.failed_condition == "plus-restoration"
+
+    def test_counterexample_is_concrete(self):
+        result = classical_safe_uncomputation(self.circuit(), 1)
+        bits = result.counterexample_input
+        assert bits is not None and bits[1] == 0
+
+
+class TestZeroRestoration:
+    def test_x_gate_fails_zero(self):
+        circuit = Circuit(2).append(x(1))
+        result = classical_safe_uncomputation(circuit, 1)
+        assert result.failed_condition == "zero-restoration"
+
+    def test_naive_check_also_fails_x(self):
+        assert not naive_classical_check(Circuit(1).append(x(0)), 0)
+
+
+class TestSafeCircuits:
+    def test_fig13(self):
+        assert classical_safe_uncomputation(fig13_circuit(), 2).safe
+
+    def test_idle_wire(self):
+        circuit = Circuit(3).append(cnot(0, 1))
+        assert classical_safe_uncomputation(circuit, 2).safe
+
+    def test_toggling_pattern_is_safe(self):
+        # The Figure 1.3 toggling discipline: the scratch is *read twice*
+        # so its dirty offset cancels in the target.
+        gates = [
+            toffoli(0, 1, 2),
+            cnot(2, 3),
+            toffoli(0, 1, 2),
+            cnot(2, 3),
+        ]
+        circuit = Circuit(4).extend(gates)
+        assert classical_safe_uncomputation(circuit, 2).safe
+
+    def test_single_read_of_dirty_scratch_is_unsafe(self):
+        # Restoring the scratch is NOT enough if its dirty value leaked
+        # into another qubit via a single read — clean-qubit reasoning
+        # would accept this circuit, dirty-qubit reasoning must not.
+        gates = [toffoli(0, 1, 2), cnot(2, 3), toffoli(0, 1, 2)]
+        circuit = Circuit(4).extend(gates)
+        result = classical_safe_uncomputation(circuit, 2)
+        assert not result.safe
+        assert result.failed_condition == "plus-restoration"
+
+    def test_result_truthiness(self):
+        assert classical_safe_uncomputation(fig13_circuit(), 2)
+        assert not classical_safe_uncomputation(
+            Circuit(1).append(x(0)), 0
+        )
+
+
+class TestAgainstDefinition31:
+    """Brute-force Theorem 6.2 equals the unitary factorisation check."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_circuits_agree(self, seed):
+        import random
+
+        from repro.circuits import circuit_unitary
+        from repro.verify import unitary_acts_identity_on
+
+        rng = random.Random(seed)
+        n = 4
+        gates = []
+        for _ in range(rng.randint(1, 8)):
+            wires = rng.sample(range(n), rng.randint(1, 3))
+            gates.append(mcx(wires[:-1], wires[-1]))
+        circuit = Circuit(n).extend(gates)
+        u = circuit_unitary(circuit)
+        for qubit in range(n):
+            expected = unitary_acts_identity_on(u, qubit, n)
+            got = classical_safe_uncomputation(circuit, qubit).safe
+            assert got == expected, (seed, qubit)
+
+
+class TestValidation:
+    def test_rejects_non_classical(self):
+        from repro.circuits import hadamard
+
+        with pytest.raises(VerificationError):
+            classical_safe_uncomputation(
+                Circuit(1).append(hadamard(0)), 0
+            )

@@ -1,0 +1,119 @@
+"""Tests for program-level borrow verification via the scalable pipeline,
+cross-validated against the dense semantic checkers."""
+
+import pytest
+
+from repro.errors import SemanticsError
+from repro.lang import borrow, seq, unitary
+from repro.lang.ast import If, basis_measurement_on
+from repro.verify import program_is_safe
+from repro.verify.program import verify_borrows_in_program
+
+UNIVERSE = ["q1", "q2", "q3", "q4"]
+
+
+class TestBasicVerdicts:
+    def test_safe_borrow(self):
+        program = borrow(
+            "a", unitary("CX", "q1", "a"), unitary("CX", "q1", "a")
+        )
+        report = verify_borrows_in_program(program, UNIVERSE, backend="bdd")
+        assert report.all_safe
+        assert report.borrows[0].pool_size == 3
+
+    def test_unsafe_borrow(self):
+        program = borrow("a", unitary("X", "a"))
+        report = verify_borrows_in_program(program, UNIVERSE)
+        assert not report.all_safe
+        assert report.borrows[0].failing is not None
+
+    def test_fig13_pattern(self):
+        program = borrow(
+            "a",
+            unitary("CCX", "q1", "q2", "a"),
+            unitary("CCX", "a", "q3", "q4"),
+            unitary("CCX", "q1", "q2", "a"),
+            unitary("CCX", "a", "q3", "q4"),
+        )
+        report = verify_borrows_in_program(program, UNIVERSE)
+        assert report.all_safe
+
+    def test_stuck_borrow_is_vacuously_safe(self):
+        program = borrow(
+            "a",
+            unitary("CX", "a", "q1"),
+            unitary("CX", "a", "q2"),
+            unitary("CX", "a", "q3"),
+            unitary("CX", "a", "q4"),
+        )
+        report = verify_borrows_in_program(program, UNIVERSE)
+        assert report.all_safe
+        assert report.borrows[0].stuck
+
+    def test_no_borrows(self):
+        report = verify_borrows_in_program(unitary("X", "q1"), UNIVERSE)
+        assert report.all_safe
+        assert "(no borrows)" in report.summary()
+
+
+class TestNestedBorrows:
+    def test_nested_instantiations_enumerated(self):
+        # inner borrow's value is XORed into 'a' twice: 'a' safe for any
+        # choice of 'b'; 'b' untouched hence safe.
+        program = borrow(
+            "a",
+            borrow("b", unitary("CX", "b", "a"), unitary("CX", "b", "a")),
+        )
+        report = verify_borrows_in_program(program, UNIVERSE)
+        assert report.all_safe
+        outer = report.borrows[0]
+        assert outer.instantiations_checked >= 3
+
+    def test_nested_single_read_is_unsafe_for_inner(self):
+        program = borrow("a", borrow("b", unitary("CX", "b", "a")))
+        report = verify_borrows_in_program(program, UNIVERSE)
+        verdicts = {b.placeholder: b.safe for b in report.borrows}
+        assert verdicts["b"] is False  # b's value leaks into a
+        assert verdicts["a"] is False  # a is overwritten by b
+
+    def test_agrees_with_dense_semantics(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(15):
+            target = rng.choice(["q1", "q2"])
+            if rng.random() < 0.5:
+                body = [
+                    unitary("CX", target, "a"),
+                    unitary("CX", target, "a"),
+                ]
+            else:
+                body = [unitary("CX", target, "a"), unitary("X", "a")]
+            program = seq(unitary("X", target), borrow("a", *body))
+            fast = verify_borrows_in_program(program, UNIVERSE).all_safe
+            dense = program_is_safe(program, UNIVERSE)
+            assert fast == dense
+
+
+class TestValidation:
+    def test_control_flow_rejected(self):
+        program = borrow(
+            "a",
+            If(basis_measurement_on("q1"), unitary("X", "a"), unitary("X", "a")),
+        )
+        with pytest.raises(SemanticsError):
+            verify_borrows_in_program(program, UNIVERSE)
+
+    def test_cap_enforced(self):
+        # 3 nested borrows with 3-qubit pools exceed a tiny cap.
+        inner = borrow("c", unitary("X", "c"), unitary("X", "c"))
+        middle = borrow("b", inner)
+        program = borrow("a", middle, unitary("CX", "q1", "a"),
+                         unitary("CX", "q1", "a"))
+        with pytest.raises(SemanticsError):
+            verify_borrows_in_program(program, UNIVERSE, cap=2)
+
+    def test_summary_text(self):
+        program = borrow("a", unitary("X", "a"))
+        report = verify_borrows_in_program(program, UNIVERSE)
+        assert "UNSAFE" in report.summary()

@@ -1,0 +1,73 @@
+"""Tests for the Definition 3.1 unitary factorisation check."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, circuit_unitary, cnot, hadamard, x
+from repro.errors import QubitError
+from repro.linalg import embed_operator, random_unitary
+from repro.verify import factor_unitary, unitary_acts_identity_on
+from repro.verify.unitary import move_qubit_front
+
+
+class TestMoveQubitFront:
+    def test_front_qubit_is_noop(self, rng):
+        u = random_unitary(2, rng)
+        assert np.allclose(move_qubit_front(u, 0, 2), u)
+
+    def test_moved_blocks_expose_tensor_structure(self, rng):
+        v = random_unitary(2, rng)
+        # V on qubits (0,1), identity on qubit 2; with qubit 2 in front
+        # the matrix must be block-diag(V, V).
+        full = embed_operator(v, [0, 1], 3)
+        moved = move_qubit_front(full, 2, 3)
+        half = 4
+        assert np.allclose(moved[:half, :half], v)
+        assert np.allclose(moved[half:, half:], v)
+        assert np.allclose(moved[:half, half:], 0)
+        assert np.allclose(moved[half:, :half], 0)
+
+    def test_bounds(self):
+        with pytest.raises(QubitError):
+            move_qubit_front(np.eye(4), 2, 2)
+        with pytest.raises(QubitError):
+            move_qubit_front(np.eye(3), 0, 2)
+
+
+class TestFactorUnitary:
+    def test_tensor_factorisation_recovered(self, rng):
+        v = random_unitary(2, rng)
+        for qubit in range(3):
+            others = [p for p in range(3) if p != qubit]
+            full = embed_operator(v, others, 3)
+            recovered = factor_unitary(full, qubit, 3)
+            assert recovered is not None
+            assert np.allclose(recovered, v)
+
+    def test_x_gate_rejected(self):
+        u = circuit_unitary(Circuit(2).append(x(1)))
+        assert factor_unitary(u, 1, 2) is None
+
+    def test_control_dependence_rejected(self):
+        # CNOT with q as control: not identity on q despite classical
+        # basis restoration — the essence of Figure 1.4.
+        u = circuit_unitary(Circuit(2).append(cnot(1, 0)))
+        assert not unitary_acts_identity_on(u, 1, 2)
+
+    def test_phase_between_blocks_rejected(self):
+        # Z ⊗ I: diagonal, restores basis states, but alters |+> — must
+        # NOT count as identity on the Z qubit.
+        z = np.diag([1.0, -1.0])
+        full = embed_operator(z, [0], 2)
+        assert not unitary_acts_identity_on(full, 0, 2)
+
+    def test_global_phase_is_tolerated_in_v(self, rng):
+        # e^{i phi} V ⊗ I still factorises (phase lives in V).
+        v = random_unitary(1, rng) * np.exp(0.7j)
+        full = embed_operator(v, [1], 2)
+        assert unitary_acts_identity_on(full, 0, 2)
+
+    def test_hadamard_on_other_wires_ok(self):
+        u = circuit_unitary(Circuit(3).extend([hadamard(0), cnot(0, 1)]))
+        assert unitary_acts_identity_on(u, 2, 3)
+        assert not unitary_acts_identity_on(u, 0, 3)
