@@ -1,28 +1,55 @@
-"""Regenerate the paper's tables in their original layout.
+"""Regenerate the paper's tables and the machine-readable perf record.
 
 Standalone companion to the pytest-benchmark harness: prints
 
 * Figure 1.1  — adder cost table;
 * Figure 10.2 — adder verification seconds per qubit count, per backend;
-* Figure 10.3 — MCX verification seconds per qubit count, per backend.
+* Figure 10.3 — MCX verification seconds per qubit count, per backend;
 
-The output of this script is the source of the measured columns in
-EXPERIMENTS.md.
+and always writes ``BENCH_verify.json`` — per-backend solver seconds on
+a fixed ≥12-dirty-qubit circuit plus the sequential-loop vs. batch-engine
+wall-time comparison — so successive PRs can track the perf trajectory.
 
-Run:  python benchmarks/run_paper_tables.py [--quick]
+The *sequential loop* baseline is the pre-batch caller pattern (one
+:func:`verify_circuit` call per dirty qubit, re-tracking and re-encoding
+the circuit each time — what the multi-programming scheduler used to do
+per borrow).  The batch row runs the same checks through one
+:class:`repro.verify.batch.BatchVerifier` call.
+
+Run:  python benchmarks/run_paper_tables.py [--quick] [--bench-only]
+                                            [--bench-json PATH]
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 
 from repro.adders.costs import adder_cost_rows
+from repro.errors import SolverError
 from repro.lang.surface import elaborate
 from repro.lang.surface.sources import adder_qbr_source, mcx_qbr_source
-from repro.verify import verify_circuit
+from repro.verify import BatchVerifier, available_backends, verify_circuit
 
 QUICK = "--quick" in sys.argv
+BENCH_ONLY = "--bench-only" in sys.argv
+
+#: Fixed workload of the BENCH_verify.json record: adder.qbr with 13
+#: dirty carry ancillas (the acceptance floor is >= 12).
+BENCH_ADDER_N = 14
+
+#: Sweep rows collected for BENCH_verify.json as figures run.
+_figure_rows: dict = {}
+
+
+def _bench_json_path() -> str:
+    if "--bench-json" in sys.argv:
+        index = sys.argv.index("--bench-json") + 1
+        if index >= len(sys.argv) or sys.argv[index].startswith("--"):
+            sys.exit("error: --bench-json requires a path argument")
+        return sys.argv[index]
+    return "BENCH_verify.json"
 
 
 def figure_1_1() -> None:
@@ -45,12 +72,13 @@ def figure_1_1() -> None:
     print()
 
 
-def _sweep(name, sources, backends) -> None:
+def _sweep(name, key, sources, backends) -> None:
     print(f"=== {name} ===")
     header = f"{'Duration (s)':<14}" + "".join(
         f"{label:>14}" for label, _ in sources
     )
     print(header)
+    rows = _figure_rows.setdefault(key, [])
     for backend, cap in backends:
         cells = []
         for label, source in sources:
@@ -65,6 +93,14 @@ def _sweep(name, sources, backends) -> None:
             elapsed = time.perf_counter() - start
             flag = "" if report.all_safe else "!UNSAFE"
             cells.append(f"{elapsed:>13.2f}{flag:1}")
+            rows.append({
+                "backend": backend,
+                "qubits": program.circuit.num_qubits,
+                "dirty_qubits": len(program.dirty_wires),
+                "wall_seconds": round(elapsed, 4),
+                "solver_seconds": round(report.solver_seconds, 4),
+                "all_safe": report.all_safe,
+            })
         print(f"{backend:<14}" + "".join(cells))
     print()
 
@@ -75,6 +111,7 @@ def figure_10_2() -> None:
     backends = [("bdd", None), ("cdcl", 160 if not QUICK else 110)]
     _sweep(
         "Figure 10.2: adder.qbr verification (all n-1 dirty ancillas)",
+        "fig10_2",
         sources,
         backends,
     )
@@ -86,12 +123,121 @@ def figure_10_3() -> None:
     backends = [("cdcl", None), ("bdd", 1600)]
     _sweep(
         "Figure 10.3: mcx.qbr verification (one dirty ancilla)",
+        "fig10_3",
         sources,
         backends,
     )
 
 
+#: Largest adder each backend gets in the per-backend table.  DPLL has
+#: no clause learning (~30x per +2 qubits past n=8) and brute force
+#: caps at 24 CNF variables, so both run a reduced companion workload —
+#: recorded per row so the JSON stays honest.
+_BACKEND_ADDER_CAP = {"dpll": 8, "brute": 4}
+
+
+def per_backend_solver_seconds() -> list:
+    """Solver seconds of every registered backend on its largest
+    tractable adder workload (``qubits`` recorded per row)."""
+    rows = []
+    for backend in available_backends():
+        n = min(BENCH_ADDER_N, _BACKEND_ADDER_CAP.get(backend, BENCH_ADDER_N))
+        program = elaborate(adder_qbr_source(n))
+        start = time.perf_counter()
+        try:
+            report = verify_circuit(
+                program.circuit, program.dirty_wires, backend=backend
+            )
+        except SolverError as error:
+            rows.append({"backend": backend, "adder_n": n, "error": str(error)})
+            print(f"  {backend:<14} n={n:<3} (failed: {error})", flush=True)
+            continue
+        wall = time.perf_counter() - start
+        rows.append({
+            "backend": backend,
+            "adder_n": n,
+            "dirty_qubits": len(program.dirty_wires),
+            "wall_seconds": round(wall, 4),
+            "solver_seconds": round(report.solver_seconds, 4),
+            "all_safe": report.all_safe,
+        })
+        print(
+            f"  {backend:<14} n={n:<3} solver={report.solver_seconds:>8.3f}s "
+            f"wall={wall:>8.3f}s",
+            flush=True,
+        )
+    return rows
+
+
+def sequential_vs_batch(program, backend: str) -> dict:
+    """The headline comparison: per-qubit verify_circuit loop vs. one
+    BatchVerifier call over the same dirty qubits."""
+    start = time.perf_counter()
+    sequential_verdicts = []
+    for qubit in program.dirty_wires:
+        report = verify_circuit(program.circuit, [qubit], backend=backend)
+        sequential_verdicts.extend(report.verdicts)
+    sequential_wall = time.perf_counter() - start
+
+    verifier = BatchVerifier(backend=backend)
+    start = time.perf_counter()
+    batch_report = verifier.verify_circuit(
+        program.circuit, program.dirty_wires
+    )
+    batch_wall = time.perf_counter() - start
+
+    agree = [v.safe for v in sequential_verdicts] == [
+        v.safe for v in batch_report.verdicts
+    ]
+    row = {
+        "backend": backend,
+        "dirty_qubits": len(program.dirty_wires),
+        "sequential_wall_seconds": round(sequential_wall, 4),
+        "batch_wall_seconds": round(batch_wall, 4),
+        "speedup": round(sequential_wall / batch_wall, 2)
+        if batch_wall > 0 else None,
+        "verdicts_agree": agree,
+    }
+    print(
+        f"  {backend:<14} sequential={sequential_wall:>8.3f}s "
+        f"batch={batch_wall:>8.3f}s speedup={row['speedup']}x"
+    )
+    return row
+
+
+def bench_verify(path: str) -> None:
+    program = elaborate(adder_qbr_source(BENCH_ADDER_N))
+    workload = (
+        f"adder.qbr n={BENCH_ADDER_N} "
+        f"({len(program.dirty_wires)} dirty carry ancillas)"
+    )
+    print(f"=== BENCH_verify: {workload} ===", flush=True)
+    print("per-backend solver seconds:", flush=True)
+    backend_rows = per_backend_solver_seconds()
+    print("sequential loop vs. batch engine:", flush=True)
+    comparison = [
+        sequential_vs_batch(program, backend) for backend in ("bdd", "cdcl")
+    ]
+    payload = {
+        "schema": "bench-verify/v1",
+        "generated_by": "benchmarks/run_paper_tables.py",
+        "workload": workload,
+        "quick": QUICK,
+        "backends": backend_rows,
+        "sequential_vs_batch": comparison,
+        "figures": _figure_rows,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    print()
+
+
 if __name__ == "__main__":
-    figure_1_1()
-    figure_10_2()
-    figure_10_3()
+    bench_path = _bench_json_path()  # validate flags before the sweeps
+    if not BENCH_ONLY:
+        figure_1_1()
+        figure_10_2()
+        figure_10_3()
+    bench_verify(bench_path)

@@ -19,7 +19,7 @@ from repro.lang.surface import elaborate
 from repro.lang.surface.sources import adder_qbr_source, mcx_qbr_source
 from repro.verify import track_circuit, verify_circuit
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 
 class TestA1Simplification:

@@ -13,7 +13,7 @@ import pytest
 
 from repro.adders.costs import ADDER_BUILDERS, adder_cost_rows, fit_growth
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 WIDTHS = [8, 16, 32, 64, 128]
 

@@ -19,7 +19,7 @@ from repro.lang.surface import elaborate
 from repro.lang.surface.sources import adder_qbr_source
 from repro.verify import verify_circuit
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 #: (backend, n) sweep; the paper's x-axis is n = 50..200.
 CASES = [

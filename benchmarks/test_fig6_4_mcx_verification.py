@@ -14,7 +14,7 @@ from repro.lang.surface import elaborate
 from repro.lang.surface.sources import mcx_qbr_source
 from repro.verify import verify_circuit
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 #: (backend, m); the paper's x-axis is n = 2m-1 controls = 499..3499.
 CASES = [

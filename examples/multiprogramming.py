@@ -55,11 +55,21 @@ def main() -> None:
     )
 
     print("\n=== adding a rogue job with an unsafe ancilla ===")
-    result = MultiProgrammer(machine_size=naive + 2).schedule(jobs + [rogue_job()])
+    scheduler = MultiProgrammer(machine_size=naive + 2)
+    result = scheduler.schedule(jobs + [rogue_job()])
     print(result.summary())
     print(
         "\nThe rogue ancilla is kept on a private wire: borrowing it\n"
         "across a program boundary would corrupt the co-tenant."
+    )
+
+    print("\n=== re-scheduling: verdicts are memoised per circuit ===")
+    scheduler.schedule(jobs + [rogue_job()])
+    verifier = scheduler.verifier
+    print(
+        f"batch engine cache: {verifier.cache_hits} hits / "
+        f"{verifier.cache_misses} misses — repeated borrows of the same "
+        f"ancilla cost no solver runs"
     )
 
 

@@ -22,15 +22,34 @@ def main(n: int = 16) -> None:
     program = elaborate(source)
     print(f"elaborated: {program.summary()}")
 
-    for backend in ("bdd", "cdcl"):
+    for backend in ("bdd", "cdcl", "portfolio"):
         report = verify_circuit(
             program.circuit, program.dirty_wires, backend=backend
         )
         status = "ALL SAFE" if report.all_safe else "UNSAFE"
         print(
-            f"backend={backend:<5} {status}: {len(report.verdicts)} dirty "
+            f"backend={backend:<9} {status}: {len(report.verdicts)} dirty "
             f"qubits in {report.solver_seconds:.3f}s solver time"
         )
+
+    print("\n--- batch engine: one shared tracking/compile pass ---")
+    import time
+
+    from repro.verify import BatchVerifier
+
+    start = time.perf_counter()
+    for qubit in program.dirty_wires:  # the pre-batch caller pattern
+        verify_circuit(program.circuit, [qubit], backend="bdd")
+    sequential = time.perf_counter() - start
+    start = time.perf_counter()
+    BatchVerifier(backend="bdd").verify_circuit(
+        program.circuit, program.dirty_wires
+    )
+    batch = time.perf_counter() - start
+    print(
+        f"per-qubit loop {sequential:.3f}s vs one batch call {batch:.3f}s "
+        f"({sequential / batch:.1f}x)"
+    )
 
     print("\n--- fault injection: drop the final uncompute gate ---")
     broken = Circuit(

@@ -20,7 +20,7 @@ def main(m: int = 100) -> None:
     print(f"=== mcx.qbr with m = {m}: C^{layout.n}X ===")
     print(f"costs: {circuit_costs(layout.circuit)}")
 
-    for backend in ("cdcl", "bdd"):
+    for backend in ("cdcl", "bdd", "portfolio"):
         report = verify_circuit(
             layout.circuit, [layout.ancilla], backend=backend
         )

@@ -1,7 +1,9 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Setup shim for offline environments without the ``wheel`` package.
 
-``pip install -e . --no-use-pep517`` uses this legacy path; all project
-metadata lives in ``pyproject.toml``.
+All project metadata lives in ``pyproject.toml``; modern installs use
+``pip install -e .`` (PEP 517/660, src layout).  This file exists only
+so ``python setup.py develop`` still provides an editable install where
+pip's build isolation cannot download fresh setuptools/wheel.
 """
 
 from setuptools import setup

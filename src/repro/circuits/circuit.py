@@ -8,6 +8,7 @@ execution.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.circuits.gates import Gate
@@ -99,6 +100,29 @@ class Circuit:
         """Qubits never touched by any gate — the circuit analogue of
         the paper's syntactic ``idle(S)``."""
         return set(range(self.num_qubits)) - self.qubits_touched()
+
+    def fingerprint(self) -> str:
+        """Content hash of the circuit: width, labels and gate list.
+
+        Two circuits with equal fingerprints verify identically, which
+        is what lets :class:`repro.verify.batch.BatchVerifier` memoise
+        verdicts across calls.  The hash reflects the gate list at call
+        time — mutating the circuit afterwards changes it.  Explicit
+        ``matrix`` payloads of custom gates are not hashed; such gates
+        are outside the classical fragment the verifiers accept anyway.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(f"{self.num_qubits}".encode())
+        for label in self.labels or ():
+            encoded = label.encode()
+            # Length prefix: ["al","x"] must not collide with ["a","lx"].
+            digest.update(f"l{len(encoded)}:".encode() + encoded)
+        for gate in self.gates:
+            digest.update(
+                f"|{gate.name}:{','.join(map(str, gate.qubits))}"
+                f":{','.join(map(str, gate.params))}".encode()
+            )
+        return digest.hexdigest()
 
     def label_of(self, qubit: int) -> str:
         """Human-readable name of a wire."""

@@ -25,7 +25,7 @@ from repro.circuits.borrowing import BorrowPlan, borrow_dirty_qubits
 from repro.circuits.circuit import Circuit
 from repro.circuits.classical import is_classical_circuit
 from repro.errors import CircuitError, VerificationError
-from repro.verify.pipeline import verify_circuit
+from repro.verify.batch import BatchVerifier, VerificationJob
 
 
 @dataclass(frozen=True)
@@ -86,11 +86,24 @@ class ScheduleResult:
 class MultiProgrammer:
     """Packs jobs onto one machine with verified dirty-qubit borrowing."""
 
-    def __init__(self, machine_size: int, backend: str = "bdd"):
+    def __init__(
+        self,
+        machine_size: int,
+        backend: str = "bdd",
+        max_workers: Optional[int] = None,
+        verifier: Optional[BatchVerifier] = None,
+    ):
         if machine_size < 1:
             raise CircuitError("machine must have at least one qubit")
         self.machine_size = machine_size
         self.backend = backend
+        # One engine for the scheduler's lifetime: ancilla verdicts are
+        # memoised by circuit fingerprint, so re-submitting a job (the
+        # steady state of a borrow-at-schedule-time service) costs no
+        # solver runs after the first schedule.
+        self.verifier = verifier or BatchVerifier(
+            backend=backend, max_workers=max_workers
+        )
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -139,17 +152,26 @@ class MultiProgrammer:
     def _verify_ancillas(
         self, jobs: Sequence[QuantumJob]
     ) -> Dict[Tuple[str, int], bool]:
-        safety: Dict[Tuple[str, int], bool] = {}
+        """Verify every requested ancilla in one batch-engine call."""
+        requesting: List[QuantumJob] = []
         for job in jobs:
-            wires = [request.wire for request in job.ancilla_requests]
-            if not wires:
+            if not job.ancilla_requests:
                 continue
             if not is_classical_circuit(job.circuit):
                 raise VerificationError(
                     f"job {job.name}: only classical circuits can be "
                     f"auto-verified for cross-program borrowing"
                 )
-            report = verify_circuit(job.circuit, wires, backend=self.backend)
+            requesting.append(job)
+        reports = self.verifier.verify_circuits(
+            VerificationJob(
+                job.circuit,
+                tuple(request.wire for request in job.ancilla_requests),
+            )
+            for job in requesting
+        )
+        safety: Dict[Tuple[str, int], bool] = {}
+        for job, report in zip(requesting, reports):
             for verdict in report.verdicts:
                 safety[(job.name, verdict.qubit)] = verdict.safe
         return safety

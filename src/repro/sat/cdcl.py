@@ -11,10 +11,10 @@ deletion.  It stands in for the native bit-blasting solvers the paper uses
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.boolfn.cnf import Cnf
-from repro.errors import SolverError
+from repro.errors import SolverCancelled, SolverError
 from repro.sat.result import SatResult, SatStats
 
 _RESTART_BASE = 128
@@ -54,11 +54,21 @@ class CdclSolver:
     max_conflicts:
         Optional conflict budget; exceeding it raises :class:`SolverError`
         so benchmark sweeps fail loudly rather than silently hang.
+    stop_check:
+        Optional zero-argument callable polled at the search-loop head;
+        returning True aborts the run with :class:`SolverCancelled`
+        (how a portfolio race reclaims its losers).
     """
 
-    def __init__(self, cnf: Cnf, max_conflicts: Optional[int] = None):
+    def __init__(
+        self,
+        cnf: Cnf,
+        max_conflicts: Optional[int] = None,
+        stop_check: Optional[Callable[[], bool]] = None,
+    ):
         self.num_vars = cnf.num_vars
         self.max_conflicts = max_conflicts
+        self.stop_check = stop_check
         self.stats = SatStats()
 
         self._assign: List[int] = [0] * (self.num_vars + 1)  # 0 / +1 / -1
@@ -106,6 +116,8 @@ class CdclSolver:
         max_learned = max(2000, 2 * len(self._clauses))
 
         while True:
+            if self.stop_check is not None and self.stop_check():
+                raise SolverCancelled("CDCL run cancelled by caller")
             conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1

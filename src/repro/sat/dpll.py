@@ -8,19 +8,30 @@ verification formulas quantifies what clause learning buys.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.boolfn.cnf import Cnf
-from repro.errors import SolverError
+from repro.errors import SolverCancelled, SolverError
 from repro.sat.result import SatResult, SatStats
 
 
 class DpllSolver:
-    """Iterative DPLL over a CNF instance (single use)."""
+    """Iterative DPLL over a CNF instance (single use).
 
-    def __init__(self, cnf: Cnf, max_decisions: Optional[int] = None):
+    ``stop_check`` is polled at the search-loop head; returning True
+    aborts with :class:`SolverCancelled` (see
+    :class:`repro.sat.cdcl.CdclSolver`).
+    """
+
+    def __init__(
+        self,
+        cnf: Cnf,
+        max_decisions: Optional[int] = None,
+        stop_check: Optional[Callable[[], bool]] = None,
+    ):
         self.num_vars = cnf.num_vars
         self.max_decisions = max_decisions
+        self.stop_check = stop_check
         self.stats = SatStats()
         self._clauses = [list(dict.fromkeys(c)) for c in cnf.clauses]
         self._occurrences: Dict[int, List[int]] = {}
@@ -90,6 +101,8 @@ class DpllSolver:
         # Main loop: decide positive phase first, flip on conflict.
         pending_flip: Optional[int] = None
         while True:
+            if self.stop_check is not None and self.stop_check():
+                raise SolverCancelled("DPLL run cancelled by caller")
             if pending_flip is None:
                 ok = propagate()
             else:

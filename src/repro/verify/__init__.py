@@ -9,11 +9,24 @@ Checkers, from most semantic to most scalable:
   (conditions 2 and 3);
 * :mod:`repro.verify.classical` — Theorem 6.2's two-state criterion,
   decided exactly by truth-table enumeration (the small-scale oracle);
-* :mod:`repro.verify.boolean` — the Section 6.1 reduction: tracked Boolean
-  formulas, formulas (6.1)/(6.2), SAT and BDD backends (Theorem 6.4);
+* :mod:`repro.verify.tracking` — the Section 6.1 reduction: tracked
+  Boolean formulas and the (6.1)/(6.2) obligations;
+* :mod:`repro.verify.backends` — the pluggable decision procedures
+  behind Theorem 6.4: a ``@register_backend`` registry with one module
+  per engine (``cdcl``, ``dpll``, ``brute``, ``bdd``, ``bdd-reversed``)
+  plus ``portfolio``, which races SAT against BDD and returns the first
+  verdict;
+* :mod:`repro.verify.batch` — :class:`BatchVerifier`, the throughput
+  engine: one tracking pass and one checker per circuit, per-qubit
+  checks fanned out over a worker pool, verdicts memoised by
+  ``(circuit fingerprint, qubit, backend)``;
+* :mod:`repro.verify.report` — per-qubit verdicts and reports with
+  simulator-replayed counterexamples;
+* :mod:`repro.verify.pipeline` — :func:`verify_circuit`, the
+  single-circuit shim over the batch engine;
 * :mod:`repro.verify.booltrace` — the Figure 6.1 construction trace;
-* :mod:`repro.verify.pipeline` — end-to-end circuit/program verification
-  producing per-qubit verdicts with replayable counterexamples.
+* :mod:`repro.verify.boolean` — compatibility façade over tracking +
+  backends for pre-refactor imports.
 """
 
 from repro.verify.unitary import factor_unitary, unitary_acts_identity_on
@@ -28,14 +41,20 @@ from repro.verify.basis import (
     preserves_bell_entanglement,
 )
 from repro.verify.classical import classical_safe_uncomputation
-from repro.verify.boolean import (
-    BooleanCheckOutcome,
+from repro.verify.tracking import (
     TrackedFormulas,
     formula_61,
     formula_62,
-    make_checker,
     track_circuit,
 )
+from repro.verify.backends import (
+    BooleanCheckOutcome,
+    CheckerBackend,
+    available_backends,
+    make_checker,
+    register_backend,
+)
+from repro.verify.batch import BatchVerifier, VerificationJob
 from repro.verify.booltrace import formula_trace
 from repro.verify.clean import check_clean_uncomputation, verify_clean_wires
 from repro.verify.demonstrate import (
@@ -45,12 +64,12 @@ from repro.verify.demonstrate import (
     demonstrate_plus_violation,
     demonstrate_zero_violation,
 )
-from repro.verify.pipeline import (
+from repro.verify.report import (
     Counterexample,
     QubitVerdict,
     VerificationReport,
-    verify_circuit,
 )
+from repro.verify.pipeline import verify_circuit
 from repro.verify.program import (
     BorrowVerdict,
     ProgramSafetyReport,
@@ -58,14 +77,18 @@ from repro.verify.program import (
 )
 
 __all__ = [
+    "BatchVerifier",
     "BooleanCheckOutcome",
     "BorrowVerdict",
+    "CheckerBackend",
     "Counterexample",
     "ProgramSafetyReport",
     "QubitVerdict",
     "TrackedFormulas",
+    "VerificationJob",
     "VerificationReport",
     "ViolationDemo",
+    "available_backends",
     "borrow_statement_safe",
     "check_clean_uncomputation",
     "classical_safe_uncomputation",
@@ -82,6 +105,7 @@ __all__ = [
     "preserves_bell_entanglement",
     "program_is_safe",
     "program_safely_uncomputes",
+    "register_backend",
     "restores_basis_states",
     "track_circuit",
     "unitary_acts_identity_on",

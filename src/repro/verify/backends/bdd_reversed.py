@@ -1,0 +1,20 @@
+"""The variable-order ablation: ROBDDs compiled bottom-up.
+
+Identical algebra to :mod:`repro.verify.backends.bdd` but with the
+variable order reversed — the DESIGN.md ablation quantifying how much
+the natural circuit order buys the canonical representation.
+"""
+
+from __future__ import annotations
+
+from repro.verify.backends.bdd import BddCheckerBackend
+from repro.verify.backends.registry import register_backend
+from repro.verify.tracking import TrackedFormulas
+
+
+@register_backend("bdd-reversed")
+class BddReversedCheckerBackend(BddCheckerBackend):
+    """ROBDD checker over the reversed variable order."""
+
+    def __init__(self, tracked: TrackedFormulas):
+        super().__init__(tracked, reverse_order=True)

@@ -1,0 +1,26 @@
+"""The enumeration oracle backend — differential-testing ground truth.
+
+Brute force is exponential in the CNF variable count, so this backend
+never shares encodings: every check gets a cone-local instance, keeping
+the count at the minimum the obligation needs.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.boolfn.cnf import Cnf
+from repro.sat.brute import brute_force_solve
+from repro.sat.result import SatResult
+from repro.verify.backends.registry import register_backend
+from repro.verify.backends.sat import SatCheckerBackend, StopCheck
+
+
+@register_backend("brute")
+class BruteCheckerBackend(SatCheckerBackend):
+    """Decide the obligations by exhaustive assignment enumeration."""
+
+    share_zero_encoder: ClassVar[bool] = False
+
+    def _run_solver(self, cnf: Cnf, stop_check: StopCheck = None) -> SatResult:
+        return brute_force_solve(cnf, stop_check=stop_check)

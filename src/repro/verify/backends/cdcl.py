@@ -1,0 +1,17 @@
+"""The default backend: conflict-driven clause learning SAT."""
+
+from __future__ import annotations
+
+from repro.boolfn.cnf import Cnf
+from repro.sat.cdcl import CdclSolver
+from repro.sat.result import SatResult
+from repro.verify.backends.registry import register_backend
+from repro.verify.backends.sat import SatCheckerBackend, StopCheck
+
+
+@register_backend("cdcl")
+class CdclCheckerBackend(SatCheckerBackend):
+    """Decide the obligations with :class:`repro.sat.cdcl.CdclSolver`."""
+
+    def _run_solver(self, cnf: Cnf, stop_check: StopCheck = None) -> SatResult:
+        return CdclSolver(cnf, stop_check=stop_check).solve()

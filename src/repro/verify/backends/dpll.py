@@ -1,0 +1,17 @@
+"""The ablation-baseline backend: plain DPLL (DESIGN.md A2)."""
+
+from __future__ import annotations
+
+from repro.boolfn.cnf import Cnf
+from repro.sat.dpll import DpllSolver
+from repro.sat.result import SatResult
+from repro.verify.backends.registry import register_backend
+from repro.verify.backends.sat import SatCheckerBackend, StopCheck
+
+
+@register_backend("dpll")
+class DpllCheckerBackend(SatCheckerBackend):
+    """Decide the obligations with :class:`repro.sat.dpll.DpllSolver`."""
+
+    def _run_solver(self, cnf: Cnf, stop_check: StopCheck = None) -> SatResult:
+        return DpllSolver(cnf, stop_check=stop_check).solve()

@@ -1,0 +1,163 @@
+"""The portfolio backend: race SAT against BDD, first verdict wins.
+
+The paper's two scalable engines have complementary strengths — SAT
+shines on the MCX family, BDDs on the adder family (Figures 6.3/6.4) —
+and which one wins a given circuit is hard to predict.  The portfolio
+runs both on a small thread pool and returns whichever verdict lands
+first.  Both contenders are sound and complete on the classical
+fragment, so racing never changes the verdict, only the latency profile.
+
+Losing contenders are *cancelled*, not abandoned: the winner sets a
+per-race event that the solvers poll at their loop heads, so the pool's
+worker threads come back almost immediately instead of grinding out an
+answer nobody wants.  Without this, back-to-back races (the batch
+engine's steady state) queue behind zombie runs and the portfolio
+degrades to the speed of its slowest engine.
+
+The pool is per-instance and lives for the checker's lifetime, so a
+batch sweep pays thread start-up once per circuit, not once per qubit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import ClassVar, Dict, Sequence, Tuple
+
+from repro.errors import SolverCancelled, SolverError
+from repro.verify.backends.base import BooleanCheckOutcome, CheckerBackend
+from repro.verify.backends.registry import make_checker, register_backend
+from repro.verify.tracking import TrackedFormulas
+
+#: Default contenders; first entry is the tiebreak on simultaneous wins.
+DEFAULT_CONTENDERS: Tuple[str, ...] = ("cdcl", "bdd")
+
+
+class _EitherSet:
+    """Event-like view that is set when either underlying event is.
+
+    Backends only ever consume ``is_set`` (directly or as a solver
+    ``stop_check``), so this is enough to forward an outer cancellation
+    into a race without sharing the race's own event across calls.
+    """
+
+    __slots__ = ("_first", "_second")
+
+    def __init__(self, first: threading.Event, second: threading.Event):
+        self._first = first
+        self._second = second
+
+    def is_set(self) -> bool:
+        return self._first.is_set() or self._second.is_set()
+
+
+@register_backend("portfolio")
+class PortfolioCheckerBackend(CheckerBackend):
+    """Race several registered backends and return the first verdict."""
+
+    parallel_safe: ClassVar[bool] = True
+
+    def __init__(
+        self,
+        tracked: TrackedFormulas,
+        contenders: Sequence[str] = DEFAULT_CONTENDERS,
+    ):
+        super().__init__(tracked)
+        if not contenders:
+            raise SolverError("portfolio needs at least one contender")
+        if "portfolio" in contenders:
+            raise SolverError("portfolio cannot race itself")
+        self.contenders = tuple(contenders)
+        # Contenders are built lazily *inside* the race: a BDD checker's
+        # per-circuit compile happens on its own worker thread, so a
+        # fast SAT verdict is not held up behind it (and vice versa).
+        self._built: Dict[str, CheckerBackend] = {}
+        self._build_locks = {name: threading.Lock() for name in contenders}
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self.contenders),
+            thread_name_prefix="portfolio",
+        )
+        # Idle pool workers block on their queue forever; wake them when
+        # the checker is garbage-collected so threads do not leak.
+        self._pool_finalizer = weakref.finalize(
+            self, self._pool.shutdown, wait=False
+        )
+
+    def _checker_for(self, name: str) -> CheckerBackend:
+        checker = self._built.get(name)
+        if checker is None:
+            with self._build_locks[name]:
+                checker = self._built.get(name)
+                if checker is None:
+                    checker = make_checker(self.tracked, name)
+                    self._built[name] = checker
+        return checker
+
+    def _guarded_check(
+        self,
+        name: str,
+        qubit: int,
+        cancel_event,  # Event or _EitherSet; only is_set() is consumed
+    ) -> BooleanCheckOutcome:
+        if cancel_event.is_set():
+            raise SolverCancelled("race already decided")
+        checker = self._checker_for(name)
+        if cancel_event.is_set():
+            raise SolverCancelled("race already decided")
+        if checker.parallel_safe:
+            return checker.check_qubit(qubit, cancel_event=cancel_event)
+        with checker.serial_lock:
+            return checker.check_qubit(qubit, cancel_event=cancel_event)
+
+    def check_qubit(
+        self,
+        qubit: int,
+        cancel_event: threading.Event = None,
+    ) -> BooleanCheckOutcome:
+        start = time.perf_counter()
+        # Per-race event: the winner sets it, losers unwind on it.  An
+        # outer cancellation is forwarded through a composite view, not
+        # by sharing the event, so one race cannot cancel another.
+        race_over = threading.Event()
+        stop = (
+            race_over
+            if cancel_event is None
+            else _EitherSet(race_over, cancel_event)
+        )
+        futures = {
+            self._pool.submit(self._guarded_check, name, qubit, stop): name
+            for name in self.contenders
+        }
+        pending = set(futures)
+        last_error = None
+        winner = None
+        try:
+            while pending and winner is None:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                # Among simultaneous finishers, prefer contender order.
+                for future in sorted(
+                    done, key=lambda f: self.contenders.index(futures[f])
+                ):
+                    error = future.exception()
+                    if isinstance(error, SolverCancelled):
+                        continue
+                    if error is not None:
+                        last_error = error
+                        continue
+                    winner = (future.result(), futures[future])
+                    break
+        finally:
+            race_over.set()
+        if winner is None:
+            if cancel_event is not None and cancel_event.is_set():
+                raise SolverCancelled("portfolio race cancelled by caller")
+            raise SolverError(
+                f"every portfolio contender failed; last error: {last_error}"
+            ) from last_error
+        outcome, name = winner
+        outcome.solve_seconds = time.perf_counter() - start
+        outcome.details = dict(outcome.details)
+        outcome.details["winner"] = name
+        return outcome

@@ -1,0 +1,123 @@
+"""Shared machinery of the CNF SAT backends (cdcl / dpll / brute).
+
+Each check Tseitin-encodes the obligation and runs the solver named by
+the subclass.  The zero-restoration formulas (6.1) of different qubits
+are cones over the *same* tracked ``b_q`` DAGs, so those encodings are
+accumulated in one per-circuit :class:`TseitinEncoder` — node variables
+and defining clauses are emitted once and reused by every later check
+on the circuit.  The plus-restoration formulas (6.2) are dominated by
+qubit-specific cofactors with little cross-qubit sharing, so they use a
+cone-local encoder to keep each solver instance minimal.
+
+Solver runs happen outside the encoder lock, so per-qubit checks from
+the batch engine's worker threads overlap in the solve phase.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, ClassVar, Dict, Optional, Tuple
+
+from repro.boolfn.cnf import Cnf, TseitinEncoder
+from repro.boolfn.expr import Expr
+from repro.sat.result import SatResult
+from repro.verify.backends.base import BooleanCheckOutcome, CheckerBackend
+from repro.verify.tracking import TrackedFormulas, formula_61, formula_62
+
+StopCheck = Optional[Callable[[], bool]]
+
+
+class SatCheckerBackend(CheckerBackend):
+    """Decide formulas (6.1)/(6.2) with a CNF SAT solver."""
+
+    parallel_safe: ClassVar[bool] = True
+    #: Whether (6.1) checks share one per-circuit encoder.  The brute
+    #: backend turns this off: enumeration is exponential in the
+    #: variable count, so its instances must stay cone-local.
+    share_zero_encoder: ClassVar[bool] = True
+
+    def __init__(self, tracked: TrackedFormulas):
+        super().__init__(tracked)
+        self._encoder_lock = threading.Lock()
+        self._zero_encoder: Optional[TseitinEncoder] = (
+            TseitinEncoder() if self.share_zero_encoder else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Solver plumbing
+    # ------------------------------------------------------------------ #
+
+    def _run_solver(self, cnf: Cnf, stop_check: StopCheck = None) -> SatResult:
+        raise NotImplementedError
+
+    def _solve_fresh(
+        self, expr: Expr, stop_check: StopCheck = None
+    ) -> Tuple[SatResult, Optional[Dict[str, bool]], Cnf]:
+        encoder = TseitinEncoder()
+        encoder.assert_true(expr)
+        result = self._run_solver(encoder.cnf, stop_check)
+        model = encoder.decode_model(result.model) if result.is_sat else None
+        return result, model, encoder.cnf
+
+    def _solve_shared(
+        self, expr: Expr, stop_check: StopCheck = None
+    ) -> Tuple[SatResult, Optional[Dict[str, bool]], Cnf]:
+        """Encode into the per-circuit instance, assert via one extra
+        unit clause, and solve a throwaway view of the clause list."""
+        if self._zero_encoder is None:
+            return self._solve_fresh(expr, stop_check)
+        with self._encoder_lock:
+            literal = self._zero_encoder.literal(expr)
+            base = self._zero_encoder.cnf
+            cnf = Cnf(base.num_vars, base.clauses + [[literal]])
+        result = self._run_solver(cnf, stop_check)
+        model = None
+        if result.is_sat:
+            with self._encoder_lock:
+                model = self._zero_encoder.decode_model(result.model)
+        return result, model, cnf
+
+    # ------------------------------------------------------------------ #
+    # The Theorem 6.4 check
+    # ------------------------------------------------------------------ #
+
+    def check_qubit(
+        self,
+        qubit: int,
+        cancel_event: Optional[threading.Event] = None,
+    ) -> BooleanCheckOutcome:
+        start = time.perf_counter()
+        stop_check = self._stop_check(cancel_event)
+        expr1 = formula_61(self.tracked, qubit)
+        result1, model1, cnf1 = self._solve_shared(expr1, stop_check)
+        if result1.is_sat:
+            model1[self.tracked.names[qubit]] = False
+            return BooleanCheckOutcome(
+                qubit,
+                safe=False,
+                failed_condition="zero-restoration",
+                counterexample=model1,
+                solve_seconds=time.perf_counter() - start,
+                details={"cnf_clauses": len(cnf1.clauses)},
+            )
+        expr2 = formula_62(self.tracked, qubit)
+        result2, model2, cnf2 = self._solve_fresh(expr2, stop_check)
+        elapsed = time.perf_counter() - start
+        if result2.is_sat:
+            return BooleanCheckOutcome(
+                qubit,
+                safe=False,
+                failed_condition="plus-restoration",
+                counterexample=model2,
+                solve_seconds=elapsed,
+                details={"cnf_clauses": len(cnf2.clauses)},
+            )
+        return BooleanCheckOutcome(
+            qubit,
+            safe=True,
+            solve_seconds=elapsed,
+            details={
+                "cnf_clauses": len(cnf1.clauses) + len(cnf2.clauses),
+            },
+        )

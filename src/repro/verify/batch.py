@@ -1,0 +1,261 @@
+"""The batch verification engine — the Section 6 pipeline at throughput.
+
+Every caller used to re-track and re-encode each circuit per call;
+:class:`BatchVerifier` is the shared engine behind
+:func:`repro.verify.pipeline.verify_circuit`, the program verifier and
+the multi-programming scheduler.  For a batch of jobs it
+
+* tracks each distinct circuit once (:func:`track_circuit`) and builds
+  one backend checker per (circuit, backend) pair, so Tseitin tables and
+  compiled BDDs are shared across every qubit check on that circuit;
+* fans the per-qubit checks out over a ``concurrent.futures`` thread
+  pool (``max_workers``), serialising backends that are not
+  ``parallel_safe`` through their per-instance lock;
+* memoises verdicts keyed by ``(circuit fingerprint, qubit, backend)``
+  so repeated borrows of the same ancilla — the scheduler-time hot path
+  — are cache hits, not solver runs.
+
+The memo cache holds raw :class:`BooleanCheckOutcome` records; verdict
+construction (and counterexample replay) happens per request, so a
+cached unsafe outcome is still re-validated on the simulator unless the
+caller opts out of replay.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.circuits.circuit import Circuit
+from repro.errors import VerificationError
+from repro.verify.backends import CheckerBackend, make_checker
+from repro.verify.backends.base import BooleanCheckOutcome
+from repro.verify.report import (
+    VerificationReport,
+    outcome_to_verdict,
+)
+from repro.verify.tracking import TrackedFormulas, track_circuit
+
+#: (circuit fingerprint, qubit, backend, simplify_xor) -> outcome.
+VerdictCache = Dict[Tuple[str, int, str, bool], BooleanCheckOutcome]
+
+
+@dataclass(frozen=True)
+class VerificationJob:
+    """One circuit plus the dirty qubits to check on it.
+
+    ``backend=None`` inherits the verifier's default, so heterogeneous
+    batches (e.g. BDD for adders, SAT for MCX) can ride in one call.
+    """
+
+    circuit: Circuit
+    dirty_qubits: Tuple[int, ...]
+    backend: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "dirty_qubits", tuple(self.dirty_qubits))
+
+
+JobLike = Union[VerificationJob, Tuple[Circuit, Sequence[int]]]
+
+
+def _as_job(job: JobLike) -> VerificationJob:
+    if isinstance(job, VerificationJob):
+        return job
+    circuit, qubits = job
+    return VerificationJob(circuit, tuple(qubits))
+
+
+class BatchVerifier:
+    """Reusable verification engine with shared structures and memoisation.
+
+    Parameters
+    ----------
+    backend:
+        Default backend name for jobs that do not pin their own.
+    max_workers:
+        Worker-thread count for fanning out per-qubit checks; ``None``
+        uses the CPU count.  ``1`` degenerates to the sequential loop.
+    simplify_xor:
+        Apply the Figure 6.1 ``x ⊕ x = 0`` rule while tracking.
+    replay:
+        Re-execute counterexamples on the classical simulator and raise
+        if they do not actually violate the claimed condition.
+    cache:
+        Optional externally shared verdict cache (a mutable mapping);
+        by default each verifier owns a private one.
+    """
+
+    def __init__(
+        self,
+        backend: str = "cdcl",
+        max_workers: Optional[int] = None,
+        simplify_xor: bool = True,
+        replay: bool = True,
+        cache: Optional[VerdictCache] = None,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise VerificationError("max_workers must be at least 1")
+        self.backend = backend
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.simplify_xor = simplify_xor
+        self.replay = replay
+        self.cache: VerdictCache = {} if cache is None else cache
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._tracked: Dict[str, TrackedFormulas] = {}
+        self._track_seconds: Dict[str, float] = {}
+        self._checkers: Dict[Tuple[str, str], CheckerBackend] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def clear(self) -> None:
+        """Drop memoised verdicts and per-circuit structures.
+
+        Per-circuit trackers, checkers (compiled BDDs, Tseitin tables,
+        portfolio pools) and cached verdicts are retained for the
+        verifier's lifetime; a long-running service cycling through many
+        *distinct* circuits should call this periodically to bound
+        memory.
+        """
+        self.cache.clear()
+        self._tracked.clear()
+        self._track_seconds.clear()
+        self._checkers.clear()
+
+    def verify_circuit(
+        self,
+        circuit: Circuit,
+        dirty_qubits: Sequence[int],
+        backend: Optional[str] = None,
+    ) -> VerificationReport:
+        """Verify one circuit (a batch of size one)."""
+        job = VerificationJob(circuit, tuple(dirty_qubits), backend)
+        return self.verify_circuits([job])[0]
+
+    def verify_circuits(self, jobs: Iterable[JobLike]) -> List[VerificationReport]:
+        """Verify a batch of jobs, sharing structures and memoised verdicts.
+
+        Returns one :class:`VerificationReport` per job, in input order.
+        Because work is shared and may overlap across jobs, per-job wall
+        time is not well-defined: each report's ``total_seconds`` is the
+        elapsed time of the *whole* call (do not sum it over a batch);
+        per-qubit ``solve_seconds`` carries the attribution.
+        """
+        started = time.perf_counter()
+        batch = [_as_job(job) for job in jobs]
+        for job in batch:
+            for qubit in job.dirty_qubits:
+                if not 0 <= qubit < job.circuit.num_qubits:
+                    raise VerificationError(
+                        f"dirty qubit {qubit} outside the register"
+                    )
+
+        # Shared per-circuit structures: one tracking pass, one checker.
+        plan: List[Tuple[VerificationJob, str, str]] = []
+        for job in batch:
+            backend = job.backend or self.backend
+            fingerprint = job.circuit.fingerprint()
+            self._ensure_checker(job.circuit, fingerprint, backend)
+            plan.append((job, fingerprint, backend))
+
+        # Deduplicate against the memo cache and within the batch.
+        pending: Dict[Tuple[str, int, str, bool], Tuple[CheckerBackend, int]] = {}
+        hits: Dict[int, int] = {}
+        misses: Dict[int, int] = {}
+        for index, (job, fingerprint, backend) in enumerate(plan):
+            for qubit in job.dirty_qubits:
+                key = (fingerprint, qubit, backend, self.simplify_xor)
+                if key in self.cache:
+                    hits[index] = hits.get(index, 0) + 1
+                elif key in pending:
+                    hits[index] = hits.get(index, 0) + 1
+                else:
+                    checker = self._checkers[(fingerprint, backend)]
+                    pending[key] = (checker, qubit)
+                    misses[index] = misses.get(index, 0) + 1
+        self._execute(pending)
+
+        # Assemble per-job reports (replay happens here, on this thread).
+        reports: List[VerificationReport] = []
+        for index, (job, fingerprint, backend) in enumerate(plan):
+            tracked = self._tracked[fingerprint]
+            verdicts = [
+                outcome_to_verdict(
+                    job.circuit,
+                    tracked.names,
+                    self.cache[(fingerprint, qubit, backend, self.simplify_xor)],
+                    self.replay,
+                )
+                for qubit in job.dirty_qubits
+            ]
+            reports.append(
+                VerificationReport(
+                    backend=backend,
+                    num_qubits=job.circuit.num_qubits,
+                    num_gates=len(job.circuit.gates),
+                    verdicts=verdicts,
+                    track_seconds=self._track_seconds[fingerprint],
+                    total_seconds=time.perf_counter() - started,
+                    cache_hits=hits.get(index, 0),
+                    cache_misses=misses.get(index, 0),
+                )
+            )
+        self.cache_hits += sum(hits.values())
+        self.cache_misses += sum(misses.values())
+        return reports
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _ensure_checker(
+        self, circuit: Circuit, fingerprint: str, backend: str
+    ) -> CheckerBackend:
+        tracked = self._tracked.get(fingerprint)
+        if tracked is None:
+            track_start = time.perf_counter()
+            tracked = track_circuit(circuit, simplify_xor=self.simplify_xor)
+            self._track_seconds[fingerprint] = (
+                time.perf_counter() - track_start
+            )
+            self._tracked[fingerprint] = tracked
+        key = (fingerprint, backend)
+        checker = self._checkers.get(key)
+        if checker is None:
+            checker = make_checker(tracked, backend)
+            self._checkers[key] = checker
+        return checker
+
+    @staticmethod
+    def _run_check(checker: CheckerBackend, qubit: int) -> BooleanCheckOutcome:
+        if checker.parallel_safe:
+            return checker.check_qubit(qubit)
+        with checker.serial_lock:
+            return checker.check_qubit(qubit)
+
+    def _execute(
+        self,
+        pending: Dict[Tuple[str, int, str, bool], Tuple[CheckerBackend, int]],
+    ) -> None:
+        if not pending:
+            return
+        if self.max_workers == 1 or len(pending) == 1:
+            for key, (checker, qubit) in pending.items():
+                self.cache[key] = checker.check_qubit(qubit)
+            return
+        workers = min(self.max_workers, len(pending))
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="verify"
+        ) as pool:
+            futures = {
+                key: pool.submit(self._run_check, checker, qubit)
+                for key, (checker, qubit) in pending.items()
+            }
+            for key, future in futures.items():
+                self.cache[key] = future.result()

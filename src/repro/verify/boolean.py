@@ -1,293 +1,67 @@
-"""The Section 6.1 reduction: safe uncomputation as Boolean unsatisfiability.
+"""Compatibility façade over the Section 6.1 reduction.
 
-Pipeline
---------
-1. :func:`track_circuit` scans a classical circuit once, maintaining for
-   every qubit ``q`` the Boolean formula ``b_q`` over the initial-state
-   variables (X: ``b := ¬b``; multi-controlled NOT: ``b_t := b_t ⊕
-   (b_{c1} ... b_{cm})``), with the paper's ``x ⊕ x = 0`` simplification
-   applied through hash-consing.
-2. :func:`formula_61` builds ``¬(b_q → q)`` (the ``|0>``-restoration
-   check) and :func:`formula_62` builds ``∨_{q'≠q} b_{q'}[0/q] ⊕
-   b_{q'}[1/q]`` (the ``|+>``-restoration / independence check).
-3. A backend decides unsatisfiability:
+The original monolith lived here; the pieces now have homes of their own
+and this module re-exports them so existing imports keep working:
 
-   * ``cdcl`` / ``dpll`` — Tseitin-encode and run a SAT solver;
-   * ``bdd``  — compile to ROBDDs (with formula sharing) where
-     unsatisfiability is canonical equality with the 0 terminal;
-   * ``brute`` — enumerate assignments (oracle for small circuits).
+* formula tracking — :mod:`repro.verify.tracking`;
+* backend implementations and the registry —
+  :mod:`repro.verify.backends`;
+* the batch engine — :mod:`repro.verify.batch`.
 
-By Theorem 6.4, both formulas unsatisfiable ⇔ the circuit safely
-uncomputes the dirty qubit.  A satisfying model is decoded into a concrete
-counterexample assignment of the initial computational-basis state.
+New code should import from those modules (or :mod:`repro.verify`)
+directly.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from repro.errors import SolverError
+from repro.verify.backends import (
+    BddCheckerBackend,
+    BooleanCheckOutcome,
+    CheckerBackend,
+    available_backends,
+    make_checker,
+)
+from repro.verify.tracking import (
+    TrackedFormulas,
+    formula_61,
+    formula_62,
+    track_circuit,
+)
 
-from repro.bdd.robdd import Bdd
-from repro.boolfn.cnf import TseitinEncoder
-from repro.boolfn.expr import Expr, ExprBuilder
-from repro.circuits.circuit import Circuit
-from repro.errors import SolverError, VerificationError
-from repro.sat.brute import brute_force_solve
-from repro.sat.cdcl import CdclSolver
-from repro.sat.dpll import DpllSolver
+#: Registered backend names (kept as a tuple for the historical API).
+BACKENDS = available_backends()
 
-BACKENDS = ("cdcl", "dpll", "bdd", "bdd-reversed", "brute")
-
-
-@dataclass
-class TrackedFormulas:
-    """Per-qubit Boolean formulas of a classical circuit (Section 6.1)."""
-
-    builder: ExprBuilder
-    circuit: Circuit
-    names: Dict[int, str]
-    input_vars: Dict[int, Expr]
-    formulas: Dict[int, Expr]
-
-    def formula_of(self, qubit: int) -> Expr:
-        return self.formulas[qubit]
-
-    def name_of(self, qubit: int) -> str:
-        return self.names[qubit]
-
-
-def track_circuit(
-    circuit: Circuit,
-    simplify_xor: bool = True,
-    builder: Optional[ExprBuilder] = None,
-) -> TrackedFormulas:
-    """Scan the circuit once and return every ``b_q`` (linear-time)."""
-    builder = builder or ExprBuilder(simplify_xor=simplify_xor)
-    names: Dict[int, str] = {}
-    for q in range(circuit.num_qubits):
-        names[q] = circuit.label_of(q)
-    if len(set(names.values())) != len(names):
-        raise VerificationError("circuit labels are not unique")
-
-    input_vars = {q: builder.var(names[q]) for q in range(circuit.num_qubits)}
-    formulas = dict(input_vars)
-    for gate in circuit.gates:
-        if not gate.is_classical:
-            raise VerificationError(
-                f"gate {gate} is not classical; the Section 6 reduction "
-                f"applies to X / multi-controlled-NOT circuits only"
-            )
-        target = gate.target
-        if gate.controls:
-            controls = builder.and_([formulas[c] for c in gate.controls])
-            formulas[target] = builder.xor_([formulas[target], controls])
-        else:
-            formulas[target] = builder.not_(formulas[target])
-    return TrackedFormulas(builder, circuit, names, input_vars, formulas)
-
-
-def formula_61(tracked: TrackedFormulas, qubit: int) -> Expr:
-    """Formula (6.1): ``¬(b_q → q)``; unsatisfiable ⇔ |0> is restored."""
-    builder = tracked.builder
-    b_q = tracked.formulas[qubit]
-    q_var = tracked.input_vars[qubit]
-    return builder.and_([b_q, builder.not_(q_var)])
-
-
-def formula_62(
-    tracked: TrackedFormulas,
-    qubit: int,
-    others: Optional[Sequence[int]] = None,
-) -> Expr:
-    """Formula (6.2): ``∨_{q'≠q} b_{q'}[0/q] ⊕ b_{q'}[1/q]``.
-
-    Unsatisfiable ⇔ every other qubit's final value is independent of the
-    dirty qubit's initial value ⇔ |+> is restored.
-    """
-    builder = tracked.builder
-    name = tracked.names[qubit]
-    disjuncts: List[Expr] = []
-    pool = others if others is not None else [
-        q for q in range(tracked.circuit.num_qubits) if q != qubit
-    ]
-    for other in pool:
-        if other == qubit:
-            continue
-        b_other = tracked.formulas[other]
-        low = builder.cofactor(b_other, name, False)
-        high = builder.cofactor(b_other, name, True)
-        disjuncts.append(builder.xor_([low, high]))
-    return builder.or_(disjuncts)
-
-
-# ---------------------------------------------------------------------- #
-# Outcomes
-# ---------------------------------------------------------------------- #
-
-
-@dataclass
-class BooleanCheckOutcome:
-    """Verdict of the Theorem 6.4 check for one dirty qubit."""
-
-    qubit: int
-    safe: bool
-    failed_condition: Optional[str] = None
-    counterexample: Optional[Dict[str, bool]] = None
-    solve_seconds: float = 0.0
-    details: Dict[str, object] = field(default_factory=dict)
-
-    def __bool__(self) -> bool:
-        return self.safe
-
-
-# ---------------------------------------------------------------------- #
-# SAT backends
-# ---------------------------------------------------------------------- #
+#: Historical alias: the BDD checker predates the backend registry.
+BddBooleanChecker = BddCheckerBackend
 
 
 class SatBooleanChecker:
-    """Decide formulas (6.1)/(6.2) with a CNF SAT solver."""
+    """Historical wrapper: SAT checker selected by solver name.
+
+    Kept for callers of the pre-registry API; delegates to the
+    registered backend classes.
+    """
 
     def __init__(self, tracked: TrackedFormulas, solver: str = "cdcl"):
         if solver not in ("cdcl", "dpll", "brute"):
             raise SolverError(f"unknown SAT backend {solver!r}")
         self.tracked = tracked
         self.solver = solver
-
-    def _solve(self, expr: Expr):
-        encoder = TseitinEncoder()
-        encoder.assert_true(expr)
-        cnf = encoder.cnf
-        if self.solver == "cdcl":
-            result = CdclSolver(cnf).solve()
-        elif self.solver == "dpll":
-            result = DpllSolver(cnf).solve()
-        else:
-            result = brute_force_solve(cnf)
-        model = None
-        if result.is_sat:
-            model = encoder.decode_model(result.model)
-        return result, model, cnf
+        self._impl: CheckerBackend = make_checker(tracked, solver)
 
     def check_qubit(self, qubit: int) -> BooleanCheckOutcome:
-        start = time.perf_counter()
-        expr1 = formula_61(self.tracked, qubit)
-        result1, model1, cnf1 = self._solve(expr1)
-        if result1.is_sat:
-            model1[self.tracked.names[qubit]] = False
-            return BooleanCheckOutcome(
-                qubit,
-                safe=False,
-                failed_condition="zero-restoration",
-                counterexample=model1,
-                solve_seconds=time.perf_counter() - start,
-                details={"cnf_clauses": len(cnf1.clauses)},
-            )
-        expr2 = formula_62(self.tracked, qubit)
-        result2, model2, cnf2 = self._solve(expr2)
-        elapsed = time.perf_counter() - start
-        if result2.is_sat:
-            return BooleanCheckOutcome(
-                qubit,
-                safe=False,
-                failed_condition="plus-restoration",
-                counterexample=model2,
-                solve_seconds=elapsed,
-                details={"cnf_clauses": len(cnf2.clauses)},
-            )
-        return BooleanCheckOutcome(
-            qubit,
-            safe=True,
-            solve_seconds=elapsed,
-            details={
-                "cnf_clauses": len(cnf1.clauses) + len(cnf2.clauses),
-            },
-        )
+        return self._impl.check_qubit(qubit)
 
 
-# ---------------------------------------------------------------------- #
-# BDD backend
-# ---------------------------------------------------------------------- #
-
-
-class BddBooleanChecker:
-    """Decide formulas (6.1)/(6.2) on ROBDDs with formula sharing.
-
-    All final formulas are compiled once (shared node cache); per-qubit
-    checks are then cofactor/XOR/zero-test, each memoised inside the
-    manager.  ``reverse_order=True`` is the variable-order ablation.
-    """
-
-    def __init__(self, tracked: TrackedFormulas, reverse_order: bool = False):
-        self.tracked = tracked
-        order = [
-            tracked.names[q] for q in range(tracked.circuit.num_qubits)
-        ]
-        if reverse_order:
-            order = list(reversed(order))
-        self.bdd = Bdd(order)
-        self._expr_cache: Dict[int, int] = {}
-        self.compiled: Dict[int, int] = {}
-        for q in range(tracked.circuit.num_qubits):
-            self.compiled[q] = self.bdd.from_expr(
-                tracked.formulas[q], self._expr_cache
-            )
-
-    def check_qubit(self, qubit: int) -> BooleanCheckOutcome:
-        start = time.perf_counter()
-        name = self.tracked.names[qubit]
-        bdd = self.bdd
-        # Formula (6.1): b_q with q := 0 must be the 0 terminal.
-        zero_cofactor = bdd.restrict(self.compiled[qubit], name, False)
-        if not bdd.is_false(zero_cofactor):
-            model = bdd.any_sat(zero_cofactor) or {}
-            model[name] = False
-            return BooleanCheckOutcome(
-                qubit,
-                safe=False,
-                failed_condition="zero-restoration",
-                counterexample=model,
-                solve_seconds=time.perf_counter() - start,
-                details={"bdd_nodes": bdd.node_count},
-            )
-        # Formula (6.2): each other final formula must be q-independent.
-        for other in range(self.tracked.circuit.num_qubits):
-            if other == qubit:
-                continue
-            f = self.compiled[other]
-            derivative = bdd.apply_xor(
-                bdd.restrict(f, name, False), bdd.restrict(f, name, True)
-            )
-            if not bdd.is_false(derivative):
-                model = bdd.any_sat(derivative) or {}
-                return BooleanCheckOutcome(
-                    qubit,
-                    safe=False,
-                    failed_condition="plus-restoration",
-                    counterexample=model,
-                    solve_seconds=time.perf_counter() - start,
-                    details={
-                        "bdd_nodes": bdd.node_count,
-                        "dependent_qubit": self.tracked.names[other],
-                    },
-                )
-        return BooleanCheckOutcome(
-            qubit,
-            safe=True,
-            solve_seconds=time.perf_counter() - start,
-            details={"bdd_nodes": bdd.node_count},
-        )
-
-
-def make_checker(tracked: TrackedFormulas, backend: str = "cdcl"):
-    """Instantiate a checker by backend name (see :data:`BACKENDS`)."""
-    if backend in ("cdcl", "dpll", "brute"):
-        return SatBooleanChecker(tracked, solver=backend)
-    if backend == "bdd":
-        return BddBooleanChecker(tracked)
-    if backend == "bdd-reversed":
-        return BddBooleanChecker(tracked, reverse_order=True)
-    raise SolverError(
-        f"unknown backend {backend!r}; expected one of {BACKENDS}"
-    )
+__all__ = [
+    "BACKENDS",
+    "BddBooleanChecker",
+    "BooleanCheckOutcome",
+    "SatBooleanChecker",
+    "TrackedFormulas",
+    "formula_61",
+    "formula_62",
+    "make_checker",
+    "track_circuit",
+]

@@ -1,102 +1,32 @@
 """End-to-end verification of dirty qubits in classical circuits.
 
-:func:`verify_circuit` runs the full Section 6 pipeline — formula
-tracking, the Theorem 6.4 reduction, a chosen backend — over a set of
-dirty qubits and returns a structured report.  Unsafe verdicts carry a
-concrete counterexample (an initial computational-basis state) which is
-*replayed on the classical simulator* before being reported, so a solver
-bug can never report a spurious violation silently.
+:func:`verify_circuit` is the single-circuit entry point of the Section
+6 pipeline — formula tracking, the Theorem 6.4 reduction, a registered
+backend — returning a structured report with replayable
+counterexamples.  It is a thin shim over
+:class:`repro.verify.batch.BatchVerifier` (a batch of one, sequential);
+callers with many circuits or qubits should use the batch engine
+directly for shared tracking, worker-pool fan-out and verdict
+memoisation.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
 from repro.circuits.circuit import Circuit
-from repro.circuits.classical import apply_to_bits
-from repro.errors import VerificationError
-from repro.verify.boolean import (
-    BooleanCheckOutcome,
-    make_checker,
-    track_circuit,
+from repro.verify.batch import BatchVerifier
+from repro.verify.report import (
+    Counterexample,
+    QubitVerdict,
+    VerificationReport,
+    outcome_to_verdict,
+    replay_counterexample,
 )
 
-
-@dataclass(frozen=True)
-class Counterexample:
-    """A violating initial basis state for an unsafe dirty qubit.
-
-    ``input_bits`` lists the initial state per wire.  For a
-    ``zero-restoration`` violation the dirty qubit starts at 0 and ends
-    at 1; for ``plus-restoration`` some other qubit's output depends on
-    the dirty qubit's initial value (flip it and re-run to observe).
-    """
-
-    kind: str
-    assignment: Dict[str, bool]
-    input_bits: List[int]
-
-    def describe(self) -> str:
-        bits = "".join(str(b) for b in self.input_bits)
-        return f"{self.kind} violated from initial state |{bits}>"
-
-
-@dataclass(frozen=True)
-class QubitVerdict:
-    """Per-dirty-qubit outcome."""
-
-    qubit: int
-    name: str
-    safe: bool
-    failed_condition: Optional[str] = None
-    counterexample: Optional[Counterexample] = None
-    solve_seconds: float = 0.0
-
-    def __str__(self) -> str:
-        if self.safe:
-            return f"{self.name}: SAFE ({self.solve_seconds:.3f}s)"
-        return (
-            f"{self.name}: UNSAFE [{self.failed_condition}] "
-            f"({self.solve_seconds:.3f}s)"
-        )
-
-
-@dataclass
-class VerificationReport:
-    """Outcome of :func:`verify_circuit` over all requested dirty qubits."""
-
-    backend: str
-    num_qubits: int
-    num_gates: int
-    verdicts: List[QubitVerdict] = field(default_factory=list)
-    track_seconds: float = 0.0
-    total_seconds: float = 0.0
-
-    @property
-    def all_safe(self) -> bool:
-        return all(v.safe for v in self.verdicts)
-
-    @property
-    def solver_seconds(self) -> float:
-        """Aggregate backend time — the quantity Figures 6.3/6.4 plot."""
-        return sum(v.solve_seconds for v in self.verdicts)
-
-    def verdict_for(self, name: str) -> QubitVerdict:
-        for verdict in self.verdicts:
-            if verdict.name == name:
-                return verdict
-        raise VerificationError(f"no verdict for qubit {name!r}")
-
-    def summary(self) -> str:
-        lines = [
-            f"backend={self.backend} qubits={self.num_qubits} "
-            f"gates={self.num_gates} "
-            f"solver={self.solver_seconds:.3f}s total={self.total_seconds:.3f}s"
-        ]
-        lines.extend(f"  {verdict}" for verdict in self.verdicts)
-        return "\n".join(lines)
+# Historical private names, still imported by older tests and tools.
+_replay = replay_counterexample
+_to_verdict = outcome_to_verdict
 
 
 def verify_circuit(
@@ -115,8 +45,8 @@ def verify_circuit(
     dirty_qubits:
         Wire indices whose safe uncomputation must be checked.
     backend:
-        ``"cdcl"``, ``"dpll"``, ``"bdd"``, ``"bdd-reversed"`` or
-        ``"brute"``.
+        Any name in :func:`repro.verify.backends.available_backends`,
+        e.g. ``"cdcl"``, ``"bdd"`` or ``"portfolio"``.
     simplify_xor:
         Apply the Figure 6.1 ``x ⊕ x = 0`` simplification while tracking
         (ablation A1 turns this off).
@@ -124,90 +54,18 @@ def verify_circuit(
         Re-execute every counterexample on the classical simulator and
         raise if it does not actually violate the claimed condition.
     """
-    started = time.perf_counter()
-    track_start = time.perf_counter()
-    tracked = track_circuit(circuit, simplify_xor=simplify_xor)
-    track_seconds = time.perf_counter() - track_start
-    checker = make_checker(tracked, backend)
-
-    verdicts: List[QubitVerdict] = []
-    for qubit in dirty_qubits:
-        if not 0 <= qubit < circuit.num_qubits:
-            raise VerificationError(f"dirty qubit {qubit} outside the register")
-        outcome = checker.check_qubit(qubit)
-        verdicts.append(_to_verdict(circuit, tracked.names, outcome, replay))
-
-    return VerificationReport(
+    verifier = BatchVerifier(
         backend=backend,
-        num_qubits=circuit.num_qubits,
-        num_gates=len(circuit.gates),
-        verdicts=verdicts,
-        track_seconds=track_seconds,
-        total_seconds=time.perf_counter() - started,
+        max_workers=1,
+        simplify_xor=simplify_xor,
+        replay=replay,
     )
+    return verifier.verify_circuit(circuit, dirty_qubits)
 
 
-def _to_verdict(
-    circuit: Circuit,
-    names: Dict[int, str],
-    outcome: BooleanCheckOutcome,
-    replay: bool,
-) -> QubitVerdict:
-    name = names[outcome.qubit]
-    if outcome.safe:
-        return QubitVerdict(
-            outcome.qubit, name, True, solve_seconds=outcome.solve_seconds
-        )
-    assignment = dict(outcome.counterexample or {})
-    input_bits = [
-        1 if assignment.get(names[q], False) else 0
-        for q in range(circuit.num_qubits)
-    ]
-    if outcome.failed_condition == "zero-restoration":
-        input_bits[outcome.qubit] = 0
-    counterexample = Counterexample(
-        outcome.failed_condition, assignment, input_bits
-    )
-    if replay:
-        _replay(circuit, outcome.qubit, counterexample)
-    return QubitVerdict(
-        outcome.qubit,
-        name,
-        False,
-        failed_condition=outcome.failed_condition,
-        counterexample=counterexample,
-        solve_seconds=outcome.solve_seconds,
-    )
-
-
-def _replay(circuit: Circuit, qubit: int, cex: Counterexample) -> None:
-    """Confirm a counterexample on the classical simulator."""
-    bits = list(cex.input_bits)
-    if cex.kind == "zero-restoration":
-        bits[qubit] = 0
-        out = apply_to_bits(circuit, bits)
-        if out[qubit] == 0:
-            raise VerificationError(
-                f"backend produced a bogus zero-restoration counterexample "
-                f"{bits}"
-            )
-        return
-    if cex.kind == "plus-restoration":
-        low = list(bits)
-        low[qubit] = 0
-        high = list(bits)
-        high[qubit] = 1
-        out_low = apply_to_bits(circuit, low)
-        out_high = apply_to_bits(circuit, high)
-        differs = any(
-            out_low[w] != out_high[w]
-            for w in range(circuit.num_qubits)
-            if w != qubit
-        )
-        if not differs:
-            raise VerificationError(
-                f"backend produced a bogus plus-restoration counterexample "
-                f"{bits}"
-            )
-        return
-    raise VerificationError(f"unknown counterexample kind {cex.kind!r}")
+__all__ = [
+    "Counterexample",
+    "QubitVerdict",
+    "VerificationReport",
+    "verify_circuit",
+]

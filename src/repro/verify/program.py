@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import SemanticsError
 from repro.lang.ast import (
@@ -43,7 +43,8 @@ from repro.lang.ast import (
     substitute,
     to_circuit,
 )
-from repro.verify.pipeline import QubitVerdict, verify_circuit
+from repro.verify.batch import BatchVerifier
+from repro.verify.report import QubitVerdict
 
 
 @dataclass
@@ -144,6 +145,7 @@ def verify_borrows_in_program(
     universe: Sequence[str],
     backend: str = "cdcl",
     cap: int = 128,
+    verifier: Optional[BatchVerifier] = None,
 ) -> ProgramSafetyReport:
     """Check every borrow of a straight-line classical program.
 
@@ -152,9 +154,17 @@ def verify_borrows_in_program(
     ``cap`` combinations).  A stuck borrow (empty pool) is vacuously
     safe, matching the universal quantification over the empty set of
     executions.
+
+    Instantiations are checked through one shared batch engine, so
+    identical instantiations (which nested borrows produce routinely)
+    are memoised instead of re-solved, while the loop still stops at
+    the first unsafe one.  Pass a long-lived ``verifier`` to also reuse
+    verdicts across programs.
     """
     universe = list(universe)
     check_well_formed(program, universe)
+    if verifier is None:
+        verifier = BatchVerifier(backend=backend)
     report = ProgramSafetyReport()
 
     borrows: List[Borrow] = []
@@ -176,8 +186,12 @@ def verify_borrows_in_program(
             if fresh not in order:
                 continue  # this path never executed the borrow's body
             circuit = to_circuit(variant, order)
-            wire = order.index(fresh)
-            circuit_report = verify_circuit(circuit, [wire], backend=backend)
+            # One job per call keeps the early exit on the first unsafe
+            # instantiation; the shared verifier still memoises repeated
+            # circuits and reuses trackers/checkers across variants.
+            circuit_report = verifier.verify_circuit(
+                circuit, [order.index(fresh)], backend=backend
+            )
             if not circuit_report.verdicts[0].safe:
                 safe = False
                 failing = circuit_report.verdicts[0]
