@@ -6,9 +6,16 @@ Standalone companion to the pytest-benchmark harness: prints
 * Figure 10.2 — adder verification seconds per qubit count, per backend;
 * Figure 10.3 — MCX verification seconds per qubit count, per backend;
 
-and always writes ``BENCH_verify.json`` — per-backend solver seconds on
-a fixed ≥12-dirty-qubit circuit plus the sequential-loop vs. batch-engine
-wall-time comparison — so successive PRs can track the perf trajectory.
+and always writes two machine-readable perf records so successive PRs
+can track the trajectory:
+
+* ``BENCH_verify.json`` — per-backend solver seconds on a fixed
+  ≥12-dirty-qubit circuit plus the sequential-loop vs. batch-engine
+  wall-time comparison;
+* ``BENCH_alloc.json`` — final width and wall time of every registered
+  allocation strategy on the Figure 3.1 example and the 13-dirty-qubit
+  adder, the lazy vs. eager verification comparison, and a ≥8-job
+  online multi-programming workload per strategy.
 
 The *sequential loop* baseline is the pre-batch caller pattern (one
 :func:`verify_circuit` call per dirty qubit, re-tracking and re-encoding
@@ -18,6 +25,7 @@ per borrow).  The batch row runs the same checks through one
 
 Run:  python benchmarks/run_paper_tables.py [--quick] [--bench-only]
                                             [--bench-json PATH]
+                                            [--alloc-json PATH]
 """
 
 from __future__ import annotations
@@ -26,10 +34,15 @@ import json
 import sys
 import time
 
+from repro.adders import haner_ripple_constant_adder
 from repro.adders.costs import adder_cost_rows
+from repro.alloc import LookaheadStrategy, allocate, available_strategies
+from repro.circuits import Circuit, cnot, toffoli, x
 from repro.errors import SolverError
 from repro.lang.surface import elaborate
 from repro.lang.surface.sources import adder_qbr_source, mcx_qbr_source
+from repro.mcx import cccnot_with_dirty_ancilla
+from repro.multiprog import BorrowRequest, MultiProgrammer, QuantumJob
 from repro.verify import BatchVerifier, available_backends, verify_circuit
 
 QUICK = "--quick" in sys.argv
@@ -43,13 +56,21 @@ BENCH_ADDER_N = 14
 _figure_rows: dict = {}
 
 
-def _bench_json_path() -> str:
-    if "--bench-json" in sys.argv:
-        index = sys.argv.index("--bench-json") + 1
+def _flag_path(flag: str, default: str) -> str:
+    if flag in sys.argv:
+        index = sys.argv.index(flag) + 1
         if index >= len(sys.argv) or sys.argv[index].startswith("--"):
-            sys.exit("error: --bench-json requires a path argument")
+            sys.exit(f"error: {flag} requires a path argument")
         return sys.argv[index]
-    return "BENCH_verify.json"
+    return default
+
+
+def _bench_json_path() -> str:
+    return _flag_path("--bench-json", "BENCH_verify.json")
+
+
+def _alloc_json_path() -> str:
+    return _flag_path("--alloc-json", "BENCH_alloc.json")
 
 
 def figure_1_1() -> None:
@@ -234,10 +255,180 @@ def bench_verify(path: str) -> None:
     print()
 
 
+# --------------------------------------------------------------------- #
+# BENCH_alloc: the borrow-allocation subsystem
+# --------------------------------------------------------------------- #
+
+
+def _fig31_circuit() -> Circuit:
+    """The Figure 3.1a running example (see tests/conftest.py)."""
+    c = Circuit(7, labels=["q1", "q2", "q3", "q4", "q5", "a1", "a2"])
+    c.append(cnot(1, 2))
+    c.extend(
+        [toffoli(0, 1, 5), toffoli(5, 3, 4), toffoli(0, 1, 5), toffoli(5, 3, 4)]
+    )
+    c.extend(
+        [toffoli(3, 4, 6), toffoli(6, 1, 0), toffoli(3, 4, 6), toffoli(6, 1, 0)]
+    )
+    return c
+
+
+def _strategy_rows(label: str, circuit: Circuit, dirty) -> list:
+    """Final width + wall seconds of every registered strategy."""
+    rows = []
+    for name in available_strategies():
+        strategy = (
+            LookaheadStrategy() if name == "lookahead" else name
+        )
+        start = time.perf_counter()
+        plan = allocate(circuit, list(dirty), strategy=strategy)
+        wall = time.perf_counter() - start
+        row = {
+            "strategy": name,
+            "final_width": plan.final_width,
+            "placed": len(plan.assignment),
+            "unplaced": len(plan.unplaced),
+            "wall_seconds": round(wall, 4),
+        }
+        if name == "lookahead":
+            row["optimal"] = strategy.last_optimal
+        rows.append(row)
+        print(
+            f"  {label:<10} {name:<15} width={plan.final_width:<4} "
+            f"placed={len(plan.assignment):<3} wall={wall:>8.4f}s"
+        )
+    return rows
+
+
+def _lazy_vs_eager_verification(circuit: Circuit, dirty) -> dict:
+    """The tentpole comparison: the seed verified every requested
+    ancilla up front; the ``verified`` strategy only pays for ancillas
+    that actually have a candidate host."""
+    eager = BatchVerifier(backend="bdd")
+    start = time.perf_counter()
+    eager.verify_circuit(circuit, list(dirty))
+    eager_wall = time.perf_counter() - start
+
+    lazy = BatchVerifier(backend="bdd")
+    start = time.perf_counter()
+    allocate(circuit, list(dirty), strategy="verified", verifier=lazy)
+    lazy_wall = time.perf_counter() - start
+
+    row = {
+        "dirty_qubits": len(dirty),
+        "eager_wall_seconds": round(eager_wall, 4),
+        "eager_solver_runs": eager.cache_misses,
+        "lazy_wall_seconds": round(lazy_wall, 4),
+        "lazy_solver_runs": lazy.cache_misses,
+    }
+    print(
+        f"  verification: eager={eager_wall:.4f}s "
+        f"({eager.cache_misses} solver runs) vs "
+        f"lazy={lazy_wall:.4f}s ({lazy.cache_misses} runs)"
+    )
+    return row
+
+
+def _online_jobs() -> list:
+    """A mixed ≥8-job arrival sequence for the online scheduler."""
+    jobs = []
+    for i in range(3):
+        circuit = Circuit(5).extend(
+            cccnot_with_dirty_ancilla([0, 1, 3], 4, 2)
+        )
+        jobs.append(QuantumJob(f"oracle-{i}", circuit, [BorrowRequest(2)]))
+    for i in range(2):
+        layout = haner_ripple_constant_adder(3 + i, 5)
+        jobs.append(
+            QuantumJob(
+                f"adder-{i}",
+                layout.circuit,
+                [BorrowRequest(w) for w in layout.dirty_ancillas],
+            )
+        )
+    for i in range(3):
+        circuit = Circuit(4).extend([cnot(0, 1), x(0), cnot(0, 1)])
+        jobs.append(QuantumJob(f"sampler-{i}", circuit, []))
+    return jobs
+
+
+def _online_workload(strategy: str) -> dict:
+    """Admit 8 jobs, release the first half, admit them again —
+    exercising occupancy, lending and verdict memoisation."""
+    jobs = _online_jobs()
+    machine = sum(job.circuit.num_qubits for job in jobs)
+    programmer = MultiProgrammer(machine, strategy=strategy)
+    start = time.perf_counter()
+    for job in jobs:
+        programmer.admit(job)
+    peak = programmer.occupancy
+    for job in jobs[: len(jobs) // 2]:
+        programmer.release(job.name)
+    for job in jobs[: len(jobs) // 2]:
+        programmer.admit(job)
+    wall = time.perf_counter() - start
+    cross = sum(
+        len(programmer.admission(job.name).cross_hosts) for job in jobs
+    )
+    row = {
+        "strategy": strategy,
+        "jobs": len(jobs),
+        "machine": machine,
+        "wall_seconds": round(wall, 4),
+        "peak_occupancy": peak,
+        "final_occupancy": programmer.occupancy,
+        "cross_borrows": cross,
+        "solver_runs": programmer.verifier.cache_misses,
+        "cache_hits": programmer.verifier.cache_hits,
+    }
+    print(
+        f"  online     {strategy:<15} wall={wall:>8.4f}s "
+        f"peak={peak:<4} cross_borrows={cross:<3} "
+        f"solver_runs={programmer.verifier.cache_misses}"
+    )
+    return row
+
+
+def bench_alloc(path: str) -> None:
+    fig31 = _fig31_circuit()
+    adder = elaborate(adder_qbr_source(BENCH_ADDER_N))
+    print(
+        f"=== BENCH_alloc: fig 3.1 + adder.qbr n={BENCH_ADDER_N} "
+        f"({len(adder.dirty_wires)} dirty) + "
+        f"{len(_online_jobs())}-job online workload ===",
+        flush=True,
+    )
+    payload = {
+        "schema": "bench-alloc/v1",
+        "generated_by": "benchmarks/run_paper_tables.py",
+        "quick": QUICK,
+        "workloads": {
+            "fig31": _strategy_rows("fig31", fig31, [5, 6]),
+            f"adder{BENCH_ADDER_N}": _strategy_rows(
+                f"adder{BENCH_ADDER_N}", adder.circuit, adder.dirty_wires
+            ),
+        },
+        "lazy_vs_eager_verification": _lazy_vs_eager_verification(
+            adder.circuit, adder.dirty_wires
+        ),
+        "online": [
+            _online_workload(strategy)
+            for strategy in available_strategies()
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    print()
+
+
 if __name__ == "__main__":
     bench_path = _bench_json_path()  # validate flags before the sweeps
+    alloc_path = _alloc_json_path()
     if not BENCH_ONLY:
         figure_1_1()
         figure_10_2()
         figure_10_3()
     bench_verify(bench_path)
+    bench_alloc(alloc_path)

@@ -1,12 +1,16 @@
-"""Section 7 made executable: multi-programming with verified borrowing.
+"""Section 7 made executable: ONLINE multi-programming with verified
+dirty-qubit borrowing.
 
-Three workloads share one machine.  Job "grover-oracle" needs a dirty
-ancilla for its CCCNOT; job "arithmetic" runs a constant adder whose
-carry ancillas are also dirty; job "sampler" is a light circuit with an
-idle tail.  The scheduler verifies every requested ancilla (Section 6
-pipeline) and only then lets it borrow an idle co-tenant qubit — an
-unsafe ancilla would corrupt another program's state, the failure mode
-the paper warns about for QuCloud-style clouds.
+Jobs arrive at a shared machine over time, QuCloud-style.  Each
+admission width-reduces the arriving circuit with a registered
+allocation strategy (``repro.alloc``), lazily batch-verifies its
+requested ancillas — only ancillas with a candidate host pay solver
+time — and lets a verified-safe ancilla borrow an idle wire a resident
+co-tenant lends out.  Completed jobs release their wires back to the
+pool; a wire lent to a still-running guest stays occupied until the
+guest finishes.  An unsafe ancilla is never borrowed across a program
+boundary — it would corrupt the co-tenant, the failure mode the paper
+warns about for multi-programming clouds.
 
 Run:  python examples/multiprogramming.py
 """
@@ -17,59 +21,93 @@ from repro.mcx import cccnot_with_dirty_ancilla
 from repro.multiprog import BorrowRequest, MultiProgrammer, QuantumJob
 
 
-def grover_oracle_job() -> QuantumJob:
+def grover_oracle_job(name="grover-oracle") -> QuantumJob:
     circuit = Circuit(5, labels=["q1", "q2", "a", "q3", "flag"]).extend(
         cccnot_with_dirty_ancilla([0, 1, 3], 4, 2)
     )
-    return QuantumJob("grover-oracle", circuit, [BorrowRequest(2)])
+    return QuantumJob(name, circuit, [BorrowRequest(2)])
 
 
-def arithmetic_job() -> QuantumJob:
+def arithmetic_job(name="arithmetic") -> QuantumJob:
     layout = haner_ripple_constant_adder(3, 5)
     requests = [BorrowRequest(w) for w in layout.dirty_ancillas]
-    return QuantumJob("arithmetic", layout.circuit, requests)
+    return QuantumJob(name, layout.circuit, requests)
 
 
-def sampler_job() -> QuantumJob:
+def sampler_job(name="sampler") -> QuantumJob:
     circuit = Circuit(4, labels=["s0", "s1", "s2", "s3"])
     circuit.extend([cnot(0, 1), x(0), cnot(0, 1)])
-    return QuantumJob("sampler", circuit, [])
+    return QuantumJob(name, circuit, [])
 
 
-def rogue_job() -> QuantumJob:
+def rogue_job(name="rogue") -> QuantumJob:
     """An ancilla that is NOT safely uncomputed (left flipped)."""
     circuit = Circuit(2, labels=["w", "anc"]).extend([cnot(0, 1), x(1)])
-    return QuantumJob("rogue", circuit, [BorrowRequest(1)])
+    return QuantumJob(name, circuit, [BorrowRequest(1)])
 
 
 def main() -> None:
+    machine = MultiProgrammer(16, strategy="greedy")
+    print("=== online arrivals on a 16-qubit machine ===")
+
+    print("\n[t=0] sampler arrives (its two idle wires become lendable)")
+    machine.admit(sampler_job())
+    print(machine.snapshot())
+
+    print("\n[t=1] grover-oracle arrives; its verified ancilla borrows")
+    print("      an idle sampler wire instead of a fresh qubit")
+    admission = machine.admit(grover_oracle_job())
+    print(machine.snapshot())
+    print(f"      cross-program borrows: {admission.cross_hosts}")
+
+    print("\n[t=2] arithmetic arrives, placed with the lookahead strategy")
+    print("      (a per-admission policy knob; its dirty carries are")
+    print("      packed onto its own idle wires)")
+    admission = machine.admit(arithmetic_job(), strategy="lookahead")
+    print(machine.snapshot())
+    print(f"      internal borrow plan: {admission.plan.assignment}")
+
+    print("\n[t=3] rogue arrives: its ancilla verifies UNSAFE, so it")
+    print("      gets a private wire — never a co-tenant's")
+    admission = machine.admit(rogue_job())
+    print(f"      safety verdicts: {admission.safety}")
+    print(f"      cross-program borrows: {admission.cross_hosts or 'none'}")
+
+    print("\n[t=4] a second oracle is REJECTED — machine full")
+    try:
+        machine.admit(grover_oracle_job("grover-2"))
+    except Exception as error:
+        print(f"      {error}")
+
+    print("\n[t=5] sampler and arithmetic complete; un-lent wires free")
+    print("      up (the wire lent to grover-oracle stays busy until")
+    print("      it exits)")
+    freed = machine.release("sampler")
+    print(f"      sampler freed wires: {freed}")
+    machine.release("arithmetic")
+    print(machine.snapshot())
+
+    print("\n[t=6] now grover-2 fits")
+    machine.admit(grover_oracle_job("grover-2"))
+    print(machine.snapshot())
+
+    print("\n=== lazy verification: only placeable ancillas pay ===")
+    print(
+        f"solver runs so far: {machine.verifier.cache_misses} "
+        f"(memoised hits: {machine.verifier.cache_hits}) — identical "
+        f"circuits re-verify for free, and ancillas with no candidate "
+        f"host are never checked at all"
+    )
+
+    print("\n=== the batch path is a replay over the online engine ===")
     jobs = [grover_oracle_job(), arithmetic_job(), sampler_job()]
-    naive = sum(job.circuit.num_qubits for job in jobs)
-    print(f"=== co-scheduling {len(jobs)} jobs (naive width {naive}) ===")
-    scheduler = MultiProgrammer(machine_size=naive)
-    result = scheduler.schedule(jobs)
+    result = MultiProgrammer(
+        sum(j.circuit.num_qubits for j in jobs), strategy="interval-graph"
+    ).schedule(jobs)
     print(result.summary())
     print(
-        f"\nborrow assignments (composite wires): "
+        f"\ncomposite borrow assignments ({result.plan.strategy}): "
         f"{result.plan.assignment or 'none'}"
-    )
-
-    print("\n=== adding a rogue job with an unsafe ancilla ===")
-    scheduler = MultiProgrammer(machine_size=naive + 2)
-    result = scheduler.schedule(jobs + [rogue_job()])
-    print(result.summary())
-    print(
-        "\nThe rogue ancilla is kept on a private wire: borrowing it\n"
-        "across a program boundary would corrupt the co-tenant."
-    )
-
-    print("\n=== re-scheduling: verdicts are memoised per circuit ===")
-    scheduler.schedule(jobs + [rogue_job()])
-    verifier = scheduler.verifier
-    print(
-        f"batch engine cache: {verifier.cache_hits} hits / "
-        f"{verifier.cache_misses} misses — repeated borrows of the same "
-        f"ancilla cost no solver runs"
     )
 
 

@@ -14,8 +14,9 @@ The package implements the paper's three contributions end to end:
    CDCL-SAT and ROBDD backends deciding the reduction on circuits with
    thousands of qubits, plus the paper's adder and MCX benchmark
    circuits (:mod:`repro.adders`, :mod:`repro.mcx`), the Figure 3.1
-   width-reduction pass (:mod:`repro.circuits.borrowing`), and a
-   Section 7 multi-programming scheduler (:mod:`repro.multiprog`).
+   width-reduction pass as a pluggable strategy subsystem
+   (:mod:`repro.alloc`), and a Section 7 online multi-programming
+   scheduler (:mod:`repro.multiprog`).
 
 Quickstart
 ----------
@@ -26,6 +27,7 @@ Quickstart
 True
 """
 
+from repro.alloc import allocate, available_strategies
 from repro.circuits import Circuit, borrow_dirty_qubits
 from repro.lang import borrow, init, seq, skip, unitary
 from repro.lang.surface import elaborate, elaborate_file, parse, verify_qbr
@@ -46,6 +48,8 @@ __all__ = [
     "Interpretation",
     "VerificationReport",
     "__version__",
+    "allocate",
+    "available_strategies",
     "borrow",
     "borrow_dirty_qubits",
     "classical_safe_uncomputation",

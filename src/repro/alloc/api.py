@@ -1,0 +1,131 @@
+"""The allocation driver: model -> strategy -> rewritten circuit.
+
+:func:`allocate` is the subsystem's front door.  It builds the
+interval-conflict model, applies the caller's safety gate (the seed's
+``safety_check`` / ``on_unsafe`` contract), hands the surviving
+ancillas to a registered strategy, and materialises the winning
+placement as a compacted circuit — returning the same
+:class:`BorrowPlan` the Figure 3.1 pass has always produced, so every
+pre-refactor caller keeps working through the
+:mod:`repro.circuits.borrowing` shim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.alloc.base import AllocationStrategy
+from repro.alloc.model import (
+    ConflictModel,
+    Placement,
+    build_model,
+)
+from repro.alloc.registry import make_strategy
+
+# BorrowPlan and SafetyCheck live in the (dependency-free) historical
+# module so both packages can share them without an import cycle.
+from repro.circuits.borrowing import BorrowPlan, SafetyCheck
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+
+StrategyLike = Union[str, AllocationStrategy]
+
+
+def allocate(
+    circuit: Circuit,
+    ancillas: Sequence[int],
+    strategy: StrategyLike = "greedy",
+    safety_check: Optional[SafetyCheck] = None,
+    on_unsafe: str = "error",
+    **strategy_options,
+) -> BorrowPlan:
+    """Eliminate dirty-ancilla wires by borrowing idle qubits.
+
+    Parameters
+    ----------
+    circuit:
+        The input circuit; ``ancillas`` are wire indices to eliminate.
+    strategy:
+        A registered strategy name (see
+        :func:`repro.alloc.registry.available_strategies`) or an
+        :class:`AllocationStrategy` instance; ``strategy_options`` are
+        forwarded to the constructor when a name is given.
+    safety_check:
+        Optional predicate ``(circuit, ancilla) -> bool`` deciding safe
+        uncomputation (Definition 3.1), applied per ancilla in
+        period-start order.  The ``"verified"`` strategy is the batched
+        alternative: it verifies only ancillas that have a candidate
+        host, through one shared :class:`BatchVerifier` call.
+    on_unsafe:
+        ``"error"`` raises :class:`CircuitError` at the first unsafe
+        ancilla; ``"skip"`` leaves it as a real wire and records a note.
+    """
+    if on_unsafe not in ("error", "skip"):
+        raise CircuitError(f"on_unsafe must be 'error' or 'skip', got {on_unsafe!r}")
+    model = build_model(circuit, ancillas)
+
+    notes: List[str] = []
+    blocked: List[int] = []
+    targets = list(model.ancillas)
+    if safety_check is not None:
+        targets = []
+        for a in model.ancillas:
+            if safety_check(circuit, a):
+                targets.append(a)
+                continue
+            if on_unsafe == "error":
+                raise CircuitError(
+                    f"ancilla {a} is not safely uncomputed; refusing to borrow"
+                )
+            notes.append(f"ancilla {a} unsafe: left in place")
+            blocked.append(a)
+
+    if isinstance(strategy, AllocationStrategy):
+        if strategy_options:
+            raise CircuitError(
+                "strategy options only apply when passing a name"
+            )
+        engine = strategy
+    else:
+        engine = make_strategy(strategy, **strategy_options)
+
+    placement = engine.plan(model.restrict(targets))
+    notes.extend(placement.notes)
+    unplaced = sorted((*blocked, *placement.unplaced))
+    return _materialise(model, placement.assignment, unplaced, notes, engine.name)
+
+
+def _materialise(
+    model: ConflictModel,
+    assignment: Dict[int, int],
+    unplaced: List[int],
+    notes: List[str],
+    strategy_name: str,
+) -> BorrowPlan:
+    """Rewrite the circuit onto the compacted register."""
+    circuit = model.circuit
+    removed = set(assignment) | set(model.untouched)
+    survivors = [q for q in range(circuit.num_qubits) if q not in removed]
+    wire_map = {q: i for i, q in enumerate(survivors)}
+    remap = dict(wire_map)
+    for a, host in assignment.items():
+        remap[a] = wire_map[host]
+
+    labels = None
+    if circuit.labels is not None:
+        labels = [circuit.labels[q] for q in survivors]
+    new_circuit = Circuit(len(survivors), labels=labels)
+    for gate in circuit.gates:
+        new_circuit.append(gate.remap(remap))
+
+    return BorrowPlan(
+        circuit=new_circuit,
+        assignment=assignment,
+        unplaced=unplaced,
+        periods=dict(model.periods),
+        wire_map=wire_map,
+        original_width=circuit.num_qubits,
+        final_width=len(survivors),
+        notes=notes,
+        strategy=strategy_name,
+    )

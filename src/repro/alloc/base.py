@@ -1,0 +1,41 @@
+"""The abstract allocation-strategy interface.
+
+A strategy turns a :class:`~repro.alloc.model.ConflictModel` into a
+:class:`~repro.alloc.model.Placement` — pure combinatorics, no circuit
+rewriting and no safety reasoning unless the strategy opts into it (see
+:mod:`repro.alloc.verified`).  Concrete strategies register themselves
+under a name with
+:func:`repro.alloc.registry.register_strategy`; callers obtain instances
+through :func:`~repro.alloc.registry.make_strategy` or go straight to
+:func:`repro.alloc.api.allocate`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar
+
+from repro.alloc.model import ConflictModel, Placement
+
+
+class AllocationStrategy(abc.ABC):
+    """One borrow-placement policy.
+
+    Strategies are cheap, stateless-by-default objects; anything with
+    per-instance state (a verifier, a node budget) takes it through
+    keyword arguments so :func:`~repro.alloc.registry.make_strategy`
+    can forward options from the caller.
+    """
+
+    #: Registry name; set by the ``@register_strategy`` decorator.
+    name: ClassVar[str] = "?"
+
+    @abc.abstractmethod
+    def plan(self, model: ConflictModel) -> Placement:
+        """Place the model's ancillas onto hosts.
+
+        Must account for every ancilla in ``model.ancillas``: each one
+        ends up either in ``assignment`` or in ``unplaced`` (the
+        structural contract :func:`~repro.alloc.model.validate_placement`
+        enforces).
+        """

@@ -1,0 +1,47 @@
+"""First-fit placement — the seed's Figure 3.1 policy, extracted.
+
+Ancillas are processed in period-start order; each takes the
+smallest-index candidate host whose existing guests do not overlap it.
+Hosts that freed up are reused, which is what lets ``q3`` serve both
+``a1`` and ``a2`` in Figure 3.1.  Linear-time and good enough when
+hosts are plentiful; :mod:`repro.alloc.lookahead` is the optimal
+reference it is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.alloc.base import AllocationStrategy
+from repro.alloc.model import ActivityInterval, ConflictModel, Placement
+from repro.alloc.registry import register_strategy
+
+
+@register_strategy("greedy")
+class GreedyStrategy(AllocationStrategy):
+    """Smallest-index first-fit in period-start order."""
+
+    def plan(self, model: ConflictModel) -> Placement:
+        placement = Placement()
+        guest_periods: Dict[int, List[ActivityInterval]] = {}
+        for a in model.ancillas:
+            period = model.periods[a]
+            host = self._first_fit(model, a, guest_periods)
+            if host is None:
+                placement.notes.append(
+                    f"ancilla {a}: no idle host for period {period}"
+                )
+                placement.unplaced.append(a)
+                continue
+            placement.assignment[a] = host
+            guest_periods.setdefault(host, []).append(period)
+        return placement
+
+    @staticmethod
+    def _first_fit(model, ancilla, guest_periods):
+        period = model.periods[ancilla]
+        for host in model.candidates[ancilla]:
+            guests = guest_periods.get(host, ())
+            if all(not period.overlaps(g) for g in guests):
+                return host
+        return None

@@ -1,0 +1,65 @@
+"""Conflict-graph colouring that packs guests onto few hosts.
+
+The ancillas and their period overlaps form an interval graph; a valid
+placement is a colouring where each colour class is one host compatible
+with every member.  This strategy colours in Welsh–Powell order (most
+conflicted first) and, among compatible hosts, prefers the one already
+carrying the *most* guests — so non-overlapping ancillas pile onto a
+shared host instead of spreading across the register.
+
+Final width equals greedy's whenever both place the same ancillas; the
+difference is occupancy shape, which matters to the multi-programmer:
+concentrating guests on few hosts leaves whole co-tenant wires
+untouched and therefore lendable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.alloc.base import AllocationStrategy
+from repro.alloc.model import ConflictModel, Placement
+from repro.alloc.registry import register_strategy
+
+
+@register_strategy("interval-graph")
+class IntervalGraphStrategy(AllocationStrategy):
+    """Welsh–Powell colouring with best-fit (most-loaded host) packing."""
+
+    def plan(self, model: ConflictModel) -> Placement:
+        placement = Placement()
+        order = sorted(
+            model.ancillas,
+            key=lambda a: (
+                -len(model.conflicts[a]),
+                len(model.candidates[a]),
+                model.periods[a].first,
+                a,
+            ),
+        )
+        load: Dict[int, List[int]] = {}
+        for a in order:
+            host = self._best_fit(model, a, placement.assignment, load)
+            if host is None:
+                placement.notes.append(
+                    f"ancilla {a}: no colourable host for period "
+                    f"{model.periods[a]}"
+                )
+                placement.unplaced.append(a)
+                continue
+            placement.assignment[a] = host
+            load.setdefault(host, []).append(a)
+        placement.unplaced.sort()
+        return placement
+
+    @staticmethod
+    def _best_fit(model, ancilla, assignment, load):
+        best = None
+        best_load = -1
+        for host in model.candidates[ancilla]:
+            if not model.compatible(ancilla, host, assignment):
+                continue
+            host_load = len(load.get(host, ()))
+            if host_load > best_load:
+                best, best_load = host, host_load
+        return best

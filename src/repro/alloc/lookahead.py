@@ -1,0 +1,107 @@
+"""Branch-and-bound placement — the optimal reference oracle.
+
+Exhaustively searches host choices per ancilla (in period-start order),
+maximising the number placed, i.e. minimising final width.  The search
+is seeded with the greedy incumbent, so even when the node budget runs
+out the answer is never worse than first-fit — which makes the strategy
+safe to run on every workload and lets the differential tests use it as
+a width lower bound wherever it reports ``optimal``.
+
+Tie-breaking is deterministic: hosts are tried in ascending index and
+the first placement achieving the best count wins, so repeated runs
+produce identical plans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.alloc.base import AllocationStrategy
+from repro.alloc.greedy import GreedyStrategy
+from repro.alloc.model import ConflictModel, Placement
+from repro.alloc.registry import register_strategy
+from repro.errors import CircuitError
+
+
+@register_strategy("lookahead")
+class LookaheadStrategy(AllocationStrategy):
+    """Exact search over placements, bounded by ``max_nodes``.
+
+    Parameters
+    ----------
+    max_ancillas:
+        Hard cap on problem size; beyond it the search refuses to start
+        (raise) rather than silently degrade — ``None`` disables.
+    max_nodes:
+        Search-tree node budget.  On exhaustion the best placement so
+        far (at worst the greedy seed) is returned with
+        ``optimal = False`` noted.
+    """
+
+    def __init__(
+        self,
+        max_ancillas: Optional[int] = 16,
+        max_nodes: int = 200_000,
+    ):
+        if max_nodes < 1:
+            raise CircuitError("max_nodes must be at least 1")
+        self.max_ancillas = max_ancillas
+        self.max_nodes = max_nodes
+        #: Whether the last :meth:`plan` call proved optimality.
+        self.last_optimal: bool = False
+
+    def plan(self, model: ConflictModel) -> Placement:
+        if (
+            self.max_ancillas is not None
+            and len(model.ancillas) > self.max_ancillas
+        ):
+            raise CircuitError(
+                f"lookahead capped at {self.max_ancillas} ancillas, "
+                f"got {len(model.ancillas)}; raise max_ancillas or use "
+                f"a heuristic strategy"
+            )
+        seed = GreedyStrategy().plan(model)
+        best: Dict[int, int] = dict(seed.assignment)
+        order = model.ancillas
+        nodes = 0
+        exhausted = False
+
+        def search(index: int, taken: Dict[int, int]) -> None:
+            nonlocal best, nodes, exhausted
+            if exhausted:
+                return
+            nodes += 1
+            if nodes > self.max_nodes:
+                exhausted = True
+                return
+            if index == len(order):
+                if len(taken) > len(best):
+                    best = dict(taken)
+                return
+            # Bound: even placing every remaining ancilla cannot beat
+            # the incumbent.
+            if len(taken) + (len(order) - index) <= len(best):
+                return
+            a = order[index]
+            for host in model.candidates[a]:
+                if model.compatible(a, host, taken):
+                    taken[a] = host
+                    search(index + 1, taken)
+                    del taken[a]
+            search(index + 1, taken)  # leave a unplaced
+
+        search(0, {})
+        self.last_optimal = not exhausted
+
+        placement = Placement(assignment=dict(best))
+        placement.unplaced = [a for a in order if a not in best]
+        for a in placement.unplaced:
+            placement.notes.append(
+                f"ancilla {a}: optimal search leaves it unplaced"
+            )
+        if exhausted:
+            placement.notes.append(
+                f"node budget {self.max_nodes} exhausted; best-so-far "
+                f"placement (never worse than greedy)"
+            )
+        return placement

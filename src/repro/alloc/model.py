@@ -1,0 +1,195 @@
+"""The interval-conflict model every allocation strategy plans over.
+
+Borrow placement (Figure 3.1) is an interval problem: each dirty ancilla
+is *active* over a closed gate-index period, a working qubit can host it
+only if the host has no gate inside that period, and two ancillas can
+share a host only if their periods do not overlap.  :func:`build_model`
+extracts that structure from a circuit once — periods, per-ancilla host
+candidates, and the ancilla conflict graph — so strategies are pure
+combinatorial searches that never re-scan the gate list.
+
+Candidate computation is a single pass over the gates plus one binary
+search per (host, ancilla) pair, so building the model is
+``O(gates + hosts * ancillas * log gates)`` — noticeably cheaper than
+the seed's per-ancilla ``idle_qubits_during`` rescans on wide circuits.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.intervals import ActivityInterval, activity_intervals
+from repro.errors import CircuitError
+
+
+@dataclass
+class Placement:
+    """A strategy's answer: which ancilla lands on which host.
+
+    Purely combinatorial — the circuit rewrite happens later, in
+    :func:`repro.alloc.api.allocate`.  ``assignment`` maps ancilla wire
+    to host wire; ``unplaced`` lists ancillas the strategy could not
+    (or chose not to) place; ``notes`` carries human-readable reasons.
+    """
+
+    assignment: Dict[int, int] = field(default_factory=dict)
+    unplaced: List[int] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ConflictModel:
+    """Interval structure of one circuit's borrow-placement problem.
+
+    Attributes
+    ----------
+    circuit:
+        The circuit the model was built from.
+    ancillas:
+        Placement targets with at least one gate, ordered by period
+        start (the canonical processing order).
+    untouched:
+        Requested ancillas with no gates at all — trivially removable,
+        no placement needed.
+    periods:
+        Ancilla wire -> its :class:`ActivityInterval`.
+    hosts:
+        Non-ancilla wires, ascending — the potential hosts.
+    candidates:
+        Ancilla wire -> hosts idle throughout its period, ascending.
+    conflicts:
+        Ancilla wire -> the other ancillas whose periods overlap it
+        (the edges of the interval conflict graph).
+    """
+
+    circuit: Circuit
+    ancillas: Tuple[int, ...]
+    untouched: Tuple[int, ...]
+    periods: Dict[int, ActivityInterval]
+    hosts: Tuple[int, ...]
+    candidates: Dict[int, Tuple[int, ...]]
+    conflicts: Dict[int, FrozenSet[int]]
+
+    @property
+    def all_targets(self) -> Tuple[int, ...]:
+        """Every requested ancilla, active or untouched."""
+        return tuple(sorted((*self.ancillas, *self.untouched)))
+
+    def restrict(self, keep: Sequence[int]) -> "ConflictModel":
+        """A sub-problem over ``keep``: excluded ancillas stop being
+        placement targets but stay off the host list (they keep their
+        wires, e.g. after failing a safety check)."""
+        keep_set = set(keep)
+        unknown = keep_set - set(self.all_targets)
+        if unknown:
+            raise CircuitError(
+                f"cannot restrict to non-ancilla wires {sorted(unknown)}"
+            )
+        ancillas = tuple(a for a in self.ancillas if a in keep_set)
+        return ConflictModel(
+            circuit=self.circuit,
+            ancillas=ancillas,
+            untouched=tuple(a for a in self.untouched if a in keep_set),
+            periods={a: self.periods[a] for a in ancillas},
+            hosts=self.hosts,
+            candidates={a: self.candidates[a] for a in ancillas},
+            conflicts={
+                a: self.conflicts[a] & keep_set for a in ancillas
+            },
+        )
+
+    def compatible(self, ancilla: int, host: int, taken: Dict[int, int]) -> bool:
+        """May ``ancilla`` land on ``host`` given placements ``taken``?
+
+        True when ``host`` is a candidate and no already-placed
+        conflicting ancilla sits on the same host.
+        """
+        if host not in self.candidates.get(ancilla, ()):
+            return False
+        return all(
+            taken.get(other) != host for other in self.conflicts[ancilla]
+        )
+
+
+def build_model(circuit: Circuit, ancillas: Sequence[int]) -> ConflictModel:
+    """Extract the interval-conflict structure for ``ancillas``."""
+    ancilla_set = set(ancillas)
+    for a in ancilla_set:
+        if not 0 <= a < circuit.num_qubits:
+            raise CircuitError(f"ancilla {a} outside the register")
+
+    intervals = activity_intervals(circuit)
+    active = sorted(
+        (a for a in ancilla_set if a in intervals),
+        key=lambda a: (intervals[a].first, a),
+    )
+    untouched = tuple(sorted(a for a in ancilla_set if a not in intervals))
+    hosts = tuple(
+        q for q in range(circuit.num_qubits) if q not in ancilla_set
+    )
+
+    # One gate-index list per host; a host is a candidate for an
+    # ancilla iff binary search finds none of its indices in the period.
+    touches: Dict[int, List[int]] = {q: [] for q in hosts}
+    for index, gate in enumerate(circuit.gates):
+        for q in gate.qubits:
+            if q in touches:
+                touches[q].append(index)
+
+    candidates: Dict[int, Tuple[int, ...]] = {}
+    for a in active:
+        period = intervals[a]
+        idle = []
+        for host in hosts:
+            indices = touches[host]
+            cut = bisect_left(indices, period.first)
+            if cut == len(indices) or indices[cut] > period.last:
+                idle.append(host)
+        candidates[a] = tuple(idle)
+
+    conflicts: Dict[int, FrozenSet[int]] = {
+        a: frozenset(
+            b
+            for b in active
+            if b != a and intervals[a].overlaps(intervals[b])
+        )
+        for a in active
+    }
+
+    return ConflictModel(
+        circuit=circuit,
+        ancillas=tuple(active),
+        untouched=untouched,
+        periods={a: intervals[a] for a in active},
+        hosts=hosts,
+        candidates=candidates,
+        conflicts=conflicts,
+    )
+
+
+def validate_placement(model: ConflictModel, placement: Placement) -> None:
+    """Raise :class:`CircuitError` unless ``placement`` is sound.
+
+    Sound means: every assigned host is a candidate for its guest, no
+    two overlapping ancillas share a host, and every active ancilla is
+    either assigned or listed unplaced.  Used by the differential tests
+    to hold every registered strategy to the same structural contract.
+    """
+    seen = set(placement.assignment) | set(placement.unplaced)
+    missing = set(model.ancillas) - seen
+    if missing:
+        raise CircuitError(f"placement ignores ancillas {sorted(missing)}")
+    for a, host in placement.assignment.items():
+        if host not in model.candidates.get(a, ()):
+            raise CircuitError(
+                f"ancilla {a} assigned to non-candidate host {host}"
+            )
+    for a, host in placement.assignment.items():
+        for b in model.conflicts[a]:
+            if placement.assignment.get(b) == host:
+                raise CircuitError(
+                    f"overlapping ancillas {a} and {b} share host {host}"
+                )

@@ -1,0 +1,99 @@
+"""Safety-aware placement: verify lazily, then delegate.
+
+The seed's schedulers verified *every* requested ancilla up front, even
+ones no idle host could ever take — pure wasted solver time.  This
+wrapper inverts the order: it first reads the conflict model, drops
+ancillas with no candidate host (they stay real wires, no solver run),
+then batches the survivors through one
+:class:`~repro.verify.batch.BatchVerifier` call so tracking, checkers
+and verdict memoisation are shared.  Ancillas that verify unsafe are
+excluded and the wrapped strategy plans placement for the safe rest.
+
+Only classical circuits can be auto-verified; a non-classical circuit
+with candidate-hosted ancillas raises
+:class:`~repro.errors.VerificationError`, same as the Section 6
+pipeline itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.alloc.base import AllocationStrategy
+from repro.alloc.model import ConflictModel, Placement
+from repro.alloc.registry import make_strategy, register_strategy
+from repro.errors import CircuitError, VerificationError
+
+
+@register_strategy("verified")
+class VerifiedStrategy(AllocationStrategy):
+    """Lazy batched safety gate around any registered strategy.
+
+    Parameters
+    ----------
+    inner:
+        Name of the strategy that plans placement for the ancillas that
+        verify safe (default ``"greedy"``).
+    verifier:
+        A shared :class:`~repro.verify.batch.BatchVerifier`; by default
+        the strategy owns a private one (so verdicts memoise across
+        repeated plans on the same circuit).
+    backend:
+        Backend name for the private verifier when none is supplied.
+    """
+
+    def __init__(
+        self,
+        inner: str = "greedy",
+        verifier: Optional[object] = None,
+        backend: str = "bdd",
+    ):
+        if inner == "verified":
+            raise CircuitError("verified strategy cannot wrap itself")
+        self.inner = make_strategy(inner)
+        if verifier is None:
+            # Imported here, not at module top: repro.alloc loads during
+            # repro.circuits package init (via the borrowing shim), and
+            # pulling the verify stack in at that point would recurse.
+            from repro.verify.batch import BatchVerifier
+
+            verifier = BatchVerifier(backend=backend)
+        self.verifier = verifier
+        #: Ancilla wire -> verdict of the last :meth:`plan` call;
+        #: ancillas skipped as host-less never appear (never verified).
+        self.last_safety: Dict[int, bool] = {}
+
+    def plan(self, model: ConflictModel) -> Placement:
+        hostless = [a for a in model.ancillas if not model.candidates[a]]
+        to_verify = [a for a in model.ancillas if model.candidates[a]]
+
+        self.last_safety = {}
+        unsafe = []
+        if to_verify:
+            from repro.circuits.classical import is_classical_circuit
+
+            if not is_classical_circuit(model.circuit):
+                raise VerificationError(
+                    "verified allocation needs a classical circuit "
+                    "(X / multi-controlled-NOT gates only)"
+                )
+            report = self.verifier.verify_circuit(model.circuit, to_verify)
+            for verdict in report.verdicts:
+                self.last_safety[verdict.qubit] = verdict.safe
+                if not verdict.safe:
+                    unsafe.append(verdict.qubit)
+
+        safe = [a for a in to_verify if a not in unsafe]
+        placement = self.inner.plan(model.restrict(safe))
+        for a in hostless:
+            placement.unplaced.append(a)
+            placement.notes.append(
+                f"ancilla {a}: no candidate host, verification skipped"
+            )
+        for a in unsafe:
+            placement.unplaced.append(a)
+            placement.notes.append(
+                f"ancilla {a}: not safely uncomputed, left in place"
+            )
+        placement.unplaced.sort()
+        return placement

@@ -9,9 +9,11 @@ the two execution models the paper needs:
   circuits built from X and multi-controlled-NOT gates — the fragment in
   which Section 6 verifies safe uncomputation at scale.
 
-:mod:`repro.circuits.intervals` computes per-qubit activity periods and
-:mod:`repro.circuits.borrowing` implements the Figure 3.1 width-reduction
-pass that borrows idle working qubits as dirty ancillas.
+:mod:`repro.circuits.intervals` computes per-qubit activity periods;
+the Figure 3.1 width-reduction pass that borrows idle working qubits as
+dirty ancillas lives in :mod:`repro.alloc` (a pluggable strategy
+subsystem), with :mod:`repro.circuits.borrowing` as its historical
+façade.
 """
 
 from repro.circuits.gates import (

@@ -1,17 +1,14 @@
-"""The Figure 3.1 width-reduction pass: borrow idle qubits as dirty ancillas.
+"""Compatibility shim over the Figure 3.1 width-reduction pass.
 
-Given a circuit over working qubits plus designated *dirty ancilla* wires,
-the pass computes each ancilla's activity period, finds a working qubit (or
-an already-freed host) that is idle throughout that period, and remaps the
-ancilla onto it.  Because the host's initial state is arbitrary, this
-rewrite is only sound when each ancilla is *safely uncomputed* in the sense
-of Definition 3.1 — callers supply a ``safety_check`` (typically one of the
-verifiers in :mod:`repro.verify`) to enforce that; the pass itself is
-purely structural.
-
-The result of the pass on the paper's running example (two CCCNOT routines
-sharing ``q3``) reproduces Figures 3.1b/3.1c: width drops from 7 to 5 with
-no ancilla wires left.
+The pass now lives in :mod:`repro.alloc` as a pluggable subsystem — an
+interval-conflict model (:mod:`repro.alloc.model`), a strategy registry
+(:mod:`repro.alloc.registry`) and one module per placement policy.
+This module keeps the historical surface alive: :class:`BorrowPlan` is
+defined here (it has no dependency on the strategy machinery, which
+lets :mod:`repro.alloc` import it without a cycle) and
+:func:`borrow_dirty_qubits` delegates to
+:func:`repro.alloc.api.allocate` with the seed's first-fit strategy as
+the default.  New code should import from :mod:`repro.alloc` directly.
 """
 
 from __future__ import annotations
@@ -20,19 +17,17 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.circuits.circuit import Circuit
-from repro.circuits.intervals import (
-    ActivityInterval,
-    activity_intervals,
-    idle_qubits_during,
-)
-from repro.errors import CircuitError
+from repro.circuits.intervals import ActivityInterval
 
 SafetyCheck = Callable[[Circuit, int], bool]
+
+__all__ = ["BorrowPlan", "SafetyCheck", "borrow_dirty_qubits"]
 
 
 @dataclass
 class BorrowPlan:
-    """Outcome of :func:`borrow_dirty_qubits`.
+    """Outcome of :func:`borrow_dirty_qubits` /
+    :func:`repro.alloc.api.allocate`.
 
     Attributes
     ----------
@@ -48,6 +43,8 @@ class BorrowPlan:
         Original qubit index -> new index, for every surviving wire.
     original_width / final_width:
         Register widths before and after the pass.
+    strategy:
+        Name of the allocation strategy that produced the placement.
     """
 
     circuit: Circuit
@@ -58,6 +55,11 @@ class BorrowPlan:
     original_width: int
     final_width: int
     notes: List[str] = field(default_factory=list)
+    strategy: str = "greedy"
+
+    @property
+    def qubits_saved(self) -> int:
+        return self.original_width - self.final_width
 
     def __str__(self) -> str:
         lines = [
@@ -75,100 +77,23 @@ def borrow_dirty_qubits(
     ancillas: Sequence[int],
     safety_check: Optional[SafetyCheck] = None,
     on_unsafe: str = "error",
+    strategy="greedy",
 ) -> BorrowPlan:
     """Eliminate dirty-ancilla wires by borrowing idle qubits.
 
-    Parameters
-    ----------
-    circuit:
-        The input circuit; ``ancillas`` are wire indices to eliminate.
-    safety_check:
-        Optional predicate ``(circuit, ancilla) -> bool`` deciding safe
-        uncomputation (Definition 3.1).  Unsafe ancillas are handled per
-        ``on_unsafe``.
-    on_unsafe:
-        ``"error"`` raises :class:`CircuitError`; ``"skip"`` leaves the
-        ancilla as a real wire and records a note.
-
-    Ancillas are processed in order of period start; a host is any
-    non-ancilla qubit idle during the period and not already hosting an
-    overlapping guest.  Hosts that freed up are reused, which is what lets
-    ``q3`` serve both ``a1`` and ``a2`` in Figure 3.1.
+    Historical façade over :func:`repro.alloc.api.allocate`; see that
+    function for the full contract.  ``strategy`` selects any
+    registered placement policy (a name or an
+    :class:`~repro.alloc.base.AllocationStrategy` instance) and
+    defaults to the seed's greedy first-fit, so pre-refactor callers
+    observe identical plans.
     """
-    ancilla_set = set(ancillas)
-    for a in ancilla_set:
-        if not 0 <= a < circuit.num_qubits:
-            raise CircuitError(f"ancilla {a} outside the register")
-    if on_unsafe not in ("error", "skip"):
-        raise CircuitError(f"on_unsafe must be 'error' or 'skip', got {on_unsafe!r}")
+    from repro.alloc.api import allocate
 
-    intervals = activity_intervals(circuit)
-    notes: List[str] = []
-
-    untouched = [a for a in sorted(ancilla_set) if a not in intervals]
-    active = [a for a in sorted(ancilla_set) if a in intervals]
-    active.sort(key=lambda a: intervals[a].first)
-
-    working = set(range(circuit.num_qubits)) - ancilla_set
-    guest_periods: Dict[int, List[ActivityInterval]] = {}
-    assignment: Dict[int, int] = {}
-    unplaced: List[int] = []
-
-    for a in active:
-        period = intervals[a]
-        if safety_check is not None and not safety_check(circuit, a):
-            if on_unsafe == "error":
-                raise CircuitError(
-                    f"ancilla {a} is not safely uncomputed; refusing to borrow"
-                )
-            notes.append(f"ancilla {a} unsafe: left in place")
-            unplaced.append(a)
-            continue
-        host = _find_host(circuit, period, working, guest_periods)
-        if host is None:
-            notes.append(f"ancilla {a}: no idle host for period {period}")
-            unplaced.append(a)
-            continue
-        assignment[a] = host
-        guest_periods.setdefault(host, []).append(period)
-
-    removed = set(assignment) | set(untouched)
-    survivors = [q for q in range(circuit.num_qubits) if q not in removed]
-    wire_map = {q: i for i, q in enumerate(survivors)}
-    remap = dict(wire_map)
-    for a, host in assignment.items():
-        remap[a] = wire_map[host]
-
-    labels = None
-    if circuit.labels is not None:
-        labels = [circuit.labels[q] for q in survivors]
-    new_circuit = Circuit(len(survivors), labels=labels)
-    for gate in circuit.gates:
-        new_circuit.append(gate.remap(remap))
-
-    periods = {a: intervals[a] for a in active}
-    return BorrowPlan(
-        circuit=new_circuit,
-        assignment=assignment,
-        unplaced=unplaced,
-        periods=periods,
-        wire_map=wire_map,
-        original_width=circuit.num_qubits,
-        final_width=len(survivors),
-        notes=notes,
+    return allocate(
+        circuit,
+        ancillas,
+        strategy=strategy,
+        safety_check=safety_check,
+        on_unsafe=on_unsafe,
     )
-
-
-def _find_host(
-    circuit: Circuit,
-    period: ActivityInterval,
-    working: set,
-    guest_periods: Dict[int, List[ActivityInterval]],
-) -> Optional[int]:
-    """Smallest-index working qubit idle over ``period`` with no guest clash."""
-    idle = idle_qubits_during(circuit, period, candidates=working)
-    for host in sorted(idle):
-        guests = guest_periods.get(host, ())
-        if all(not period.overlaps(g) for g in guests):
-            return host
-    return None

@@ -1,15 +1,22 @@
 """Multi-program scheduling with cross-program dirty-qubit borrowing —
 system S13, an executable rendering of the paper's Section 7 discussion.
 
-A :class:`~repro.multiprog.scheduler.MultiProgrammer` co-schedules
-several quantum jobs on one machine.  A job that needs dirty ancillas may
-borrow idle qubits *from other jobs*, but only when the ancilla is
-verified safely uncomputed (Definition 3.1 via the Section 6 pipeline) —
-an unverified borrow could corrupt a co-tenant's state, the failure mode
-the paper warns about in multi-programming clouds.
+A :class:`~repro.multiprog.scheduler.MultiProgrammer` packs quantum
+jobs onto one machine *online*: :meth:`admit` places each arriving job
+against live occupancy (width-reducing it with a registered
+:mod:`repro.alloc` strategy, lazily batch-verifying its ancillas, and
+letting safe ones borrow idle co-tenant wires), and :meth:`release`
+returns a finished job's wires to the pool.  A job that needs dirty
+ancillas may borrow idle qubits *from other jobs*, but only when the
+ancilla is verified safely uncomputed (Definition 3.1 via the Section 6
+pipeline) — an unverified borrow could corrupt a co-tenant's state, the
+failure mode the paper warns about in multi-programming clouds.  The
+batch :meth:`schedule` replays a whole job list through the online path
+and compacts it into one composite circuit.
 """
 
 from repro.multiprog.scheduler import (
+    Admission,
     BorrowRequest,
     MultiProgrammer,
     QuantumJob,
@@ -17,6 +24,7 @@ from repro.multiprog.scheduler import (
 )
 
 __all__ = [
+    "Admission",
     "BorrowRequest",
     "MultiProgrammer",
     "QuantumJob",

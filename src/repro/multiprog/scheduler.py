@@ -1,31 +1,41 @@
-"""Co-scheduling quantum jobs with verified cross-program borrowing.
+"""Online multi-programming with verified cross-program borrowing.
 
 The model: each job is a circuit over its own wires, some of which are
-declared *dirty-ancilla requests*.  The scheduler
+declared *dirty-ancilla requests*.  Jobs arrive over time
+(QuCloud-style, the paper's Section 7 scenario):
 
-1. verifies each requested ancilla is safely uncomputed in its own job
-   (Section 6 pipeline) — an unsafe ancilla is never borrowed across a
-   program boundary, only hosted on a private wire;
-2. merges the jobs into one composite circuit, interleaving gates
-   round-robin to model concurrent execution on the machine;
-3. runs the Figure 3.1 borrowing pass on the composite, letting a safe
-   ancilla land on *any* co-tenant qubit that is idle during its period;
-4. reports the width saved and rejects schedules exceeding the machine.
+* :meth:`MultiProgrammer.admit` places one arriving job against the
+  machine's *live occupancy* — its circuit is first width-reduced by a
+  registered allocation strategy (:mod:`repro.alloc`), then any safe
+  ancilla still unplaced may borrow an idle wire a resident co-tenant
+  lends out;
+* verification is *lazy*: only ancillas with a candidate host (their
+  own circuit's, or a lendable co-tenant wire) pay solver time, in one
+  batched :class:`~repro.verify.batch.BatchVerifier` call per
+  admission, memoised for the scheduler's lifetime;
+* :meth:`MultiProgrammer.release` returns a completed job's wires to
+  the pool; wires lent to still-resident guests stay occupied until the
+  guest finishes;
+* a policy knob picks the allocation strategy per admission, so light
+  jobs can take greedy while width-critical ones pay for lookahead.
 
-This turns the paper's Section 7 discussion (QuCloud-style
-multi-programming with dirty qubits) into executable, testable policy.
+The historical batch entry point, :meth:`MultiProgrammer.schedule`, is
+a thin replay over the online path: it admits every job in arrival
+order on a fresh machine (sharing the memoising verifier), then merges
+the batch into one composite circuit and runs the Figure 3.1 pass over
+it — byte-for-byte the seed scheduler's result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.circuits.borrowing import BorrowPlan, borrow_dirty_qubits
+from repro.alloc import BorrowPlan, allocate, build_model
 from repro.circuits.circuit import Circuit
 from repro.circuits.classical import is_classical_circuit
 from repro.errors import CircuitError, VerificationError
-from repro.verify.batch import BatchVerifier, VerificationJob
+from repro.verify.batch import BatchVerifier
 
 
 @dataclass(frozen=True)
@@ -51,10 +61,85 @@ class QuantumJob:
                     f"the circuit"
                 )
 
+    @property
+    def request_wires(self) -> Tuple[int, ...]:
+        return tuple(r.wire for r in self.ancilla_requests)
+
+
+@dataclass
+class Admission:
+    """Outcome of :meth:`MultiProgrammer.admit` — one resident job.
+
+    Attributes
+    ----------
+    name / job:
+        The admitted workload.
+    plan:
+        The job's internal width-reduction (:class:`BorrowPlan`) under
+        the admission's strategy.
+    wires:
+        Machine wire of each reduced-circuit wire, in wire order.
+    cross_hosts:
+        Original ancilla wire -> machine wire borrowed from a resident
+        co-tenant (ancillas the internal pass could not place).
+    safety:
+        Verified verdicts, by original ancilla wire.  Ancillas skipped
+        by lazy verification (no candidate host anywhere) are absent.
+    seq:
+        Arrival number, for deterministic accounting.
+    strategy:
+        Allocation strategy used for this admission.
+    """
+
+    name: str
+    job: QuantumJob
+    plan: BorrowPlan
+    wires: Tuple[int, ...]
+    cross_hosts: Dict[int, int]
+    safety: Dict[int, bool]
+    seq: int
+    strategy: str
+
+    @property
+    def fresh_wires(self) -> Tuple[int, ...]:
+        """Machine wires taken from the free pool (not borrowed)."""
+        borrowed = set(self.cross_hosts.values())
+        return tuple(w for w in self.wires if w not in borrowed)
+
+    @property
+    def qubits_saved(self) -> int:
+        """Free-pool qubits this job did not need, versus naive width."""
+        return self.job.circuit.num_qubits - len(self.fresh_wires)
+
+    def wire_of(self, original: int) -> int:
+        """Machine wire an original job wire ended up on."""
+        if original in self.cross_hosts:
+            return self.cross_hosts[original]
+        target = original
+        if target in self.plan.assignment:
+            target = self.plan.assignment[target]
+        if target not in self.plan.wire_map:
+            raise CircuitError(
+                f"wire {original} of job {self.name} was eliminated"
+            )
+        return self.wires[self.plan.wire_map[target]]
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.name}: {self.job.circuit.num_qubits} wires -> "
+            f"{len(self.fresh_wires)} fresh"
+        ]
+        if self.cross_hosts:
+            borrows = ", ".join(
+                f"a{a}->m{w}" for a, w in sorted(self.cross_hosts.items())
+            )
+            parts.append(f"borrowed [{borrows}]")
+        return " ".join(parts)
+
 
 @dataclass
 class ScheduleResult:
-    """Outcome of :meth:`MultiProgrammer.schedule`."""
+    """Outcome of the batch :meth:`MultiProgrammer.schedule`."""
 
     composite: Circuit
     plan: BorrowPlan
@@ -63,6 +148,7 @@ class ScheduleResult:
     naive_width: int
     final_width: int
     machine_size: int
+    admissions: Optional[List[Admission]] = None
 
     @property
     def qubits_saved(self) -> int:
@@ -84,51 +170,264 @@ class ScheduleResult:
 
 
 class MultiProgrammer:
-    """Packs jobs onto one machine with verified dirty-qubit borrowing."""
+    """An online machine packer with verified dirty-qubit borrowing.
+
+    Parameters
+    ----------
+    machine_size:
+        Physical wire count.
+    backend:
+        Verification backend for ancilla safety checks.
+    strategy:
+        Default allocation strategy for admissions and for the batch
+        composite pass (any name in
+        :func:`repro.alloc.available_strategies`).
+    verifier:
+        Optional shared :class:`BatchVerifier`; by default the
+        scheduler owns one for its lifetime, so ancilla verdicts are
+        memoised by circuit fingerprint and re-submitting a job costs
+        no solver runs after the first admission.
+    cache_path:
+        Opt-in disk persistence for those verdicts
+        (:class:`~repro.verify.cache.DiskVerdictCache`), making
+        repeated service runs free across processes.
+    """
 
     def __init__(
         self,
         machine_size: int,
         backend: str = "bdd",
+        strategy: str = "greedy",
         max_workers: Optional[int] = None,
         verifier: Optional[BatchVerifier] = None,
+        cache_path: Optional[str] = None,
     ):
         if machine_size < 1:
             raise CircuitError("machine must have at least one qubit")
         self.machine_size = machine_size
         self.backend = backend
-        # One engine for the scheduler's lifetime: ancilla verdicts are
-        # memoised by circuit fingerprint, so re-submitting a job (the
-        # steady state of a borrow-at-schedule-time service) costs no
-        # solver runs after the first schedule.
+        self.strategy = strategy
         self.verifier = verifier or BatchVerifier(
-            backend=backend, max_workers=max_workers
+            backend=backend, max_workers=max_workers, cache_path=cache_path
         )
+        self._residents: Dict[str, Admission] = {}
+        #: Machine wire -> resident names holding it (owner and guests).
+        self._holders: Dict[int, Set[str]] = {}
+        #: Idle machine wire -> owner offering it to co-tenant guests.
+        self._idle_owner: Dict[int, str] = {}
+        self._seq = 0
 
     # ------------------------------------------------------------------ #
-    # Public API
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def residents(self) -> Tuple[str, ...]:
+        """Names of the jobs currently on the machine, by arrival."""
+        return tuple(self._residents)
+
+    @property
+    def occupancy(self) -> int:
+        """Machine wires currently held by at least one resident."""
+        return len(self._holders)
+
+    @property
+    def free_qubits(self) -> int:
+        return max(0, self.machine_size - self.occupancy)
+
+    @property
+    def lendable_wires(self) -> Tuple[int, ...]:
+        """Resident-owned idle wires currently offered to guests."""
+        return tuple(
+            sorted(
+                w
+                for w, owner in self._idle_owner.items()
+                if len(self._holders.get(w, ())) == 1
+            )
+        )
+
+    def admission(self, name: str) -> Admission:
+        adm = self._residents.get(name)
+        if adm is None:
+            raise CircuitError(f"no resident job named {name!r}")
+        return adm
+
+    def snapshot(self) -> str:
+        lines = [
+            f"machine {self.machine_size} qubits: {self.occupancy} busy, "
+            f"{self.free_qubits} free, "
+            f"{len(self.lendable_wires)} lendable"
+        ]
+        for adm in self._residents.values():
+            lines.append(f"  {adm.summary()}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Online path
+    # ------------------------------------------------------------------ #
+
+    def admit(
+        self,
+        job: QuantumJob,
+        strategy: Optional[str] = None,
+        enforce_capacity: bool = True,
+        lazy_verify: bool = True,
+    ) -> Admission:
+        """Place an arriving job against live machine occupancy.
+
+        Raises :class:`CircuitError` when the job needs more free
+        qubits than the machine has (the over-capacity rejection),
+        unless ``enforce_capacity`` is off — the batch replay uses that
+        to report non-fitting schedules instead of failing fast.
+        """
+        if job.name in self._residents:
+            raise CircuitError(f"job {job.name!r} is already resident")
+        strategy = strategy or self.strategy
+
+        safety = self._verify_job(job, lazy_verify)
+        # Every requested wire goes into the model (so an unsafe or
+        # unverified ancilla stays OFF the host list, exactly like the
+        # batch path); the gate then skips the unplaceable ones.
+        plan = allocate(
+            job.circuit,
+            job.request_wires,
+            strategy=self._engine(strategy),
+            safety_check=lambda _, a: bool(safety.get(a)),
+            on_unsafe="skip",
+        )
+
+        # Ancillas the internal pass could not place may borrow an idle
+        # wire a co-tenant lends out (safe ones only — an unverified
+        # ancilla never crosses a program boundary).
+        cross_hosts: Dict[int, int] = {}
+        for a in plan.unplaced:
+            if not safety.get(a):
+                continue
+            lendable = self.lendable_wires
+            if not lendable:
+                break
+            cross_hosts[a] = lendable[0]
+            self._holders[lendable[0]].add(job.name)
+
+        fresh_needed = plan.final_width - len(cross_hosts)
+        try:
+            fresh = self._take_free(job.name, fresh_needed, enforce_capacity)
+        except CircuitError:
+            for wire in cross_hosts.values():  # roll back the borrows
+                self._holders[wire].discard(job.name)
+            raise
+
+        # Reduced-circuit wire -> machine wire.
+        wires: List[int] = []
+        pool = iter(fresh)
+        borrowed_by_reduced = {
+            plan.wire_map[a]: w for a, w in cross_hosts.items()
+        }
+        for reduced in range(plan.final_width):
+            if reduced in borrowed_by_reduced:
+                wires.append(borrowed_by_reduced[reduced])
+            else:
+                wires.append(next(pool))
+
+        # Offer this job's untouched fresh wires to future guests.
+        idle_reduced = plan.circuit.idle_qubits()
+        for reduced in idle_reduced:
+            wire = wires[reduced]
+            if wire in fresh:
+                self._idle_owner[wire] = job.name
+
+        self._seq += 1
+        admission = Admission(
+            name=job.name,
+            job=job,
+            plan=plan,
+            wires=tuple(wires),
+            cross_hosts=cross_hosts,
+            safety=safety,
+            seq=self._seq,
+            strategy=strategy,
+        )
+        self._residents[job.name] = admission
+        return admission
+
+    def release(self, name: str) -> Tuple[int, ...]:
+        """Complete a resident job; returns the machine wires freed.
+
+        A wire lent to a still-resident guest stays occupied (the guest
+        now holds it alone) and is freed when the guest releases.
+        """
+        admission = self._residents.pop(name, None)
+        if admission is None:
+            raise CircuitError(f"no resident job named {name!r}")
+        freed: List[int] = []
+        for wire in set(admission.wires):
+            holders = self._holders.get(wire)
+            if holders is None:
+                continue
+            holders.discard(name)
+            if not holders:
+                del self._holders[wire]
+                self._idle_owner.pop(wire, None)
+                freed.append(wire)
+        # Wires this job owned but could not free (guest still on them)
+        # are no longer lendable — the owner is gone.
+        for wire, owner in list(self._idle_owner.items()):
+            if owner == name:
+                del self._idle_owner[wire]
+        # Wires this job borrowed return to the owner's lendable pool
+        # automatically: the owner's _idle_owner entry persists and the
+        # holder count just dropped back to one.
+        return tuple(sorted(freed))
+
+    # ------------------------------------------------------------------ #
+    # Batch path (historical API, replayed over the online engine)
     # ------------------------------------------------------------------ #
 
     def schedule(
         self, jobs: Sequence[QuantumJob], require_fit: bool = True
     ) -> ScheduleResult:
         """Merge, verify, and borrow; raises if the result exceeds the
-        machine and ``require_fit`` is set."""
+        machine and ``require_fit`` is set.
+
+        Implemented as a replay over the online path: every job is
+        admitted in arrival order on a fresh machine sharing this
+        scheduler's memoising verifier (capacity unenforced, so
+        ``require_fit=False`` can still report), and the resident batch
+        is then compacted as one composite circuit — which reproduces
+        the seed scheduler's results exactly.
+        """
         if not jobs:
             raise CircuitError("no jobs to schedule")
         names = [job.name for job in jobs]
         if len(set(names)) != len(names):
             raise CircuitError("duplicate job names")
 
-        safety = self._verify_ancillas(jobs)
+        replay = MultiProgrammer(
+            self.machine_size,
+            backend=self.backend,
+            strategy=self.strategy,
+            verifier=self.verifier,
+        )
+        admissions = [
+            replay.admit(job, enforce_capacity=False, lazy_verify=False)
+            for job in jobs
+        ]
+        safety = {
+            (adm.name, wire): safe
+            for adm in admissions
+            for wire, safe in adm.safety.items()
+        }
+
         composite, offsets = self._merge(jobs)
         borrowable = [
-            offsets[job.name] + request.wire
+            offsets[job.name] + wire
             for job in jobs
-            for request in job.ancilla_requests
-            if safety[(job.name, request.wire)]
+            for wire in job.request_wires
+            if safety[(job.name, wire)]
         ]
-        plan = borrow_dirty_qubits(composite, borrowable)
+        plan = allocate(
+            composite, borrowable, strategy=self._engine(self.strategy)
+        )
         result = ScheduleResult(
             composite=plan.circuit,
             plan=plan,
@@ -137,6 +436,7 @@ class MultiProgrammer:
             naive_width=composite.num_qubits,
             final_width=plan.final_width,
             machine_size=self.machine_size,
+            admissions=admissions,
         )
         if require_fit and not result.fits_machine:
             raise CircuitError(
@@ -146,35 +446,73 @@ class MultiProgrammer:
         return result
 
     # ------------------------------------------------------------------ #
-    # Steps
+    # Internals
     # ------------------------------------------------------------------ #
 
-    def _verify_ancillas(
-        self, jobs: Sequence[QuantumJob]
-    ) -> Dict[Tuple[str, int], bool]:
-        """Verify every requested ancilla in one batch-engine call."""
-        requesting: List[QuantumJob] = []
-        for job in jobs:
-            if not job.ancilla_requests:
-                continue
-            if not is_classical_circuit(job.circuit):
-                raise VerificationError(
-                    f"job {job.name}: only classical circuits can be "
-                    f"auto-verified for cross-program borrowing"
-                )
-            requesting.append(job)
-        reports = self.verifier.verify_circuits(
-            VerificationJob(
-                job.circuit,
-                tuple(request.wire for request in job.ancilla_requests),
+    def _engine(self, strategy: str):
+        """Resolve a strategy name, sharing the scheduler's memoising
+        verifier with the ``verified`` wrapper (its re-checks of
+        already-verified ancillas then cost cache hits, not solver
+        runs)."""
+        if strategy == "verified":
+            from repro.alloc import VerifiedStrategy
+
+            return VerifiedStrategy(verifier=self.verifier)
+        return strategy
+
+    def _verify_job(
+        self, job: QuantumJob, lazy_verify: bool
+    ) -> Dict[int, bool]:
+        """Batch-verify the job's requested ancillas.
+
+        Lazy mode skips ancillas that could never be placed anyway —
+        no candidate host in the job's own circuit and no lendable
+        co-tenant wire — so they pay no solver time at all.
+        """
+        requests = job.request_wires
+        if not requests:
+            return {}
+        if not is_classical_circuit(job.circuit):
+            raise VerificationError(
+                f"job {job.name}: only classical circuits can be "
+                f"auto-verified for cross-program borrowing"
             )
-            for job in requesting
-        )
-        safety: Dict[Tuple[str, int], bool] = {}
-        for job, report in zip(requesting, reports):
-            for verdict in report.verdicts:
-                safety[(job.name, verdict.qubit)] = verdict.safe
-        return safety
+        if lazy_verify:
+            model = build_model(job.circuit, requests)
+            lendable = bool(self.lendable_wires)
+            to_verify = tuple(
+                a
+                for a in model.ancillas
+                if model.candidates[a] or lendable
+            )
+        else:
+            to_verify = requests
+        if not to_verify:
+            return {}
+        report = self.verifier.verify_circuit(job.circuit, to_verify)
+        return {v.qubit: v.safe for v in report.verdicts}
+
+    def _take_free(
+        self, name: str, count: int, enforce_capacity: bool
+    ) -> List[int]:
+        free = [
+            w for w in range(self.machine_size) if w not in self._holders
+        ]
+        if len(free) < count:
+            if enforce_capacity:
+                raise CircuitError(
+                    f"job {name!r} needs {count} free qubits but the "
+                    f"machine has {len(free)}"
+                )
+            overflow = self.machine_size
+            while len(free) < count:
+                if overflow not in self._holders:
+                    free.append(overflow)
+                overflow += 1
+        taken = free[:count]
+        for wire in taken:
+            self._holders[wire] = {name}
+        return taken
 
     def _merge(
         self, jobs: Sequence[QuantumJob]

@@ -20,6 +20,9 @@ Checkers, from most semantic to most scalable:
   engine: one tracking pass and one checker per circuit, per-qubit
   checks fanned out over a worker pool, verdicts memoised by
   ``(circuit fingerprint, qubit, backend)``;
+* :mod:`repro.verify.cache` — :class:`DiskVerdictCache`, the opt-in
+  JSON persistence of that memo (``cache_path=`` on the verifier), so
+  repeated service runs skip solver work across processes;
 * :mod:`repro.verify.report` — per-qubit verdicts and reports with
   simulator-replayed counterexamples;
 * :mod:`repro.verify.pipeline` — :func:`verify_circuit`, the
@@ -55,6 +58,7 @@ from repro.verify.backends import (
     register_backend,
 )
 from repro.verify.batch import BatchVerifier, VerificationJob
+from repro.verify.cache import DiskVerdictCache
 from repro.verify.booltrace import formula_trace
 from repro.verify.clean import check_clean_uncomputation, verify_clean_wires
 from repro.verify.demonstrate import (
@@ -82,6 +86,7 @@ __all__ = [
     "BorrowVerdict",
     "CheckerBackend",
     "Counterexample",
+    "DiskVerdictCache",
     "ProgramSafetyReport",
     "QubitVerdict",
     "TrackedFormulas",

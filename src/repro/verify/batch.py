@@ -26,6 +26,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -86,7 +87,13 @@ class BatchVerifier:
         if they do not actually violate the claimed condition.
     cache:
         Optional externally shared verdict cache (a mutable mapping);
-        by default each verifier owns a private one.
+        by default each verifier owns a private one.  Pass a
+        :class:`repro.verify.cache.DiskVerdictCache` to persist
+        verdicts across processes.
+    cache_path:
+        Convenience for the disk cache: a path here constructs a
+        :class:`~repro.verify.cache.DiskVerdictCache` over it (mutually
+        exclusive with ``cache``).
     """
 
     def __init__(
@@ -96,9 +103,18 @@ class BatchVerifier:
         simplify_xor: bool = True,
         replay: bool = True,
         cache: Optional[VerdictCache] = None,
+        cache_path: Optional[str] = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise VerificationError("max_workers must be at least 1")
+        if cache is not None and cache_path is not None:
+            raise VerificationError(
+                "pass either cache or cache_path, not both"
+            )
+        if cache_path is not None:
+            from repro.verify.cache import DiskVerdictCache
+
+            cache = DiskVerdictCache(cache_path)
         self.backend = backend
         self.max_workers = max_workers or os.cpu_count() or 1
         self.simplify_xor = simplify_xor
@@ -245,17 +261,22 @@ class BatchVerifier:
     ) -> None:
         if not pending:
             return
-        if self.max_workers == 1 or len(pending) == 1:
-            for key, (checker, qubit) in pending.items():
-                self.cache[key] = checker.check_qubit(qubit)
-            return
-        workers = min(self.max_workers, len(pending))
-        with ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="verify"
-        ) as pool:
-            futures = {
-                key: pool.submit(self._run_check, checker, qubit)
-                for key, (checker, qubit) in pending.items()
-            }
-            for key, future in futures.items():
-                self.cache[key] = future.result()
+        # A persistent cache flushes once per batch, not per verdict
+        # (duck-typed so plain dicts keep working).
+        deferred = getattr(self.cache, "deferred", None)
+        store = deferred() if deferred is not None else nullcontext()
+        with store:
+            if self.max_workers == 1 or len(pending) == 1:
+                for key, (checker, qubit) in pending.items():
+                    self.cache[key] = checker.check_qubit(qubit)
+                return
+            workers = min(self.max_workers, len(pending))
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="verify"
+            ) as pool:
+                futures = {
+                    key: pool.submit(self._run_check, checker, qubit)
+                    for key, (checker, qubit) in pending.items()
+                }
+                for key, future in futures.items():
+                    self.cache[key] = future.result()

@@ -1,0 +1,197 @@
+"""Disk-persistent verdict cache for the batch verification engine.
+
+:class:`BatchVerifier` memoises verdicts in-process, keyed by
+``(circuit fingerprint, qubit, backend, simplify_xor)``.  This module
+makes that memo survive the process: :class:`DiskVerdictCache` is a
+mutable mapping with the same keys, backed by one JSON file, that the
+verifier accepts through its ``cache=`` (or the convenience
+``cache_path=``) parameter.  Repeated service-style runs — the
+multi-programming scheduler, CI — then skip solver work entirely for
+circuits they have seen before, across processes.
+
+Design points:
+
+* **write-through** — every stored verdict is flushed with an atomic
+  rename (write temp file, ``os.replace``), so a crash never leaves a
+  torn file; solver runs dwarf the serialisation cost;
+* **corruption-tolerant** — an unreadable or malformed file is treated
+  as empty (recorded in :attr:`DiskVerdictCache.load_error`) and
+  overwritten on the next store, so a bad cache can never fail a run;
+* **versioned** — payloads carry a schema tag; a future format bump
+  invalidates old files instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import Dict, Iterator, MutableMapping, Optional, Tuple
+
+from repro.verify.backends.base import BooleanCheckOutcome
+
+#: The verifier's memo key: (fingerprint, qubit, backend, simplify_xor).
+CacheKey = Tuple[str, int, str, bool]
+
+_SCHEMA = "verdict-cache/v1"
+
+
+def _encode_key(key: CacheKey) -> str:
+    fingerprint, qubit, backend, simplify_xor = key
+    return f"{fingerprint}:{qubit}:{backend}:{int(simplify_xor)}"
+
+
+def _decode_key(text: str) -> CacheKey:
+    fingerprint, qubit, backend, simplify_xor = text.split(":")
+    return fingerprint, int(qubit), backend, bool(int(simplify_xor))
+
+
+def _encode_outcome(outcome: BooleanCheckOutcome) -> dict:
+    return {
+        "qubit": outcome.qubit,
+        "safe": outcome.safe,
+        "failed_condition": outcome.failed_condition,
+        "counterexample": outcome.counterexample,
+        "solve_seconds": outcome.solve_seconds,
+        # Details may hold backend-specific objects; keep only the
+        # JSON-representable part (they are informational).
+        "details": {
+            k: v
+            for k, v in outcome.details.items()
+            if isinstance(v, (str, int, float, bool, type(None)))
+        },
+    }
+
+
+def _decode_outcome(payload: dict) -> BooleanCheckOutcome:
+    return BooleanCheckOutcome(
+        qubit=int(payload["qubit"]),
+        safe=bool(payload["safe"]),
+        failed_condition=payload.get("failed_condition"),
+        counterexample=payload.get("counterexample"),
+        solve_seconds=float(payload.get("solve_seconds", 0.0)),
+        details=dict(payload.get("details") or {}),
+    )
+
+
+class DiskVerdictCache(MutableMapping):
+    """A JSON-file-backed verdict store, drop-in for the in-memory dict.
+
+    Parameters
+    ----------
+    path:
+        The JSON file; created (with parent directories) on first
+        store.
+    autosave:
+        Flush on every store (the default).  Turn off for bulk loads
+        and call :meth:`flush` once at the end.
+    """
+
+    def __init__(self, path: str, autosave: bool = True):
+        self.path = str(path)
+        self.autosave = autosave
+        #: Why the existing file was discarded, if it was (human-readable).
+        self.load_error: Optional[str] = None
+        self._data: Dict[CacheKey, BooleanCheckOutcome] = {}
+        self._load()
+
+    # ---------------------------- mapping ----------------------------- #
+
+    def __getitem__(self, key: CacheKey) -> BooleanCheckOutcome:
+        return self._data[key]
+
+    def __setitem__(self, key: CacheKey, outcome: BooleanCheckOutcome) -> None:
+        self._data[key] = outcome
+        if self.autosave:
+            self.flush()
+
+    def __delitem__(self, key: CacheKey) -> None:
+        del self._data[key]
+        if self.autosave:
+            self.flush()
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[CacheKey]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        if self.autosave:
+            self.flush()
+
+    # --------------------------- persistence -------------------------- #
+
+    @contextmanager
+    def deferred(self):
+        """Suspend autosave across a bulk of stores; flush once at exit.
+
+        The batch engine wraps each solve round in this, so a batch of
+        ``n`` fresh verdicts costs one file write instead of ``n``
+        rewrites of the whole store (crash-atomicity drops to batch
+        granularity — exactly the unit of work being paid for).
+        """
+        previous = self.autosave
+        self.autosave = False
+        try:
+            yield self
+        finally:
+            self.autosave = previous
+            if previous:
+                self.flush()
+
+    def flush(self) -> None:
+        """Atomically write the store to :attr:`path`."""
+        payload = {
+            "schema": _SCHEMA,
+            "verdicts": {
+                _encode_key(key): _encode_outcome(outcome)
+                for key, outcome in self._data.items()
+            },
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        handle, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".verdict-cache-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def _load(self) -> None:
+        try:
+            with open(self.path) as stream:
+                payload = json.load(stream)
+        except FileNotFoundError:
+            return
+        except (OSError, ValueError) as error:
+            self.load_error = f"unreadable cache file: {error}"
+            return
+        try:
+            if payload.get("schema") != _SCHEMA:
+                self.load_error = (
+                    f"schema {payload.get('schema')!r} != {_SCHEMA!r}"
+                )
+                return
+            self._data = {
+                _decode_key(text): _decode_outcome(entry)
+                for text, entry in payload["verdicts"].items()
+            }
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            self.load_error = f"malformed cache payload: {error}"
+            self._data = {}
+
+
+__all__ = ["CacheKey", "DiskVerdictCache"]

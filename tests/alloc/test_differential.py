@@ -1,0 +1,123 @@
+"""Differential soundness: every strategy vs the lookahead oracle.
+
+For every registered strategy and every benchmark circuit:
+
+* the placement is structurally sound (hosts idle over the guest's
+  period, no overlapping guests share a host) —
+  :func:`validate_placement`;
+* the final width never beats the lookahead optimum (the oracle is a
+  true lower bound wherever its search completed);
+* placed ancillas pass the Section 6 ``verify_circuit`` safety check,
+  and the rewrite preserves the classical function on basis states
+  with ancillas grounded.
+"""
+
+import pytest
+
+from repro.alloc import (
+    Placement,
+    allocate,
+    available_strategies,
+    build_model,
+    validate_placement,
+)
+from repro.circuits import Circuit, apply_to_bits, cnot, x
+from repro.lang.surface import elaborate
+from repro.lang.surface.sources import adder_qbr_source
+from repro.verify import verify_circuit
+from tests.conftest import fig31_circuit
+
+
+def _adder(n):
+    program = elaborate(adder_qbr_source(n))
+    return program.circuit, list(program.dirty_wires)
+
+
+def _bench_circuits():
+    cases = [
+        ("fig31", fig31_circuit(), [5, 6]),
+        ("trap", Circuit(4).extend([x(2), cnot(2, 3), cnot(1, 3)]), [2, 3]),
+        (
+            "overlap",
+            Circuit(6).extend(
+                [cnot(0, 3), cnot(1, 4), cnot(0, 3), cnot(1, 4), cnot(2, 5)]
+            ),
+            [3, 4, 5],
+        ),
+    ]
+    for n in (4, 6):
+        circuit, dirty = _adder(n)
+        cases.append((f"adder{n}", circuit, dirty))
+    return cases
+
+
+CASES = _bench_circuits()
+STRATEGIES = available_strategies()
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize(
+    "name,circuit,dirty", CASES, ids=[c[0] for c in CASES]
+)
+class TestDifferential:
+    def test_structurally_sound_and_bounded_by_oracle(
+        self, strategy, name, circuit, dirty
+    ):
+        plan = allocate(circuit, dirty, strategy=strategy)
+        oracle = allocate(circuit, dirty, strategy="lookahead")
+
+        model = build_model(circuit, dirty)
+        placement = Placement(
+            assignment=dict(plan.assignment),
+            unplaced=[a for a in model.ancillas if a not in plan.assignment],
+        )
+        validate_placement(model, placement)
+
+        # The oracle is optimal: no strategy may go below it, and by
+        # construction (greedy-seeded search) it never loses to greedy.
+        assert plan.final_width >= oracle.final_width
+        greedy = allocate(circuit, dirty, strategy="greedy")
+        assert oracle.final_width <= greedy.final_width
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("adder_n", [4, 6])
+def test_placed_adder_ancillas_verify_safe(strategy, adder_n):
+    """Figure 6.3 circuits: whatever a strategy places must be safe."""
+    circuit, dirty = _adder(adder_n)
+    plan = allocate(circuit, dirty, strategy=strategy)
+    if plan.assignment:
+        report = verify_circuit(
+            circuit, sorted(plan.assignment), backend="bdd"
+        )
+        assert report.all_safe
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fig31_rewrite_preserves_function(strategy):
+    """The compacted circuit computes the same classical function on
+    the working qubits, for every basis input, ancillas grounded."""
+    original = fig31_circuit()
+    plan = allocate(original, [5, 6], strategy=strategy)
+    assert plan.final_width == 5
+
+    for s in range(2**5):
+        bits = [(s >> i) & 1 for i in range(5)]
+        old = apply_to_bits(original, bits + [0, 0])
+        new = apply_to_bits(plan.circuit, bits)
+        assert old[:5] == new
+        assert old[5:] == [0, 0]  # ancillas restored
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fig31_safety_gated(strategy):
+    """Acceptance: every strategy rides the verify_circuit safety gate."""
+    plan = allocate(
+        fig31_circuit(),
+        [5, 6],
+        strategy=strategy,
+        safety_check=lambda c, q: verify_circuit(
+            c, [q], backend="bdd"
+        ).all_safe,
+    )
+    assert plan.final_width == 5

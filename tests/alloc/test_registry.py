@@ -1,0 +1,52 @@
+"""Tests for the allocation-strategy registry."""
+
+import pytest
+
+from repro.alloc import (
+    AllocationStrategy,
+    available_strategies,
+    make_strategy,
+    register_strategy,
+    strategy_class,
+)
+from repro.alloc.registry import _REGISTRY
+from repro.errors import CircuitError
+
+
+class TestRegistry:
+    def test_core_strategies_registered(self):
+        names = available_strategies()
+        for expected in ("greedy", "interval-graph", "lookahead", "verified"):
+            assert expected in names
+
+    def test_names_sorted(self):
+        names = available_strategies()
+        assert list(names) == sorted(names)
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(CircuitError, match="greedy"):
+            strategy_class("no-such-strategy")
+
+    def test_make_strategy_sets_name(self):
+        strategy = make_strategy("greedy")
+        assert strategy.name == "greedy"
+
+    def test_make_strategy_forwards_options(self):
+        strategy = make_strategy("lookahead", max_ancillas=3)
+        assert strategy.max_ancillas == 3
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(CircuitError, match="already registered"):
+
+            @register_strategy("greedy")
+            class Impostor(AllocationStrategy):
+                def plan(self, model):
+                    raise NotImplementedError
+
+    def test_non_strategy_class_rejected(self):
+        with pytest.raises(CircuitError, match="must subclass"):
+            register_strategy("bogus")(dict)
+
+    def test_reregistration_is_idempotent(self):
+        cls = _REGISTRY["greedy"]
+        assert register_strategy("greedy")(cls) is cls

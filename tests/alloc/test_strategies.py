@@ -1,0 +1,165 @@
+"""Per-strategy behaviour of the borrow-allocation subsystem."""
+
+import pytest
+
+from repro.alloc import (
+    LookaheadStrategy,
+    VerifiedStrategy,
+    allocate,
+    build_model,
+)
+from repro.circuits import Circuit, cnot, toffoli, x
+from repro.errors import CircuitError, VerificationError
+from repro.verify import BatchVerifier
+from tests.conftest import fig31_circuit
+
+
+def greedy_trap_circuit():
+    """First-fit takes the wrong host: ancilla 2 (period [0,1]) can sit
+    on wire 0 or 1, ancilla 3 (period [1,2]) only on wire 0 — greedy
+    gives 0 to ancilla 2 and strands ancilla 3."""
+    return Circuit(4).extend([x(2), cnot(2, 3), cnot(1, 3)])
+
+
+class TestGreedy:
+    def test_matches_seed_on_figure_31(self):
+        plan = allocate(fig31_circuit(), [5, 6], strategy="greedy")
+        assert plan.assignment == {5: 2, 6: 2}
+        assert plan.final_width == 5
+
+    def test_first_fit_is_suboptimal_on_the_trap(self):
+        plan = allocate(greedy_trap_circuit(), [2, 3], strategy="greedy")
+        assert plan.assignment == {2: 0}
+        assert plan.unplaced == [3]
+        assert plan.final_width == 3
+
+
+class TestLookahead:
+    def test_optimal_on_figure_31(self):
+        plan = allocate(fig31_circuit(), [5, 6], strategy="lookahead")
+        assert plan.final_width == 5
+        assert not plan.unplaced
+
+    def test_beats_greedy_on_the_trap(self):
+        plan = allocate(greedy_trap_circuit(), [2, 3], strategy="lookahead")
+        assert plan.assignment == {2: 1, 3: 0}
+        assert plan.final_width == 2
+
+    def test_refuses_oversized_problems(self):
+        circuit = Circuit(40)
+        for a in range(20, 40):
+            circuit.append(cnot(0, a))
+        with pytest.raises(CircuitError, match="capped"):
+            allocate(circuit, range(20, 40), strategy="lookahead",
+                     max_ancillas=4)
+
+    def test_budget_exhaustion_falls_back_to_greedy_seed(self):
+        strategy = LookaheadStrategy(max_nodes=1)
+        greedy_plan = allocate(greedy_trap_circuit(), [2, 3])
+        plan = allocate(greedy_trap_circuit(), [2, 3], strategy=strategy)
+        assert strategy.last_optimal is False
+        assert plan.final_width <= greedy_plan.final_width
+        assert any("budget" in note for note in plan.notes)
+
+    def test_reports_optimality(self):
+        strategy = LookaheadStrategy()
+        allocate(greedy_trap_circuit(), [2, 3], strategy=strategy)
+        assert strategy.last_optimal is True
+
+
+class TestIntervalGraph:
+    def test_packs_two_ancillas_on_one_host(self):
+        plan = allocate(fig31_circuit(), [5, 6], strategy="interval-graph")
+        hosts = list(plan.assignment.values())
+        assert len(hosts) == 2
+        assert len(set(hosts)) == 1  # both guests share q3
+
+    def test_overlapping_ancillas_get_distinct_hosts(self):
+        # Wires 2 and 5 are idle throughout; the ancilla periods
+        # overlap, so packing must spread them across both hosts.
+        c = Circuit(6).extend(
+            [cnot(0, 3), cnot(1, 4), cnot(0, 3), cnot(1, 4)]
+        )
+        plan = allocate(c, [3, 4], strategy="interval-graph")
+        hosts = set(plan.assignment.values())
+        assert len(hosts) == len(plan.assignment) == 2
+
+
+class TestVerified:
+    def test_unsafe_ancilla_left_in_place(self):
+        circuit = Circuit(3).extend([cnot(0, 1), x(2)])
+        plan = allocate(circuit, [2], strategy="verified")
+        assert plan.unplaced == [2]
+        assert plan.final_width == 3
+        assert any("not safely uncomputed" in note for note in plan.notes)
+
+    def test_safe_ancillas_placed(self):
+        plan = allocate(fig31_circuit(), [5, 6], strategy="verified")
+        assert plan.final_width == 5
+        assert not plan.unplaced
+
+    def test_hostless_ancilla_pays_no_solver_time(self):
+        # Every working qubit busy throughout: no candidate host, so
+        # the lazy gate must not verify anything.
+        circuit = Circuit(3).extend(
+            [cnot(0, 1), toffoli(0, 1, 2), cnot(0, 1)]
+        )
+        verifier = BatchVerifier(backend="bdd")
+        strategy = VerifiedStrategy(verifier=verifier)
+        plan = allocate(circuit, [2], strategy=strategy)
+        assert plan.unplaced == [2]
+        assert verifier.cache_misses == 0 and verifier.cache_hits == 0
+        assert strategy.last_safety == {}
+
+    def test_candidate_ancillas_verified_once(self):
+        verifier = BatchVerifier(backend="bdd")
+        strategy = VerifiedStrategy(verifier=verifier)
+        allocate(fig31_circuit(), [5, 6], strategy=strategy)
+        assert verifier.cache_misses == 2
+        assert strategy.last_safety == {5: True, 6: True}
+        # Re-planning the same circuit is all cache hits.
+        allocate(fig31_circuit(), [5, 6], strategy=strategy)
+        assert verifier.cache_misses == 2
+        assert verifier.cache_hits == 2
+
+    def test_non_classical_circuit_rejected(self):
+        from repro.circuits import hadamard
+
+        circuit = Circuit(3).extend([hadamard(0), cnot(0, 2), cnot(0, 2)])
+        with pytest.raises(VerificationError):
+            allocate(circuit, [2], strategy="verified")
+
+    def test_cannot_wrap_itself(self):
+        with pytest.raises(CircuitError):
+            VerifiedStrategy(inner="verified")
+
+    def test_wraps_other_strategies(self):
+        strategy = VerifiedStrategy(inner="lookahead")
+        plan = allocate(greedy_trap_circuit(), [2, 3], strategy=strategy)
+        # the trap ancillas are not safely uncomputed, so the verified
+        # gate keeps them private regardless of the inner optimum
+        assert plan.unplaced == [2, 3]
+
+
+class TestDriver:
+    def test_strategy_instance_with_options_rejected(self):
+        with pytest.raises(CircuitError, match="options"):
+            allocate(
+                fig31_circuit(),
+                [5, 6],
+                strategy=LookaheadStrategy(),
+                max_nodes=10,
+            )
+
+    def test_plan_records_strategy_name(self):
+        plan = allocate(fig31_circuit(), [5, 6], strategy="interval-graph")
+        assert plan.strategy == "interval-graph"
+
+    def test_qubits_saved_property(self):
+        plan = allocate(fig31_circuit(), [5, 6])
+        assert plan.qubits_saved == 2
+
+    def test_model_restrict_rejects_unknown_wires(self):
+        model = build_model(fig31_circuit(), [5, 6])
+        with pytest.raises(CircuitError):
+            model.restrict([0])
