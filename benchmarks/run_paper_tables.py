@@ -42,7 +42,13 @@ from repro.errors import SolverError
 from repro.lang.surface import elaborate
 from repro.lang.surface.sources import adder_qbr_source, mcx_qbr_source
 from repro.mcx import cccnot_with_dirty_ancilla
-from repro.multiprog import BorrowRequest, MultiProgrammer, QuantumJob
+from repro.multiprog import (
+    BorrowRequest,
+    MultiProgrammer,
+    QuantumJob,
+    available_policies,
+)
+from repro.testing import random_arrival_trace, replay_trace
 from repro.verify import BatchVerifier, available_backends, verify_circuit
 
 QUICK = "--quick" in sys.argv
@@ -389,13 +395,74 @@ def _online_workload(strategy: str) -> dict:
     return row
 
 
+#: The queueing record's fixed workload: one seeded ≥50-job arrival
+#: trace (repro.testing) with jobs up to 9 wires against a 12-qubit
+#: machine — wide arrivals block a strict FIFO head while narrower
+#: jobs' timeouts run out, which is exactly the regime backfill is
+#: for.  Replayed under every registered queue policy.
+QUEUE_TRACE_SEED = 1
+QUEUE_TRACE_JOBS = 50
+QUEUE_MACHINE = 12
+
+
+def _queueing_workload(policy: str) -> dict:
+    """Replay the fixed seeded trace under one queue policy.
+
+    The trace is regenerated from the seed for each policy, so every
+    policy sees byte-identical jobs and the admitted/wait numbers are
+    directly comparable; verdict memoisation is intentionally NOT
+    shared across policies so each row's wall time is honest.  Mean
+    wait can legitimately be *higher* under backfill — it admits jobs
+    FIFO would have let expire, and those waited longest.
+    """
+    trace = random_arrival_trace(
+        QUEUE_TRACE_SEED,
+        num_jobs=QUEUE_TRACE_JOBS,
+        timeout_probability=0.4,
+        max_data=7,
+        max_ancillas=2,
+    )
+    programmer = MultiProgrammer(
+        QUEUE_MACHINE, queue_policy=policy, max_workers=1
+    )
+    start = time.perf_counter()
+    log = replay_trace(programmer, trace)
+    wall = time.perf_counter() - start
+    stats = log.stats
+    row = {
+        "policy": policy,
+        "jobs": QUEUE_TRACE_JOBS,
+        "machine": QUEUE_MACHINE,
+        "trace_events": len(trace),
+        "admitted": stats["admitted"],
+        "admitted_from_queue": stats["admitted_from_queue"],
+        "expired": stats["expired"],
+        "rejected": stats["rejected"],
+        "mean_wait_events": stats["mean_wait_events"],
+        "wall_seconds": round(wall, 4),
+        "admitted_per_second": round(stats["admitted"] / wall, 2)
+        if wall > 0
+        else None,
+        "solver_runs": programmer.verifier.cache_misses,
+    }
+    print(
+        f"  queueing   {policy:<15} admitted={stats['admitted']:<3} "
+        f"(queue {stats['admitted_from_queue']}, "
+        f"expired {stats['expired']}) "
+        f"mean_wait={stats['mean_wait_events']:<6} "
+        f"wall={wall:>8.4f}s"
+    )
+    return row
+
+
 def bench_alloc(path: str) -> None:
     fig31 = _fig31_circuit()
     adder = elaborate(adder_qbr_source(BENCH_ADDER_N))
     print(
         f"=== BENCH_alloc: fig 3.1 + adder.qbr n={BENCH_ADDER_N} "
         f"({len(adder.dirty_wires)} dirty) + "
-        f"{len(_online_jobs())}-job online workload ===",
+        f"{len(_online_jobs())}-job online workload + "
+        f"{QUEUE_TRACE_JOBS}-job queueing trace ===",
         flush=True,
     )
     payload = {
@@ -415,6 +482,13 @@ def bench_alloc(path: str) -> None:
             _online_workload(strategy)
             for strategy in available_strategies()
         ],
+        "queueing": {
+            "seed": QUEUE_TRACE_SEED,
+            "rows": [
+                _queueing_workload(policy)
+                for policy in available_policies()
+            ],
+        },
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)

@@ -91,6 +91,37 @@ def main() -> None:
     machine.admit(grover_oracle_job("grover-2"))
     print(machine.snapshot())
 
+    print("\n=== queued arrivals: rejected jobs wait, then backfill ===")
+    queue_machine = MultiProgrammer(6, queue_policy="backfill")
+    print("a 6-qubit machine with the 'backfill' queue policy")
+
+    print("\n[t=0] sampler (4 wires) arrives and is admitted")
+    queue_machine.submit(sampler_job())
+    print("\n[t=1] grover-oracle (5 wires) does not fit -> QUEUED,")
+    print("      with a 6-event timeout instead of bouncing")
+    outcome = queue_machine.submit(grover_oracle_job(), timeout=6)
+    print(f"      outcome: {outcome.status}, pending={queue_machine.pending()}")
+
+    print("\n[t=2] tiny (2 wires) arrives; backfill lets it slip past")
+    print("      the blocked head (strict fifo would queue it)")
+    tiny = QuantumJob(
+        "tiny", Circuit(2, labels=["t0", "t1"]).extend([cnot(0, 1)]), []
+    )
+    outcome = queue_machine.submit(tiny)
+    print(f"      outcome: {outcome.status}")
+    print(queue_machine.snapshot())
+
+    print("\n[t=3] sampler completes -> the release triggers a backfill")
+    print("      pass; grover-oracle still waits (tiny holds 2 wires)")
+    queue_machine.release("sampler")
+    print(queue_machine.snapshot())
+
+    print("\n[t=4] tiny completes -> now grover-oracle is admitted from")
+    print("      the queue")
+    queue_machine.release("tiny")
+    print(queue_machine.snapshot())
+    print(f"      queue stats: {queue_machine.stats()}")
+
     print("\n=== lazy verification: only placeable ancillas pay ===")
     print(
         f"solver runs so far: {machine.verifier.cache_misses} "

@@ -37,6 +37,7 @@ def allocate(
     strategy: StrategyLike = "greedy",
     safety_check: Optional[SafetyCheck] = None,
     on_unsafe: str = "error",
+    model: Optional[ConflictModel] = None,
     **strategy_options,
 ) -> BorrowPlan:
     """Eliminate dirty-ancilla wires by borrowing idle qubits.
@@ -59,10 +60,23 @@ def allocate(
     on_unsafe:
         ``"error"`` raises :class:`CircuitError` at the first unsafe
         ancilla; ``"skip"`` leaves it as a real wire and records a note.
+    model:
+        An interval-conflict model already built for exactly
+        ``(circuit, ancillas)`` — callers that needed the model for
+        their own analysis (the online scheduler's lazy-verification
+        gate) pass it back to skip the rebuild.
     """
     if on_unsafe not in ("error", "skip"):
         raise CircuitError(f"on_unsafe must be 'error' or 'skip', got {on_unsafe!r}")
-    model = build_model(circuit, ancillas)
+    if model is None:
+        model = build_model(circuit, ancillas)
+    elif model.circuit is not circuit or set(model.all_targets) != set(
+        ancillas
+    ):
+        raise CircuitError(
+            "the supplied model was built for a different circuit or "
+            "ancilla set"
+        )
 
     notes: List[str] = []
     blocked: List[int] = []

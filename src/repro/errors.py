@@ -21,6 +21,22 @@ class CircuitError(ReproError):
     """Raised for malformed circuits or gates."""
 
 
+class CapacityError(CircuitError):
+    """Raised when a job needs more free machine qubits than exist.
+
+    The online multi-programmer distinguishes this from other
+    :class:`CircuitError` cases: a capacity rejection is *transient*
+    (the job may fit after a release) and is what sends an arrival to
+    the admission queue instead of failing the submission.
+    """
+
+
+class InvariantViolation(ReproError):
+    """Raised by :mod:`repro.testing` when a scheduler safety invariant
+    fails — a double-owned wire, a dangling lender, an unsound borrow
+    placement.  Always carries enough context to reproduce."""
+
+
 class ParseError(ReproError):
     """Raised by the QBorrow surface-language lexer and parser.
 

@@ -1,20 +1,61 @@
 """Multi-program scheduling with cross-program dirty-qubit borrowing —
 system S13, an executable rendering of the paper's Section 7 discussion.
 
-A :class:`~repro.multiprog.scheduler.MultiProgrammer` packs quantum
-jobs onto one machine *online*: :meth:`admit` places each arriving job
-against live occupancy (width-reducing it with a registered
-:mod:`repro.alloc` strategy, lazily batch-verifying its ancillas, and
-letting safe ones borrow idle co-tenant wires), and :meth:`release`
-returns a finished job's wires to the pool.  A job that needs dirty
-ancillas may borrow idle qubits *from other jobs*, but only when the
-ancilla is verified safely uncomputed (Definition 3.1 via the Section 6
-pipeline) — an unverified borrow could corrupt a co-tenant's state, the
-failure mode the paper warns about in multi-programming clouds.  The
-batch :meth:`schedule` replays a whole job list through the online path
-and compacts it into one composite circuit.
+Module tour
+-----------
+
+:mod:`repro.multiprog.scheduler`
+    The :class:`MultiProgrammer` itself.  Two front doors:
+
+    * :meth:`~MultiProgrammer.admit` — the *online* path: place one
+      arriving job against live occupancy (width-reducing it with a
+      registered :mod:`repro.alloc` strategy, lazily batch-verifying
+      its ancillas, letting verified-safe ones borrow idle co-tenant
+      wires) or raise :class:`~repro.errors.CapacityError` when it
+      does not fit;
+    * :meth:`~MultiProgrammer.submit` — the *queueing* path: a
+      capacity-rejected arrival waits in an admission queue instead of
+      bouncing.  Every :meth:`~MultiProgrammer.release` (and any
+      admission that offers new lendable wires) triggers a backfill
+      pass that re-attempts queued jobs; queued jobs carry optional
+      logical-clock timeouts and can be cancelled; the queue is
+      introspectable via :meth:`~MultiProgrammer.pending` and
+      :meth:`~MultiProgrammer.stats`.
+
+    The batch :meth:`~MultiProgrammer.schedule` replays a whole job
+    list through the online path and compacts it into one composite
+    circuit — byte-for-byte the seed scheduler's result.
+
+:mod:`repro.multiprog.queueing`
+    The pluggable queue-policy layer, a decorator registry mirroring
+    the allocation strategies and verification backends:
+    ``fifo`` (strict head-of-line — admission order equals arrival
+    order, at the price of head-of-line blocking) and ``backfill``
+    (out-of-order — any queued job that fits *now* is admitted, so a
+    narrow late arrival can slip past a blocked wide head).
+
+Safety is non-negotiable throughout: a job's dirty ancilla may borrow
+an idle qubit *from another job* only when it is verified safely
+uncomputed (Definition 3.1 via the Section 6 pipeline) — an unverified
+borrow could corrupt a co-tenant's state, the failure mode the paper
+warns about in multi-programming clouds.  The randomized harness in
+:mod:`repro.testing` replays seeded workload traces through
+submit/release/backfill and asserts the global occupancy contract
+after every event.
 """
 
+from repro.multiprog.queueing import (
+    BackfillPolicy,
+    FifoPolicy,
+    QueueEntry,
+    QueuePolicy,
+    QueueStats,
+    SubmitOutcome,
+    available_policies,
+    make_policy,
+    policy_class,
+    register_policy,
+)
 from repro.multiprog.scheduler import (
     Admission,
     BorrowRequest,
@@ -25,8 +66,18 @@ from repro.multiprog.scheduler import (
 
 __all__ = [
     "Admission",
+    "BackfillPolicy",
     "BorrowRequest",
+    "FifoPolicy",
     "MultiProgrammer",
     "QuantumJob",
+    "QueueEntry",
+    "QueuePolicy",
+    "QueueStats",
     "ScheduleResult",
+    "SubmitOutcome",
+    "available_policies",
+    "make_policy",
+    "policy_class",
+    "register_policy",
 ]

@@ -1,0 +1,252 @@
+"""Admission-queue policies for the online multi-programmer.
+
+A capacity-rejected :meth:`~repro.multiprog.scheduler.MultiProgrammer.submit`
+does not bounce the job: it lands in a wait queue, and every event that
+frees or re-shapes capacity (a release, or a new admission that offers
+lendable wires) triggers a *drain pass* that re-attempts queued jobs.
+Which jobs a pass may attempt is the policy knob, registered here with
+the same decorator-registry shape as the allocation strategies and the
+verification backends:
+
+* ``fifo`` — strict head-of-line: only the queue head is ever
+  attempted, so admission order equals arrival order (at the price of
+  head-of-line blocking — a wide job at the head starves narrower jobs
+  behind it);
+* ``backfill`` — out-of-order: one pass over the whole queue in
+  arrival order, admitting every job that fits *now* and skipping the
+  rest, so a narrow late arrival can slip past a blocked wide head.
+
+The queue bookkeeping itself (:class:`QueueEntry`, :class:`QueueStats`,
+:class:`SubmitOutcome`) is policy-independent and lives here so the
+scheduler module stays focused on machine state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Type,
+)
+
+from repro.errors import CircuitError
+
+
+@dataclass(eq=False)
+class QueueEntry:
+    """One waiting job: the submission plus its queueing metadata.
+
+    ``enqueued_at`` and ``deadline`` are *logical-clock* values (the
+    scheduler ticks once per submit/release event), so timeout behaviour
+    is deterministic and replayable — no wall-clock in the contract.
+    ``deadline is None`` means the entry never expires.
+    """
+
+    job: Any  # a repro.multiprog.scheduler.QuantumJob (typed loosely to
+    #           avoid an import cycle with the scheduler module)
+    strategy: Optional[str]
+    enqueued_at: int
+    deadline: Optional[int]
+    seq: int
+
+    @property
+    def name(self) -> str:
+        return self.job.name
+
+
+@dataclass
+class SubmitOutcome:
+    """What :meth:`MultiProgrammer.submit` did with an arrival.
+
+    ``status`` is ``"admitted"`` (then ``admission`` is set) or
+    ``"queued"`` (then ``position`` is the 0-based queue slot at
+    enqueue time).  ``backfilled`` names any *queued* jobs a successful
+    admission unblocked in the same event (new lendable wires can make
+    a waiting job fit without any release).
+    """
+
+    status: str
+    admission: Optional[Any] = None
+    position: Optional[int] = None
+    backfilled: Tuple[str, ...] = ()
+
+    @property
+    def admitted(self) -> bool:
+        return self.status == "admitted"
+
+
+@dataclass
+class QueueStats:
+    """Lifetime counters of one scheduler's admission queue.
+
+    Wait times are measured in logical-clock events (one tick per
+    submit/release), the same unit timeouts are expressed in.
+    """
+
+    submitted: int = 0
+    admitted_immediately: int = 0
+    admitted_from_queue: int = 0
+    queued: int = 0
+    expired: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    total_wait: int = 0
+    expired_names: List[str] = field(default_factory=list)
+
+    @property
+    def admitted(self) -> int:
+        return self.admitted_immediately + self.admitted_from_queue
+
+    @property
+    def mean_wait(self) -> float:
+        if not self.admitted_from_queue:
+            return 0.0
+        return self.total_wait / self.admitted_from_queue
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "admitted_immediately": self.admitted_immediately,
+            "admitted_from_queue": self.admitted_from_queue,
+            "queued": self.queued,
+            "expired": self.expired,
+            "cancelled": self.cancelled,
+            "rejected": self.rejected,
+            "total_wait_events": self.total_wait,
+            "mean_wait_events": round(self.mean_wait, 4),
+        }
+
+
+#: A drain pass's admission attempt: returns the Admission, or None
+#: when the entry does not fit right now.
+TryAdmit = Callable[[QueueEntry], Optional[Any]]
+
+
+class QueuePolicy(ABC):
+    """Decides which queued entries one drain pass may attempt."""
+
+    #: Registry name (set by :func:`register_policy`).
+    name: str = "?"
+
+    #: May a *new arrival* be admitted while older jobs wait?  Strict
+    #: FIFO says no — a fitting arrival still queues behind the head.
+    allows_overtaking: bool = True
+
+    @abstractmethod
+    def drain(
+        self, entries: List[QueueEntry], try_admit: TryAdmit
+    ) -> List[QueueEntry]:
+        """Attempt admissions over ``entries`` (oldest first), removing
+        each admitted entry from the list in place and returning them
+        in admission order.  Entries that do not fit stay queued."""
+
+
+# ---------------------------------------------------------------------- #
+# Registry (same decorator shape as repro.alloc / repro.verify.backends)
+# ---------------------------------------------------------------------- #
+
+_REGISTRY: Dict[str, Type[QueuePolicy]] = {}
+
+
+def register_policy(
+    name: str,
+) -> Callable[[Type[QueuePolicy]], Type[QueuePolicy]]:
+    """Class decorator: publish a :class:`QueuePolicy` under ``name``."""
+
+    def decorate(cls: Type[QueuePolicy]) -> Type[QueuePolicy]:
+        if not (isinstance(cls, type) and issubclass(cls, QueuePolicy)):
+            raise CircuitError(
+                f"policy {name!r} must subclass QueuePolicy, got {cls!r}"
+            )
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise CircuitError(
+                f"queue policy name {name!r} already registered by "
+                f"{existing.__name__}"
+            )
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def available_policies() -> Tuple[str, ...]:
+    """All registered queue-policy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def policy_class(name: str) -> Type[QueuePolicy]:
+    """Look up a policy class by name (:class:`CircuitError` if absent)."""
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        known = ", ".join(available_policies()) or "(none)"
+        raise CircuitError(
+            f"unknown queue policy {name!r}; registered: {known}"
+        )
+    return cls
+
+
+def make_policy(name: str, **options) -> QueuePolicy:
+    """Instantiate a registered policy with ``options``."""
+    return policy_class(name)(**options)
+
+
+# ---------------------------------------------------------------------- #
+# The two built-in policies
+# ---------------------------------------------------------------------- #
+
+
+@register_policy("fifo")
+class FifoPolicy(QueuePolicy):
+    """Strict head-of-line: admission order is exactly arrival order."""
+
+    allows_overtaking = False
+
+    def drain(
+        self, entries: List[QueueEntry], try_admit: TryAdmit
+    ) -> List[QueueEntry]:
+        admitted: List[QueueEntry] = []
+        while entries:
+            if try_admit(entries[0]) is None:
+                break
+            admitted.append(entries.pop(0))
+        return admitted
+
+
+@register_policy("backfill")
+class BackfillPolicy(QueuePolicy):
+    """Out-of-order: admit anything that fits now, oldest first."""
+
+    allows_overtaking = True
+
+    def drain(
+        self, entries: List[QueueEntry], try_admit: TryAdmit
+    ) -> List[QueueEntry]:
+        admitted: List[QueueEntry] = []
+        for entry in list(entries):
+            if try_admit(entry) is not None:
+                entries.remove(entry)
+                admitted.append(entry)
+        return admitted
+
+
+__all__ = [
+    "BackfillPolicy",
+    "FifoPolicy",
+    "QueueEntry",
+    "QueuePolicy",
+    "QueueStats",
+    "SubmitOutcome",
+    "available_policies",
+    "make_policy",
+    "policy_class",
+    "register_policy",
+]

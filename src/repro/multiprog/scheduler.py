@@ -17,7 +17,15 @@ declared *dirty-ancilla requests*.  Jobs arrive over time
   the pool; wires lent to still-resident guests stay occupied until the
   guest finishes;
 * a policy knob picks the allocation strategy per admission, so light
-  jobs can take greedy while width-critical ones pay for lookahead.
+  jobs can take greedy while width-critical ones pay for lookahead;
+* :meth:`MultiProgrammer.submit` is the queueing front door: an arrival
+  that does not fit *waits* (instead of bouncing), and every release —
+  or any admission that creates new lendable wires — triggers a drain
+  pass that re-attempts queued jobs under a registered
+  :class:`~repro.multiprog.queueing.QueuePolicy` (``fifo`` strict
+  head-of-line vs ``backfill`` out-of-order).  Queued jobs carry
+  optional logical-clock timeouts, can be cancelled, and the queue is
+  fully introspectable (:meth:`pending`, :meth:`stats`).
 
 The historical batch entry point, :meth:`MultiProgrammer.schedule`, is
 a thin replay over the online path: it admits every job in arrival
@@ -29,12 +37,19 @@ it — byte-for-byte the seed scheduler's result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.alloc import BorrowPlan, allocate, build_model
+from repro.alloc import BorrowPlan, ConflictModel, allocate, build_model
 from repro.circuits.circuit import Circuit
 from repro.circuits.classical import is_classical_circuit
-from repro.errors import CircuitError, VerificationError
+from repro.errors import CapacityError, CircuitError, VerificationError
+from repro.multiprog.queueing import (
+    QueueEntry,
+    QueuePolicy,
+    QueueStats,
+    SubmitOutcome,
+    make_policy,
+)
 from repro.verify.batch import BatchVerifier
 
 
@@ -191,6 +206,12 @@ class MultiProgrammer:
         Opt-in disk persistence for those verdicts
         (:class:`~repro.verify.cache.DiskVerdictCache`), making
         repeated service runs free across processes.
+    queue_policy:
+        Admission-queue drain policy — a registered name
+        (:func:`repro.multiprog.queueing.available_policies`: ``fifo``
+        or ``backfill``) or a :class:`QueuePolicy` instance.  Governs
+        :meth:`submit` / the backfill passes; plain :meth:`admit` never
+        touches the queue.
     """
 
     def __init__(
@@ -201,12 +222,18 @@ class MultiProgrammer:
         max_workers: Optional[int] = None,
         verifier: Optional[BatchVerifier] = None,
         cache_path: Optional[str] = None,
+        queue_policy: Union[str, QueuePolicy] = "fifo",
     ):
         if machine_size < 1:
             raise CircuitError("machine must have at least one qubit")
         self.machine_size = machine_size
         self.backend = backend
         self.strategy = strategy
+        self.queue_policy = (
+            queue_policy
+            if isinstance(queue_policy, QueuePolicy)
+            else make_policy(queue_policy)
+        )
         self.verifier = verifier or BatchVerifier(
             backend=backend, max_workers=max_workers, cache_path=cache_path
         )
@@ -216,6 +243,14 @@ class MultiProgrammer:
         #: Idle machine wire -> owner offering it to co-tenant guests.
         self._idle_owner: Dict[int, str] = {}
         self._seq = 0
+        #: The admission wait queue, oldest entry first.
+        self._queue: List[QueueEntry] = []
+        self._queue_stats = QueueStats()
+        #: Logical clock: one tick per submit/release event.  Timeouts
+        #: are expressed in these ticks, so queue behaviour is
+        #: deterministic and replayable.
+        self._clock = 0
+        self._queue_seq = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -252,14 +287,56 @@ class MultiProgrammer:
             raise CircuitError(f"no resident job named {name!r}")
         return adm
 
+    def occupancy_table(self) -> Dict[int, Tuple[str, ...]]:
+        """Machine wire -> sorted names of the residents holding it."""
+        return {
+            wire: tuple(sorted(holders))
+            for wire, holders in sorted(self._holders.items())
+        }
+
+    def idle_offers(self) -> Dict[int, str]:
+        """Machine wire -> resident offering it to co-tenant guests."""
+        return dict(sorted(self._idle_owner.items()))
+
+    def pending(self) -> Tuple[str, ...]:
+        """Names of the queued (not yet admitted) jobs, oldest first."""
+        return tuple(entry.name for entry in self._queue)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def stats(self) -> Dict[str, object]:
+        """Lifetime queue counters plus a live snapshot (JSON-friendly).
+
+        Wait times are in logical-clock events — the unit timeouts are
+        expressed in — not wall seconds.
+        """
+        data = self._queue_stats.as_dict()
+        data["policy"] = self.queue_policy.name
+        data["pending"] = len(self._queue)
+        data["residents"] = len(self._residents)
+        data["clock"] = self._clock
+        return data
+
     def snapshot(self) -> str:
         lines = [
             f"machine {self.machine_size} qubits: {self.occupancy} busy, "
             f"{self.free_qubits} free, "
-            f"{len(self.lendable_wires)} lendable"
+            f"{len(self.lendable_wires)} lendable, "
+            f"{len(self._queue)} queued"
         ]
         for adm in self._residents.values():
             lines.append(f"  {adm.summary()}")
+        for entry in self._queue:
+            lines.append(
+                f"  {entry.name}: waiting since t={entry.enqueued_at}"
+                + (
+                    f" (expires t={entry.deadline})"
+                    if entry.deadline is not None
+                    else ""
+                )
+            )
         return "\n".join(lines)
 
     # ------------------------------------------------------------------ #
@@ -284,16 +361,18 @@ class MultiProgrammer:
             raise CircuitError(f"job {job.name!r} is already resident")
         strategy = strategy or self.strategy
 
-        safety = self._verify_job(job, lazy_verify)
+        safety, model = self._verify_job(job, lazy_verify)
         # Every requested wire goes into the model (so an unsafe or
         # unverified ancilla stays OFF the host list, exactly like the
-        # batch path); the gate then skips the unplaceable ones.
+        # batch path); the gate then skips the unplaceable ones.  The
+        # model built for the lazy-verification decision is reused.
         plan = allocate(
             job.circuit,
             job.request_wires,
             strategy=self._engine(strategy),
             safety_check=lambda _, a: bool(safety.get(a)),
             on_unsafe="skip",
+            model=model,
         )
 
         # Ancillas the internal pass could not place may borrow an idle
@@ -350,15 +429,175 @@ class MultiProgrammer:
         self._residents[job.name] = admission
         return admission
 
+    # ------------------------------------------------------------------ #
+    # Queueing path
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        job: QuantumJob,
+        strategy: Optional[str] = None,
+        timeout: Optional[int] = None,
+    ) -> SubmitOutcome:
+        """Admit an arriving job, or queue it until capacity frees up.
+
+        The queueing alternative to :meth:`admit`: a job the machine
+        cannot hold right now waits in the admission queue and is
+        re-attempted by the backfill pass every :meth:`release` (and
+        after any admission that creates new lendable wires) under the
+        scheduler's :class:`QueuePolicy`.  Under strict ``fifo`` a new
+        arrival never overtakes the queue — it is attempted only when
+        the queue is empty; under ``backfill`` every arrival is tried
+        immediately.
+
+        ``timeout`` is a logical-clock budget: the queued job expires
+        (dropped, counted in :meth:`stats`) if still waiting after that
+        many submit/release events.  A job that can never be admitted
+        is rejected at submission rather than queued: one that provably
+        cannot fit an empty machine (width minus ancilla requests
+        exceeds the machine, or the immediate attempt fails with the
+        machine already empty) raises
+        :class:`~repro.errors.CapacityError`, and a job outside the
+        verifiable fragment (non-classical with ancilla requests)
+        raises :class:`~repro.errors.VerificationError` — queueing
+        either could never help, and a FIFO queue must not be clogged
+        by the unadmittable.
+        """
+        if timeout is not None and timeout < 1:
+            raise CircuitError("timeout must be at least one event")
+        if job.name in self._residents:
+            raise CircuitError(f"job {job.name!r} is already resident")
+        if any(entry.name == job.name for entry in self._queue):
+            raise CircuitError(f"job {job.name!r} is already queued")
+        # Fail-fast checks that do not depend on machine state — they
+        # must run even when the policy skips the immediate admit
+        # attempt (fifo with a non-empty queue), or an unadmittable
+        # job would silently head-block the queue.
+        if job.request_wires and not is_classical_circuit(job.circuit):
+            raise VerificationError(
+                f"job {job.name}: only classical circuits can be "
+                f"auto-verified for cross-program borrowing"
+            )
+        # Each requested ancilla can save at most one fresh wire
+        # (removed internally or cross-borrowed), so this bound is a
+        # floor on the job's fresh-qubit need.
+        min_fresh = job.circuit.num_qubits - len(job.request_wires)
+        if min_fresh > self.machine_size:
+            self._queue_stats.submitted += 1
+            self._queue_stats.rejected += 1
+            raise CapacityError(
+                f"job {job.name!r} needs at least {min_fresh} free "
+                f"qubits but the machine has {self.machine_size} in "
+                f"total"
+            )
+        self._clock += 1
+        self._expire()
+        self._queue_stats.submitted += 1
+        if not self._queue or self.queue_policy.allows_overtaking:
+            try:
+                admission = self.admit(job, strategy=strategy)
+            except CapacityError:
+                if self.occupancy == 0:
+                    # Even a fully empty machine cannot host this job.
+                    self._queue_stats.rejected += 1
+                    raise
+            else:
+                self._queue_stats.admitted_immediately += 1
+                # This admission may have offered new lendable wires;
+                # a queued job might fit through a cross-borrow now.
+                backfilled = self._drain() if self._queue else ()
+                return SubmitOutcome(
+                    "admitted", admission=admission, backfilled=backfilled
+                )
+        self._queue_seq += 1
+        entry = QueueEntry(
+            job=job,
+            strategy=strategy,
+            enqueued_at=self._clock,
+            deadline=None if timeout is None else self._clock + timeout,
+            seq=self._queue_seq,
+        )
+        self._queue.append(entry)
+        self._queue_stats.queued += 1
+        return SubmitOutcome("queued", position=len(self._queue) - 1)
+
+    def cancel(self, name: str) -> QuantumJob:
+        """Withdraw a queued (not yet admitted) job; returns it."""
+        for entry in self._queue:
+            if entry.name == name:
+                self._queue.remove(entry)
+                self._queue_stats.cancelled += 1
+                return entry.job
+        raise CircuitError(f"no queued job named {name!r}")
+
+    def _expire(self) -> Tuple[str, ...]:
+        """Drop queued entries whose logical-clock deadline has passed."""
+        expired = [
+            entry
+            for entry in self._queue
+            if entry.deadline is not None and self._clock >= entry.deadline
+        ]
+        for entry in expired:
+            self._queue.remove(entry)
+            self._queue_stats.expired += 1
+            self._queue_stats.expired_names.append(entry.name)
+        return tuple(entry.name for entry in expired)
+
+    def _drain(self) -> Tuple[str, ...]:
+        """Run policy drain passes to a fixpoint; returns admitted names.
+
+        Each admission inside a pass can change what fits next (it may
+        offer new lendable wires), so passes repeat until one admits
+        nothing.  An entry that can never be admitted — it fails to fit
+        on an *empty* machine, or its admission raises for a
+        non-capacity reason (a bad strategy name, an unverifiable
+        circuit) — is dropped as rejected rather than left to clog a
+        FIFO queue (or poison every future drain pass) forever.
+        """
+        admitted_names: List[str] = []
+        while self._queue:
+            impossible: List[QueueEntry] = []
+
+            def try_admit(entry: QueueEntry) -> Optional[Admission]:
+                try:
+                    return self.admit(entry.job, strategy=entry.strategy)
+                except CapacityError:
+                    if self.occupancy == 0:
+                        impossible.append(entry)
+                    return None
+                except (CircuitError, VerificationError):
+                    impossible.append(entry)
+                    return None
+
+            admitted = self.queue_policy.drain(self._queue, try_admit)
+            for entry in admitted:
+                self._queue_stats.admitted_from_queue += 1
+                self._queue_stats.total_wait += (
+                    self._clock - entry.enqueued_at
+                )
+                admitted_names.append(entry.name)
+            for entry in impossible:
+                if entry in self._queue:
+                    self._queue.remove(entry)
+                    self._queue_stats.rejected += 1
+            if not admitted and not impossible:
+                break
+        return tuple(admitted_names)
+
     def release(self, name: str) -> Tuple[int, ...]:
         """Complete a resident job; returns the machine wires freed.
 
         A wire lent to a still-resident guest stays occupied (the guest
         now holds it alone) and is freed when the guest releases.
+        Releasing also ticks the logical clock, expires overdue queued
+        jobs, and runs a backfill pass admitting any queued job that
+        now fits under the scheduler's :class:`QueuePolicy`.
         """
         admission = self._residents.pop(name, None)
         if admission is None:
             raise CircuitError(f"no resident job named {name!r}")
+        self._clock += 1
+        self._expire()
         freed: List[int] = []
         for wire in set(admission.wires):
             holders = self._holders.get(wire)
@@ -377,6 +616,7 @@ class MultiProgrammer:
         # Wires this job borrowed return to the owner's lendable pool
         # automatically: the owner's _idle_owner entry persists and the
         # holder count just dropped back to one.
+        self._drain()
         return tuple(sorted(freed))
 
     # ------------------------------------------------------------------ #
@@ -462,21 +702,25 @@ class MultiProgrammer:
 
     def _verify_job(
         self, job: QuantumJob, lazy_verify: bool
-    ) -> Dict[int, bool]:
+    ) -> Tuple[Dict[int, bool], Optional[ConflictModel]]:
         """Batch-verify the job's requested ancillas.
 
         Lazy mode skips ancillas that could never be placed anyway —
         no candidate host in the job's own circuit and no lendable
-        co-tenant wire — so they pay no solver time at all.
+        co-tenant wire — so they pay no solver time at all.  Returns
+        the verdicts plus the interval model built for that decision
+        (``None`` when no model was needed), so the caller can hand it
+        on to :func:`allocate` instead of rebuilding it.
         """
         requests = job.request_wires
         if not requests:
-            return {}
+            return {}, None
         if not is_classical_circuit(job.circuit):
             raise VerificationError(
                 f"job {job.name}: only classical circuits can be "
                 f"auto-verified for cross-program borrowing"
             )
+        model = None
         if lazy_verify:
             model = build_model(job.circuit, requests)
             lendable = bool(self.lendable_wires)
@@ -488,9 +732,9 @@ class MultiProgrammer:
         else:
             to_verify = requests
         if not to_verify:
-            return {}
+            return {}, model
         report = self.verifier.verify_circuit(job.circuit, to_verify)
-        return {v.qubit: v.safe for v in report.verdicts}
+        return {v.qubit: v.safe for v in report.verdicts}, model
 
     def _take_free(
         self, name: str, count: int, enforce_capacity: bool
@@ -500,7 +744,7 @@ class MultiProgrammer:
         ]
         if len(free) < count:
             if enforce_capacity:
-                raise CircuitError(
+                raise CapacityError(
                     f"job {name!r} needs {count} free qubits but the "
                     f"machine has {len(free)}"
                 )

@@ -1,0 +1,46 @@
+"""Seeded workload generation and invariant checking — the randomized
+test harness the queueing machinery ships with.
+
+Lifecycle misuse (use-after-release, double-lend) dominates real
+defects in borrowing/ownership systems, and example-driven unit tests
+rarely reach the interleavings that trigger them.  This subsystem makes
+randomized, *reproducible* testing a first-class citizen:
+
+* :mod:`repro.testing.generators` — deterministic generators driven by
+  an explicit seed: :func:`random_reversible_circuit` (classical
+  circuits whose ancillas are constructively safe — or deliberately
+  spoiled), :func:`random_job`, and :func:`random_arrival_trace`
+  (seeded submit/release event sequences with timeouts);
+* :mod:`repro.testing.invariants` —
+  :class:`OccupancyInvariantChecker`, which re-derives the scheduler's
+  global safety contract from first principles (no double-owned wire,
+  every holder alive, released wires returned, every placement sound)
+  and raises :class:`~repro.errors.InvariantViolation` with a machine
+  snapshot;
+* :mod:`repro.testing.harness` — :func:`replay_trace`, which drives a
+  :class:`~repro.multiprog.MultiProgrammer` through a trace, checking
+  invariants after every event, and returns a :class:`TraceLog` (also
+  the engine behind the ``queueing`` section of ``BENCH_alloc.json``).
+
+Same seed, same trace, same verdicts — a failing run is reproducible
+from one integer.
+"""
+
+from repro.testing.generators import (
+    TraceEvent,
+    random_arrival_trace,
+    random_job,
+    random_reversible_circuit,
+)
+from repro.testing.harness import TraceLog, replay_trace
+from repro.testing.invariants import OccupancyInvariantChecker
+
+__all__ = [
+    "OccupancyInvariantChecker",
+    "TraceEvent",
+    "TraceLog",
+    "random_arrival_trace",
+    "random_job",
+    "random_reversible_circuit",
+    "replay_trace",
+]

@@ -1,0 +1,174 @@
+"""The global occupancy safety contract, checkable after every event.
+
+Borrow lifecycles are a state machine where subtle bugs hide —
+use-after-release, double-lend, a placement that silently violates the
+interval model.  :class:`OccupancyInvariantChecker` re-derives the
+whole contract from a live :class:`~repro.multiprog.MultiProgrammer`
+through its public introspection surface and raises
+:class:`~repro.errors.InvariantViolation` (with a machine snapshot) at
+the first inconsistency:
+
+1. every holder recorded on a machine wire is a live resident, and
+   every resident holds exactly the wires of its admission — released
+   wires really returned to the pool, no phantom occupancy;
+2. no machine wire is *owned* (held fresh, not borrowed) by two
+   residents, and occupancy never exceeds the machine;
+3. every cross-program borrow is verified safe, targets an ancilla the
+   internal pass left unplaced, and the guest really holds the lent
+   wire; every idle-wire offer comes from a live resident that holds
+   the offered wire;
+4. the wait queue never overlaps the residents and has no duplicates;
+5. every resident's internal borrow placement still satisfies
+   :func:`repro.alloc.model.validate_placement` against a freshly
+   rebuilt interval model, and no unverified ancilla was ever placed.
+
+The checker is deliberately *redundant* with the scheduler's own
+bookkeeping — it recomputes from first principles precisely so a
+bookkeeping bug cannot hide itself.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.alloc import Placement, build_model, validate_placement
+from repro.errors import CircuitError, InvariantViolation
+
+
+class OccupancyInvariantChecker:
+    """Assert the scheduler-wide safety contract; cheap enough to run
+    after every submit/release event of a property-test trace."""
+
+    def __init__(self, programmer, check_placements: bool = True):
+        self.programmer = programmer
+        self.check_placements = check_placements
+        #: Number of successful :meth:`check` calls (test bookkeeping).
+        self.checks = 0
+
+    def __call__(self) -> None:
+        self.check()
+
+    def _fail(self, message: str) -> None:
+        raise InvariantViolation(
+            f"{message}\n--- machine state ---\n{self.programmer.snapshot()}"
+        )
+
+    def check(self) -> None:
+        mp = self.programmer
+        residents = mp.residents
+        resident_set = set(residents)
+        table = mp.occupancy_table()
+        admissions = [mp.admission(name) for name in residents]
+
+        # 1. Holders alive, and held wires == the admissions' wires.
+        for wire, holders in table.items():
+            if not holders:
+                self._fail(f"wire {wire} recorded with no holders")
+            for holder in holders:
+                if holder not in resident_set:
+                    self._fail(
+                        f"wire {wire} held by non-resident {holder!r} "
+                        f"(use-after-release)"
+                    )
+        union: Set[int] = set()
+        for adm in admissions:
+            union.update(adm.wires)
+            for wire in adm.wires:
+                if adm.name not in table.get(wire, ()):
+                    self._fail(
+                        f"resident {adm.name!r} missing from holders of "
+                        f"its wire {wire}"
+                    )
+        if set(table) != union:
+            self._fail(
+                f"held wires {sorted(table)} != union of admissions "
+                f"{sorted(union)} (released wire not returned, or "
+                f"phantom occupancy)"
+            )
+        if mp.occupancy != len(table):
+            self._fail(
+                f"occupancy {mp.occupancy} != {len(table)} held wires"
+            )
+        if mp.occupancy > mp.machine_size:
+            self._fail(
+                f"occupancy {mp.occupancy} exceeds machine "
+                f"{mp.machine_size}"
+            )
+
+        # 2. No wire double-owned.
+        owner = {}
+        for adm in admissions:
+            for wire in adm.fresh_wires:
+                if wire in owner:
+                    self._fail(
+                        f"wire {wire} owned by both {owner[wire]!r} and "
+                        f"{adm.name!r} (double-lend)"
+                    )
+                owner[wire] = adm.name
+
+        # 3. Cross-borrows and idle offers.
+        for adm in admissions:
+            for ancilla, wire in adm.cross_hosts.items():
+                if adm.safety.get(ancilla) is not True:
+                    self._fail(
+                        f"{adm.name!r} borrowed wire {wire} for ancilla "
+                        f"{ancilla} without a safe verdict"
+                    )
+                if ancilla not in adm.plan.unplaced:
+                    self._fail(
+                        f"{adm.name!r} cross-borrowed ancilla {ancilla} "
+                        f"that its internal pass also placed"
+                    )
+                if adm.name not in table.get(wire, ()):
+                    self._fail(
+                        f"{adm.name!r} not recorded on its borrowed "
+                        f"wire {wire}"
+                    )
+        for wire, offering in mp.idle_offers().items():
+            if offering not in resident_set:
+                self._fail(
+                    f"idle wire {wire} offered by non-resident "
+                    f"{offering!r} (dangling lender)"
+                )
+            if offering not in table.get(wire, ()):
+                self._fail(
+                    f"lender {offering!r} does not hold its offered "
+                    f"wire {wire}"
+                )
+
+        # 4. Queue consistency.
+        pending = mp.pending()
+        if len(set(pending)) != len(pending):
+            self._fail(f"duplicate names in the queue: {pending}")
+        overlap = set(pending) & resident_set
+        if overlap:
+            self._fail(
+                f"jobs {sorted(overlap)} are both queued and resident"
+            )
+
+        # 5. Placement soundness of every resident.
+        if self.check_placements:
+            for adm in admissions:
+                model = build_model(
+                    adm.job.circuit, adm.job.request_wires
+                )
+                placement = Placement(
+                    assignment=dict(adm.plan.assignment),
+                    unplaced=list(adm.plan.unplaced),
+                )
+                try:
+                    validate_placement(model, placement)
+                except CircuitError as error:
+                    self._fail(
+                        f"{adm.name!r} placement unsound: {error}"
+                    )
+                for ancilla in adm.plan.assignment:
+                    if adm.safety.get(ancilla) is not True:
+                        self._fail(
+                            f"{adm.name!r} placed ancilla {ancilla} "
+                            f"without a safe verdict"
+                        )
+        self.checks += 1
+
+
+__all__ = ["OccupancyInvariantChecker"]

@@ -14,6 +14,14 @@ Design points:
 * **write-through** — every stored verdict is flushed with an atomic
   rename (write temp file, ``os.replace``), so a crash never leaves a
   torn file; solver runs dwarf the serialisation cost;
+* **concurrent-writer safe** — a flush is a read-merge-write under an
+  advisory file lock (a ``.lock`` sidecar, ``fcntl`` where available):
+  verdicts another verifier stored since our last read are folded in
+  instead of clobbered, so several ``BatchVerifier`` processes sharing
+  one ``cache_path`` converge on the union of their verdicts (a
+  verdict is immutable for its key, so merge order cannot disagree);
+  deletions are tracked as tombstones so a removed key is not
+  resurrected from disk by the next merge;
 * **corruption-tolerant** — an unreadable or malformed file is treated
   as empty (recorded in :attr:`DiskVerdictCache.load_error`) and
   overwritten on the next store, so a bad cache can never fail a run;
@@ -27,7 +35,12 @@ import json
 import os
 import tempfile
 from contextlib import contextmanager
-from typing import Dict, Iterator, MutableMapping, Optional, Tuple
+from typing import Dict, Iterator, MutableMapping, Optional, Set, Tuple
+
+try:  # POSIX advisory locking; flushes degrade gracefully without it.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.verify.backends.base import BooleanCheckOutcome
 
@@ -94,6 +107,12 @@ class DiskVerdictCache(MutableMapping):
         #: Why the existing file was discarded, if it was (human-readable).
         self.load_error: Optional[str] = None
         self._data: Dict[CacheKey, BooleanCheckOutcome] = {}
+        #: Keys deleted locally since load — flushes must not merge
+        #: them back in from disk.
+        self._dropped: Set[CacheKey] = set()
+        #: A pending clear(): the next flush overwrites the file
+        #: outright instead of merging concurrent writers' verdicts.
+        self._wipe = False
         self._load()
 
     # ---------------------------- mapping ----------------------------- #
@@ -103,11 +122,13 @@ class DiskVerdictCache(MutableMapping):
 
     def __setitem__(self, key: CacheKey, outcome: BooleanCheckOutcome) -> None:
         self._data[key] = outcome
+        self._dropped.discard(key)
         if self.autosave:
             self.flush()
 
     def __delitem__(self, key: CacheKey) -> None:
         del self._data[key]
+        self._dropped.add(key)
         if self.autosave:
             self.flush()
 
@@ -122,6 +143,8 @@ class DiskVerdictCache(MutableMapping):
 
     def clear(self) -> None:
         self._data.clear()
+        self._dropped.clear()
+        self._wipe = True
         if self.autosave:
             self.flush()
 
@@ -145,53 +168,88 @@ class DiskVerdictCache(MutableMapping):
             if previous:
                 self.flush()
 
+    @contextmanager
+    def _writer_lock(self):
+        """Advisory inter-writer lock (a ``.lock`` sidecar, so the lock
+        survives the data file's atomic replacement).  Held across the
+        read-merge-write of one flush; two writers that race their
+        flushes then serialise and each folds the other's verdicts in.
+        Degrades to unlocked (still crash-atomic, but a simultaneous
+        flush may lose the other writer's latest batch) where ``fcntl``
+        is unavailable."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(self.path + ".lock", "a+") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
     def flush(self) -> None:
-        """Atomically write the store to :attr:`path`."""
-        payload = {
-            "schema": _SCHEMA,
-            "verdicts": {
-                _encode_key(key): _encode_outcome(outcome)
-                for key, outcome in self._data.items()
-            },
-        }
+        """Atomically write the store to :attr:`path`.
+
+        A flush merges first: verdicts another writer persisted since
+        our last read are read back (under the writer lock) unless we
+        deleted them locally, so concurrent verifiers sharing one path
+        converge on the union instead of last-writer-wins.  After a
+        :meth:`clear` the next flush wipes instead of merging.
+        """
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        handle, temp_path = tempfile.mkstemp(
-            dir=directory, prefix=".verdict-cache-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(handle, "w") as stream:
-                json.dump(payload, stream)
-            os.replace(temp_path, self.path)
-        except BaseException:
+        with self._writer_lock():
+            if self._wipe:
+                self._wipe = False
+            else:
+                disk, _ = self._read_payload()
+                for key, outcome in disk.items():
+                    if key not in self._data and key not in self._dropped:
+                        self._data[key] = outcome
+            payload = {
+                "schema": _SCHEMA,
+                "verdicts": {
+                    _encode_key(key): _encode_outcome(outcome)
+                    for key, outcome in self._data.items()
+                },
+            }
+            handle, temp_path = tempfile.mkstemp(
+                dir=directory, prefix=".verdict-cache-", suffix=".tmp"
+            )
             try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(handle, "w") as stream:
+                    json.dump(payload, stream)
+                os.replace(temp_path, self.path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
 
-    def _load(self) -> None:
+    def _read_payload(
+        self,
+    ) -> Tuple[Dict[CacheKey, BooleanCheckOutcome], Optional[str]]:
+        """Decode the on-disk store; a missing/bad file is just empty."""
         try:
             with open(self.path) as stream:
                 payload = json.load(stream)
         except FileNotFoundError:
-            return
+            return {}, None
         except (OSError, ValueError) as error:
-            self.load_error = f"unreadable cache file: {error}"
-            return
+            return {}, f"unreadable cache file: {error}"
         try:
             if payload.get("schema") != _SCHEMA:
-                self.load_error = (
-                    f"schema {payload.get('schema')!r} != {_SCHEMA!r}"
-                )
-                return
-            self._data = {
+                return {}, f"schema {payload.get('schema')!r} != {_SCHEMA!r}"
+            return {
                 _decode_key(text): _decode_outcome(entry)
                 for text, entry in payload["verdicts"].items()
-            }
+            }, None
         except (KeyError, TypeError, ValueError, AttributeError) as error:
-            self.load_error = f"malformed cache payload: {error}"
-            self._data = {}
+            return {}, f"malformed cache payload: {error}"
+
+    def _load(self) -> None:
+        self._data, self.load_error = self._read_payload()
 
 
 __all__ = ["CacheKey", "DiskVerdictCache"]

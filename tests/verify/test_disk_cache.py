@@ -155,6 +155,93 @@ class TestMappingContract:
         assert len(DiskVerdictCache(path)) == 1
 
 
+class TestConcurrentWriters:
+    """Two verifiers sharing one cache_path must not clobber each other:
+    a flush is a read-merge-write under an advisory lock, so the store
+    converges on the union of everyone's verdicts."""
+
+    def test_interleaved_stores_merge_instead_of_clobbering(self, tmp_path):
+        from repro.verify.backends.base import BooleanCheckOutcome
+
+        path = str(tmp_path / "verdicts.json")
+        first = DiskVerdictCache(path)
+        second = DiskVerdictCache(path)  # opened before first stores
+        first[("fp1", 0, "bdd", True)] = BooleanCheckOutcome(
+            qubit=0, safe=True
+        )
+        second[("fp2", 0, "bdd", True)] = BooleanCheckOutcome(
+            qubit=0, safe=False
+        )
+        final = DiskVerdictCache(path)
+        assert final.load_error is None
+        assert len(final) == 2  # the classic lost update
+        assert final[("fp1", 0, "bdd", True)].safe is True
+        assert final[("fp2", 0, "bdd", True)].safe is False
+
+    def test_deleted_key_not_resurrected_by_merge(self, tmp_path):
+        from repro.verify.backends.base import BooleanCheckOutcome
+
+        path = str(tmp_path / "verdicts.json")
+        cache = DiskVerdictCache(path)
+        key = ("fp", 0, "bdd", True)
+        cache[key] = BooleanCheckOutcome(qubit=0, safe=True)
+        del cache[key]  # the merge pass must honour the tombstone
+        assert len(DiskVerdictCache(path)) == 0
+
+    def test_clear_wipes_despite_other_writers(self, tmp_path):
+        from repro.verify.backends.base import BooleanCheckOutcome
+
+        path = str(tmp_path / "verdicts.json")
+        first = DiskVerdictCache(path)
+        second = DiskVerdictCache(path)
+        second[("fp2", 0, "bdd", True)] = BooleanCheckOutcome(
+            qubit=0, safe=True
+        )
+        first.clear()  # a wipe is a wipe, not a merge
+        assert len(DiskVerdictCache(path)) == 0
+
+    def test_two_batch_verifiers_share_one_path(self, tmp_path):
+        path = str(tmp_path / "verdicts.json")
+        first = BatchVerifier(backend="bdd", cache_path=path)
+        second = BatchVerifier(backend="bdd", cache_path=path)
+        # Interleave: each verifier flushes while the other's verdicts
+        # are already on disk.
+        first.verify_circuit(safe_circuit(), [5])
+        second.verify_circuit(unsafe_circuit(), [2])
+        first.verify_circuit(safe_circuit(), [6])
+
+        merged = DiskVerdictCache(path)
+        assert merged.load_error is None
+        assert len(merged) == 3
+        # A third process sees everything as hits.
+        third = BatchVerifier(backend="bdd", cache_path=path)
+        third.verify_circuit(safe_circuit(), [5, 6])
+        third.verify_circuit(unsafe_circuit(), [2])
+        assert third.cache_misses == 0
+        assert third.cache_hits == 3
+
+    def test_threaded_writers_converge_on_union(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.verify.backends.base import BooleanCheckOutcome
+
+        path = str(tmp_path / "verdicts.json")
+        caches = [DiskVerdictCache(path) for _ in range(4)]
+
+        def hammer(index):
+            cache = caches[index]
+            for step in range(10):
+                key = (f"fp{index}", step, "bdd", True)
+                cache[key] = BooleanCheckOutcome(qubit=step, safe=True)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(hammer, range(4)))
+
+        final = DiskVerdictCache(path)
+        assert final.load_error is None  # never torn, never malformed
+        assert len(final) == 40  # no writer lost a single verdict
+
+
 class TestSchedulerIntegration:
     def test_multiprogrammer_cache_path(self, tmp_path):
         from repro.multiprog import (
