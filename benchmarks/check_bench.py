@@ -1,0 +1,366 @@
+"""Bench-regression gate: diff fresh perf records against baselines.
+
+CI regenerates ``BENCH_verify.json`` / ``BENCH_alloc.json`` into a
+scratch directory and runs this script against the committed copies.
+The gate fails (exit 1) on:
+
+* a **wall-time regression** — any tracked timing more than
+  ``WALL_TOLERANCE`` (default 25%) over its baseline.  Timings whose
+  baseline is under ``WALL_FLOOR`` seconds are skipped: at that scale
+  runner jitter dwarfs any real change, and a 0.01s -> 0.02s "2x
+  regression" is noise, not signal;
+* a **throughput drop** — fewer admitted jobs on the queueing or
+  lending trace, fewer placed ancillas or a wider final width on any
+  strategy workload, more lazy solver runs, a safe verdict flipping
+  unsafe, or sequential/batch verdicts disagreeing.  These are exact
+  deterministic counts, so no tolerance applies;
+* a **vanished row** — a backend/strategy/policy present in the
+  baseline but missing from the fresh record (silent coverage loss);
+* the **lending invariant** — within the fresh record itself, windowed
+  lending admitting fewer jobs than whole-residency under any policy.
+
+A markdown summary of every comparison goes to stdout and, when the
+``GITHUB_STEP_SUMMARY`` environment variable is set, to that file as
+well (the job-summary panel in the Actions UI).
+
+Run:
+  python benchmarks/run_paper_tables.py --bench-only \\
+      --bench-json fresh/BENCH_verify.json \\
+      --alloc-json fresh/BENCH_alloc.json
+  python benchmarks/check_bench.py \\
+      --verify-baseline BENCH_verify.json \\
+      --verify-fresh fresh/BENCH_verify.json \\
+      --alloc-baseline BENCH_alloc.json \\
+      --alloc-fresh fresh/BENCH_alloc.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Allowed fractional wall-time growth before the gate fails.
+WALL_TOLERANCE = float(os.environ.get("BENCH_WALL_TOLERANCE", "0.25"))
+#: Baselines under this many seconds are not timing-checked (noise).
+WALL_FLOOR = float(os.environ.get("BENCH_WALL_FLOOR", "0.05"))
+
+
+@dataclass
+class Finding:
+    """One compared metric: its values and the verdict."""
+
+    metric: str
+    baseline: object
+    fresh: object
+    ok: bool
+    detail: str = ""
+
+    @property
+    def status(self) -> str:
+        return "ok" if self.ok else "REGRESSION"
+
+
+class Comparator:
+    """Collects findings over one (baseline, fresh) record pair."""
+
+    def __init__(self):
+        self.findings: List[Finding] = []
+
+    @property
+    def regressions(self) -> List[Finding]:
+        return [f for f in self.findings if not f.ok]
+
+    def wall(self, metric: str, baseline, fresh) -> None:
+        """Wall seconds: fresh may exceed baseline by WALL_TOLERANCE."""
+        if baseline is None or fresh is None:
+            return
+        if baseline < WALL_FLOOR:
+            self.findings.append(
+                Finding(
+                    metric, baseline, fresh, True,
+                    f"baseline under the {WALL_FLOOR}s noise floor",
+                )
+            )
+            return
+        limit = baseline * (1.0 + WALL_TOLERANCE)
+        self.findings.append(
+            Finding(
+                metric, baseline, fresh, fresh <= limit,
+                f"limit {limit:.4f}s (+{WALL_TOLERANCE:.0%})",
+            )
+        )
+
+    def at_least(self, metric: str, baseline, fresh, detail="") -> None:
+        """Exact throughput count: fresh must not drop below baseline."""
+        self.findings.append(
+            Finding(metric, baseline, fresh, fresh >= baseline, detail)
+        )
+
+    def at_most(self, metric: str, baseline, fresh, detail="") -> None:
+        """Exact cost count: fresh must not exceed baseline."""
+        self.findings.append(
+            Finding(metric, baseline, fresh, fresh <= baseline, detail)
+        )
+
+    def present(self, metric: str, row: Optional[dict]) -> bool:
+        """A baseline row must still exist in the fresh record."""
+        if row is None:
+            self.findings.append(
+                Finding(
+                    metric, "present", "MISSING", False,
+                    "row vanished from the fresh record",
+                )
+            )
+            return False
+        return True
+
+
+def _by(rows, *keys) -> Dict[tuple, dict]:
+    return {tuple(row.get(k) for k in keys): row for row in rows or ()}
+
+
+def compare_verify(baseline: dict, fresh: dict) -> Comparator:
+    """Gate checks over a BENCH_verify.json pair."""
+    comp = Comparator()
+    fresh_backends = _by(fresh.get("backends"), "backend")
+    for key, base_row in _by(baseline.get("backends"), "backend").items():
+        if "error" in base_row:
+            continue
+        name = f"verify.backends[{key[0]}]"
+        fresh_row = fresh_backends.get(key)
+        if not comp.present(name, fresh_row):
+            continue
+        comp.wall(
+            f"{name}.wall_seconds",
+            base_row.get("wall_seconds"),
+            fresh_row.get("wall_seconds"),
+        )
+        if base_row.get("all_safe") is True:
+            comp.findings.append(
+                Finding(
+                    f"{name}.all_safe", True,
+                    fresh_row.get("all_safe"),
+                    fresh_row.get("all_safe") is True,
+                    "a safe workload must stay safe",
+                )
+            )
+    fresh_cmp = _by(fresh.get("sequential_vs_batch"), "backend")
+    for key, base_row in _by(
+        baseline.get("sequential_vs_batch"), "backend"
+    ).items():
+        name = f"verify.sequential_vs_batch[{key[0]}]"
+        fresh_row = fresh_cmp.get(key)
+        if not comp.present(name, fresh_row):
+            continue
+        comp.wall(
+            f"{name}.batch_wall_seconds",
+            base_row.get("batch_wall_seconds"),
+            fresh_row.get("batch_wall_seconds"),
+        )
+        comp.findings.append(
+            Finding(
+                f"{name}.verdicts_agree", True,
+                fresh_row.get("verdicts_agree"),
+                fresh_row.get("verdicts_agree") is True,
+                "sequential and batch engines must agree",
+            )
+        )
+    return comp
+
+
+def compare_alloc(baseline: dict, fresh: dict) -> Comparator:
+    """Gate checks over a BENCH_alloc.json pair."""
+    comp = Comparator()
+    fresh_workloads = fresh.get("workloads", {})
+    for workload, base_rows in baseline.get("workloads", {}).items():
+        fresh_rows = _by(fresh_workloads.get(workload), "strategy")
+        for key, base_row in _by(base_rows, "strategy").items():
+            name = f"alloc.{workload}[{key[0]}]"
+            fresh_row = fresh_rows.get(key)
+            if not comp.present(name, fresh_row):
+                continue
+            comp.at_most(
+                f"{name}.final_width",
+                base_row.get("final_width"),
+                fresh_row.get("final_width"),
+                "width reduction must not degrade",
+            )
+            comp.at_least(
+                f"{name}.placed",
+                base_row.get("placed"),
+                fresh_row.get("placed"),
+                "placed ancillas must not drop",
+            )
+            comp.wall(
+                f"{name}.wall_seconds",
+                base_row.get("wall_seconds"),
+                fresh_row.get("wall_seconds"),
+            )
+    base_lazy = baseline.get("lazy_vs_eager_verification")
+    fresh_lazy = fresh.get("lazy_vs_eager_verification")
+    if base_lazy and comp.present("alloc.lazy_vs_eager", fresh_lazy):
+        comp.at_most(
+            "alloc.lazy_vs_eager.lazy_solver_runs",
+            base_lazy.get("lazy_solver_runs"),
+            fresh_lazy.get("lazy_solver_runs"),
+            "lazy verification must not run more solvers",
+        )
+        comp.wall(
+            "alloc.lazy_vs_eager.lazy_wall_seconds",
+            base_lazy.get("lazy_wall_seconds"),
+            fresh_lazy.get("lazy_wall_seconds"),
+        )
+    fresh_online = _by(fresh.get("online"), "strategy")
+    for key, base_row in _by(baseline.get("online"), "strategy").items():
+        name = f"alloc.online[{key[0]}]"
+        fresh_row = fresh_online.get(key)
+        if not comp.present(name, fresh_row):
+            continue
+        comp.wall(
+            f"{name}.wall_seconds",
+            base_row.get("wall_seconds"),
+            fresh_row.get("wall_seconds"),
+        )
+    fresh_queue = _by(
+        fresh.get("queueing", {}).get("rows"), "policy"
+    )
+    for key, base_row in _by(
+        baseline.get("queueing", {}).get("rows"), "policy"
+    ).items():
+        name = f"alloc.queueing[{key[0]}]"
+        fresh_row = fresh_queue.get(key)
+        if not comp.present(name, fresh_row):
+            continue
+        comp.at_least(
+            f"{name}.admitted",
+            base_row.get("admitted"),
+            fresh_row.get("admitted"),
+            "admitted jobs must not drop",
+        )
+        comp.wall(
+            f"{name}.wall_seconds",
+            base_row.get("wall_seconds"),
+            fresh_row.get("wall_seconds"),
+        )
+    fresh_lending = _by(
+        fresh.get("lending", {}).get("rows"), "policy", "lending"
+    )
+    for key, base_row in _by(
+        baseline.get("lending", {}).get("rows"), "policy", "lending"
+    ).items():
+        name = f"alloc.lending[{key[0]},{key[1]}]"
+        fresh_row = fresh_lending.get(key)
+        if not comp.present(name, fresh_row):
+            continue
+        comp.at_least(
+            f"{name}.admitted",
+            base_row.get("admitted"),
+            fresh_row.get("admitted"),
+            "admitted jobs must not drop",
+        )
+        comp.wall(
+            f"{name}.wall_seconds",
+            base_row.get("wall_seconds"),
+            fresh_row.get("wall_seconds"),
+        )
+    # The windowed-vs-whole invariant inside the fresh record itself:
+    # time-sliced lending must never admit fewer jobs than the
+    # whole-residency baseline it generalises.
+    for (policy, lending), fresh_row in sorted(fresh_lending.items()):
+        if lending != "windowed":
+            continue
+        whole = fresh_lending.get((policy, "whole"))
+        if whole is None:
+            continue
+        comp.at_least(
+            f"alloc.lending[{policy}].windowed_vs_whole",
+            whole.get("admitted"),
+            fresh_row.get("admitted"),
+            "windowed lending must admit >= whole-residency",
+        )
+    return comp
+
+
+def markdown_summary(comparators: Dict[str, Comparator]) -> str:
+    lines = ["# Bench-regression gate", ""]
+    total = regressions = 0
+    for record, comp in comparators.items():
+        lines.append(f"## {record}")
+        lines.append("")
+        lines.append("| metric | baseline | fresh | status | note |")
+        lines.append("| --- | --- | --- | --- | --- |")
+        for finding in comp.findings:
+            total += 1
+            if not finding.ok:
+                regressions += 1
+            status = "✅" if finding.ok else "❌ REGRESSION"
+            lines.append(
+                f"| {finding.metric} | {finding.baseline} | "
+                f"{finding.fresh} | {status} | {finding.detail} |"
+            )
+        lines.append("")
+    lines.append(
+        f"**{total} checks, {regressions} regression(s)** "
+        f"(wall tolerance +{WALL_TOLERANCE:.0%}, "
+        f"noise floor {WALL_FLOOR}s)"
+    )
+    return "\n".join(lines)
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on bench regressions vs committed baselines."
+    )
+    parser.add_argument("--verify-baseline", default="BENCH_verify.json")
+    parser.add_argument("--verify-fresh", required=True)
+    parser.add_argument("--alloc-baseline", default="BENCH_alloc.json")
+    parser.add_argument("--alloc-fresh", required=True)
+    args = parser.parse_args(argv)
+
+    comparators = {
+        "BENCH_verify": compare_verify(
+            _load(args.verify_baseline), _load(args.verify_fresh)
+        ),
+        "BENCH_alloc": compare_alloc(
+            _load(args.alloc_baseline), _load(args.alloc_fresh)
+        ),
+    }
+    summary = markdown_summary(comparators)
+    print(summary)
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a") as handle:
+            handle.write(summary + "\n")
+
+    regressions = [
+        finding
+        for comp in comparators.values()
+        for finding in comp.regressions
+    ]
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} bench regression(s):",
+            file=sys.stderr,
+        )
+        for finding in regressions:
+            print(
+                f"  {finding.metric}: baseline={finding.baseline} "
+                f"fresh={finding.fresh} ({finding.detail})",
+                file=sys.stderr,
+            )
+        return 1
+    print("\nOK: no bench regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,8 +14,11 @@ can track the trajectory:
   wall-time comparison;
 * ``BENCH_alloc.json`` — final width and wall time of every registered
   allocation strategy on the Figure 3.1 example and the 13-dirty-qubit
-  adder, the lazy vs. eager verification comparison, and a ≥8-job
-  online multi-programming workload per strategy.
+  adder, the lazy vs. eager verification comparison, a ≥8-job online
+  multi-programming workload per strategy, the seeded 50-job queueing
+  trace per queue policy, and the seeded 50-job *lending* trace per
+  (policy, lending-mode) pair — windowed vs. whole-residency admitted
+  counts, the number the bench-regression gate guards.
 
 The *sequential loop* baseline is the pre-batch caller pattern (one
 :func:`verify_circuit` call per dirty qubit, re-tracking and re-encoding
@@ -48,7 +51,11 @@ from repro.multiprog import (
     QuantumJob,
     available_policies,
 )
-from repro.testing import random_arrival_trace, replay_trace
+from repro.testing import (
+    random_arrival_trace,
+    random_lending_trace,
+    replay_trace,
+)
 from repro.verify import BatchVerifier, available_backends, verify_circuit
 
 QUICK = "--quick" in sys.argv
@@ -455,6 +462,57 @@ def _queueing_workload(policy: str) -> dict:
     return row
 
 
+#: The lending record's fixed workload: the seed-1 50-job lending
+#: trace (repro.testing.random_lending_trace: every 8th arrival is a
+#: 5-wire lender offering 2 idle wires, the rest are guests whose 1-2
+#: safe ancillas can only be hosted by a cross-program lease) against
+#: an 11-qubit machine.  Offers are scarce by construction, so
+#: whole-residency lending runs out of lease-free wires while windowed
+#: lending keeps multiplexing them — replayed under every registered
+#: queue policy and both lending modes so the admitted counts are
+#: directly comparable (and CI-gated: windowed must never admit fewer
+#: than whole).
+LENDING_TRACE_SEED = 1
+LENDING_TRACE_JOBS = 50
+LENDING_MACHINE = 11
+
+
+def _lending_workload(policy: str, lending: str) -> dict:
+    """Replay the fixed seeded lending trace under one (policy,
+    lending-mode) pair.  Deterministic counts, honest wall times (no
+    verifier sharing across rows)."""
+    trace = random_lending_trace(
+        LENDING_TRACE_SEED, num_jobs=LENDING_TRACE_JOBS
+    )
+    programmer = MultiProgrammer(
+        LENDING_MACHINE,
+        queue_policy=policy,
+        lending=lending,
+        max_workers=1,
+    )
+    start = time.perf_counter()
+    log = replay_trace(programmer, trace)
+    wall = time.perf_counter() - start
+    stats = log.stats
+    row = {
+        "policy": policy,
+        "lending": lending,
+        "jobs": LENDING_TRACE_JOBS,
+        "machine": LENDING_MACHINE,
+        "admitted": stats["admitted"],
+        "expired": stats["expired"],
+        "leases_granted": programmer.total_leases,
+        "wall_seconds": round(wall, 4),
+    }
+    print(
+        f"  lending    {policy:<9} {lending:<9} "
+        f"admitted={stats['admitted']:<3} "
+        f"leases={programmer.total_leases:<3} "
+        f"expired={stats['expired']:<3} wall={wall:>8.4f}s"
+    )
+    return row
+
+
 def bench_alloc(path: str) -> None:
     fig31 = _fig31_circuit()
     adder = elaborate(adder_qbr_source(BENCH_ADDER_N))
@@ -462,7 +520,8 @@ def bench_alloc(path: str) -> None:
         f"=== BENCH_alloc: fig 3.1 + adder.qbr n={BENCH_ADDER_N} "
         f"({len(adder.dirty_wires)} dirty) + "
         f"{len(_online_jobs())}-job online workload + "
-        f"{QUEUE_TRACE_JOBS}-job queueing trace ===",
+        f"{QUEUE_TRACE_JOBS}-job queueing trace + "
+        f"{LENDING_TRACE_JOBS}-job lending trace ===",
         flush=True,
     )
     payload = {
@@ -487,6 +546,14 @@ def bench_alloc(path: str) -> None:
             "rows": [
                 _queueing_workload(policy)
                 for policy in available_policies()
+            ],
+        },
+        "lending": {
+            "seed": LENDING_TRACE_SEED,
+            "rows": [
+                _lending_workload(policy, lending)
+                for policy in available_policies()
+                for lending in ("whole", "windowed")
             ],
         },
     }

@@ -8,9 +8,13 @@ requested ancillas — only ancillas with a candidate host pay solver
 time — and lets a verified-safe ancilla borrow an idle wire a resident
 co-tenant lends out.  Completed jobs release their wires back to the
 pool; a wire lent to a still-running guest stays occupied until the
-guest finishes.  An unsafe ancilla is never borrowed across a program
-boundary — it would corrupt the co-tenant, the failure mode the paper
-warns about for multi-programming clouds.
+guest finishes.  Lending is *time-sliced*: a lease covers only the
+gate-index window in which the guest's ancilla actually touches the
+wire, so several guests with disjoint windows multiplex one idle wire
+(the composite-interleave construction of Section 7).  An unsafe
+ancilla is never borrowed across a program boundary — it would corrupt
+the co-tenant, the failure mode the paper warns about for
+multi-programming clouds.
 
 Run:  python examples/multiprogramming.py
 """
@@ -19,6 +23,7 @@ from repro.adders import haner_ripple_constant_adder
 from repro.circuits import Circuit, cnot, x
 from repro.mcx import cccnot_with_dirty_ancilla
 from repro.multiprog import BorrowRequest, MultiProgrammer, QuantumJob
+from repro.testing import lender_job, windowed_guest_job
 
 
 def grover_oracle_job(name="grover-oracle") -> QuantumJob:
@@ -121,6 +126,38 @@ def main() -> None:
     queue_machine.release("tiny")
     print(queue_machine.snapshot())
     print(f"      queue stats: {queue_machine.stats()}")
+
+    print("\n=== time-sliced lending: one idle wire, many guests ===")
+    window_machine = MultiProgrammer(9)
+    print("a 9-qubit machine; a lender job offers its two idle wires")
+    window_machine.admit(lender_job("lender"))
+
+    print("\n[t=0] early-window guest arrives (ancilla active over")
+    print("      gates [0,1]) and leases the first offered wire")
+    early = window_machine.admit(windowed_guest_job("early", prelude=0))
+    print(f"      leases: {[str(lease) for lease in early.leases.values()]}")
+
+    print("\n[t=1] late-window guest (gates [6,7]) lands on the SAME")
+    print("      wire — the windows are disjoint, so the leases stack")
+    late = window_machine.admit(windowed_guest_job("late", prelude=6))
+    print(f"      leases: {[str(lease) for lease in late.leases.values()]}")
+    print("      per-wire lease table:")
+    for wire, leases in window_machine.lease_table().items():
+        spans = ", ".join(
+            f"{lease.guest}@{lease.window}" for lease in leases
+        )
+        print(f"        m{wire}: {spans}")
+
+    print("\n[t=2] an overlapping-window guest (gates [1,2]) cannot")
+    print("      share that wire and takes the second offer instead")
+    clash = window_machine.admit(windowed_guest_job("clash", prelude=1))
+    print(f"      leases: {[str(lease) for lease in clash.leases.values()]}")
+    print(
+        f"      whole-residency lending would have needed "
+        f"{sum(1 for _ in (early, late, clash))} separate wires for "
+        f"these guests; windowed lending used "
+        f"{len(window_machine.lease_table())}"
+    )
 
     print("\n=== lazy verification: only placeable ancillas pay ===")
     print(

@@ -15,11 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.alloc.base import AllocationStrategy
-from repro.alloc.model import (
-    ConflictModel,
-    Placement,
-    build_model,
-)
+from repro.alloc.model import ConflictModel, build_model
 from repro.alloc.registry import make_strategy
 
 # BorrowPlan and SafetyCheck live in the (dependency-free) historical
@@ -142,4 +138,5 @@ def _materialise(
         final_width=len(survivors),
         notes=notes,
         strategy=strategy_name,
+        windows=dict(model.windows),
     )

@@ -35,7 +35,8 @@ class AllocationStrategy(abc.ABC):
         """Place the model's ancillas onto hosts.
 
         Must account for every ancilla in ``model.ancillas``: each one
-        ends up either in ``assignment`` or in ``unplaced`` (the
-        structural contract :func:`~repro.alloc.model.validate_placement`
-        enforces).
+        ends up either in ``assignment`` or in ``unplaced``, and the
+        lending windows of the guests sharing any one host must be
+        pairwise disjoint (the structural contract
+        :func:`~repro.alloc.model.validate_placement` enforces).
         """

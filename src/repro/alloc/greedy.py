@@ -1,11 +1,12 @@
 """First-fit placement — the seed's Figure 3.1 policy, extracted.
 
 Ancillas are processed in period-start order; each takes the
-smallest-index candidate host whose existing guests do not overlap it.
-Hosts that freed up are reused, which is what lets ``q3`` serve both
-``a1`` and ``a2`` in Figure 3.1.  Linear-time and good enough when
-hosts are plentiful; :mod:`repro.alloc.lookahead` is the optimal
-reference it is measured against.
+smallest-index candidate host whose existing guests' lending windows do
+not overlap its own.  Hosts whose windows freed up are reused, which is
+what lets ``q3`` serve both ``a1`` and ``a2`` in Figure 3.1.
+Linear-time and good enough when hosts are plentiful;
+:mod:`repro.alloc.lookahead` is the optimal reference it is measured
+against.
 """
 
 from __future__ import annotations
@@ -23,25 +24,25 @@ class GreedyStrategy(AllocationStrategy):
 
     def plan(self, model: ConflictModel) -> Placement:
         placement = Placement()
-        guest_periods: Dict[int, List[ActivityInterval]] = {}
+        guest_windows: Dict[int, List[ActivityInterval]] = {}
         for a in model.ancillas:
-            period = model.periods[a]
-            host = self._first_fit(model, a, guest_periods)
+            host = self._first_fit(model, a, guest_windows)
             if host is None:
                 placement.notes.append(
-                    f"ancilla {a}: no idle host for period {period}"
+                    f"ancilla {a}: no idle host for period "
+                    f"{model.periods[a]}"
                 )
                 placement.unplaced.append(a)
                 continue
             placement.assignment[a] = host
-            guest_periods.setdefault(host, []).append(period)
+            guest_windows.setdefault(host, []).append(model.windows[a])
         return placement
 
     @staticmethod
-    def _first_fit(model, ancilla, guest_periods):
-        period = model.periods[ancilla]
+    def _first_fit(model, ancilla, guest_windows):
+        window = model.windows[ancilla]
         for host in model.candidates[ancilla]:
-            guests = guest_periods.get(host, ())
-            if all(not period.overlaps(g) for g in guests):
+            guests = guest_windows.get(host, ())
+            if all(not window.overlaps(g) for g in guests):
                 return host
         return None

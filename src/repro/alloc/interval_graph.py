@@ -1,8 +1,8 @@
 """Conflict-graph colouring that packs guests onto few hosts.
 
-The ancillas and their period overlaps form an interval graph; a valid
-placement is a colouring where each colour class is one host compatible
-with every member.  This strategy colours in Welsh–Powell order (most
+The ancillas and their lending-window overlaps form an interval graph;
+a valid placement is a colouring where each colour class is one host
+compatible with every member.  This strategy colours in Welsh–Powell order (most
 conflicted first) and, among compatible hosts, prefers the one already
 carrying the *most* guests — so non-overlapping ancillas pile onto a
 shared host instead of spreading across the register.

@@ -8,6 +8,16 @@ extracts that structure from a circuit once — periods, per-ancilla host
 candidates, and the ancilla conflict graph — so strategies are pure
 combinatorial searches that never re-scan the gate list.
 
+Every ancilla additionally carries a **lending window**: the gate-index
+span in which a guest actually touches whatever wire hosts it.  Today
+the window equals the activity period (the composite-interleave
+construction of Section 7 proves the host is needed for exactly that
+span), but it is a first-class field so host sharing is decided by
+*window disjointness* everywhere — inside one circuit by
+:meth:`ConflictModel.compatible` / :func:`validate_placement`, and
+across programs by the multi-programmer's lease machinery, which shifts
+the same windows onto the machine timeline.
+
 Candidate computation is a single pass over the gates plus one binary
 search per (host, ancilla) pair, so building the model is
 ``O(gates + hosts * ancillas * log gates)`` — noticeably cheaper than
@@ -56,19 +66,25 @@ class ConflictModel:
         no placement needed.
     periods:
         Ancilla wire -> its :class:`ActivityInterval`.
+    windows:
+        Ancilla wire -> its lending window: the gate-index span during
+        which a guest occupies its host wire.  Derived from the
+        activity period; the single source every host-sharing decision
+        (in-circuit and cross-program) reasons over.
     hosts:
         Non-ancilla wires, ascending — the potential hosts.
     candidates:
         Ancilla wire -> hosts idle throughout its period, ascending.
     conflicts:
-        Ancilla wire -> the other ancillas whose periods overlap it
-        (the edges of the interval conflict graph).
+        Ancilla wire -> the other ancillas whose lending windows
+        overlap it (the edges of the interval conflict graph).
     """
 
     circuit: Circuit
     ancillas: Tuple[int, ...]
     untouched: Tuple[int, ...]
     periods: Dict[int, ActivityInterval]
+    windows: Dict[int, ActivityInterval]
     hosts: Tuple[int, ...]
     candidates: Dict[int, Tuple[int, ...]]
     conflicts: Dict[int, FrozenSet[int]]
@@ -94,6 +110,7 @@ class ConflictModel:
             ancillas=ancillas,
             untouched=tuple(a for a in self.untouched if a in keep_set),
             periods={a: self.periods[a] for a in ancillas},
+            windows={a: self.windows[a] for a in ancillas},
             hosts=self.hosts,
             candidates={a: self.candidates[a] for a in ancillas},
             conflicts={
@@ -104,8 +121,12 @@ class ConflictModel:
     def compatible(self, ancilla: int, host: int, taken: Dict[int, int]) -> bool:
         """May ``ancilla`` land on ``host`` given placements ``taken``?
 
-        True when ``host`` is a candidate and no already-placed
-        conflicting ancilla sits on the same host.
+        True when ``host`` is a candidate and no already-placed ancilla
+        with an overlapping lending window sits on the same host.  The
+        conflict graph *is* the window-overlap relation (see
+        :func:`build_model`), so the precomputed edge set answers this
+        in O(degree) — this sits in the lookahead search's innermost
+        loop.
         """
         if host not in self.candidates.get(ancilla, ()):
             return False
@@ -150,11 +171,16 @@ def build_model(circuit: Circuit, ancillas: Sequence[int]) -> ConflictModel:
                 idle.append(host)
         candidates[a] = tuple(idle)
 
+    # The lending window is the whole activity period: a dirty ancilla
+    # carries borrowed state from its first touch to its last, so the
+    # host wire is occupied for exactly that span and no longer.
+    windows = {a: intervals[a] for a in active}
+
     conflicts: Dict[int, FrozenSet[int]] = {
         a: frozenset(
             b
             for b in active
-            if b != a and intervals[a].overlaps(intervals[b])
+            if b != a and windows[a].overlaps(windows[b])
         )
         for a in active
     }
@@ -164,6 +190,7 @@ def build_model(circuit: Circuit, ancillas: Sequence[int]) -> ConflictModel:
         ancillas=tuple(active),
         untouched=untouched,
         periods={a: intervals[a] for a in active},
+        windows=windows,
         hosts=hosts,
         candidates=candidates,
         conflicts=conflicts,
@@ -173,10 +200,16 @@ def build_model(circuit: Circuit, ancillas: Sequence[int]) -> ConflictModel:
 def validate_placement(model: ConflictModel, placement: Placement) -> None:
     """Raise :class:`CircuitError` unless ``placement`` is sound.
 
-    Sound means: every assigned host is a candidate for its guest, no
-    two overlapping ancillas share a host, and every active ancilla is
-    either assigned or listed unplaced.  Used by the differential tests
-    to hold every registered strategy to the same structural contract.
+    Sound means: every assigned host is a candidate for its guest, the
+    lending windows of the guests sharing any one host are pairwise
+    disjoint, and every active ancilla is either assigned or listed
+    unplaced.  Window disjointness (not whole-circuit exclusivity) is
+    the contract — it is what lets several guests multiplex one host —
+    and it is exactly what the conflict graph encodes, so the check is
+    equivalent to the historical no-overlapping-conflict rule while
+    stating the real invariant.  Used by the differential tests to hold
+    every registered strategy to the same structural contract, and by
+    the occupancy invariant checker after every scheduler event.
     """
     seen = set(placement.assignment) | set(placement.unplaced)
     missing = set(model.ancillas) - seen
@@ -187,9 +220,14 @@ def validate_placement(model: ConflictModel, placement: Placement) -> None:
             raise CircuitError(
                 f"ancilla {a} assigned to non-candidate host {host}"
             )
+    guests_by_host: Dict[int, List[int]] = {}
     for a, host in placement.assignment.items():
-        for b in model.conflicts[a]:
-            if placement.assignment.get(b) == host:
+        guests_by_host.setdefault(host, []).append(a)
+    for host, guests in guests_by_host.items():
+        ordered = sorted(guests, key=lambda a: model.windows[a].first)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if model.windows[earlier].overlaps(model.windows[later]):
                 raise CircuitError(
-                    f"overlapping ancillas {a} and {b} share host {host}"
+                    f"overlapping ancillas {min(earlier, later)} and "
+                    f"{max(earlier, later)} share host {host}"
                 )

@@ -1,4 +1,4 @@
-"""Decorator-based strategy registry, mirroring the verify backends.
+"""The strategy registry — one line over :mod:`repro.registry`.
 
 Strategies self-register at import time::
 
@@ -12,60 +12,32 @@ and are instantiated by name::
 
 :func:`available_strategies` lists every registered name; an unknown
 name raises :class:`~repro.errors.CircuitError` naming the
-alternatives, so typos fail with an actionable message.
+alternatives, so typos fail with an actionable message.  The decorator
+machinery itself is the shared :class:`repro.registry.Registry` — the
+verify backends and queue policies ride the same implementation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple, Type
-
 from repro.alloc.base import AllocationStrategy
-from repro.errors import CircuitError
+from repro.registry import make_registry
 
-_REGISTRY: Dict[str, Type[AllocationStrategy]] = {}
+_REGISTRY = make_registry(
+    AllocationStrategy, "allocation strategy", plural="strategies"
+)
 
+#: Class decorator: publish an :class:`AllocationStrategy` under a name.
+register_strategy = _REGISTRY.register
+#: All registered strategy names, sorted.
+available_strategies = _REGISTRY.available
+#: Look up a strategy class by name (:class:`CircuitError` if absent).
+strategy_class = _REGISTRY.get
+#: Instantiate a registered strategy with keyword options.
+make_strategy = _REGISTRY.make
 
-def register_strategy(
-    name: str,
-) -> Callable[[Type[AllocationStrategy]], Type[AllocationStrategy]]:
-    """Class decorator: publish an :class:`AllocationStrategy` under
-    ``name``."""
-
-    def decorate(cls: Type[AllocationStrategy]) -> Type[AllocationStrategy]:
-        if not (isinstance(cls, type) and issubclass(cls, AllocationStrategy)):
-            raise CircuitError(
-                f"strategy {name!r} must subclass AllocationStrategy, "
-                f"got {cls!r}"
-            )
-        existing = _REGISTRY.get(name)
-        if existing is not None and existing is not cls:
-            raise CircuitError(
-                f"strategy name {name!r} already registered by "
-                f"{existing.__name__}"
-            )
-        cls.name = name
-        _REGISTRY[name] = cls
-        return cls
-
-    return decorate
-
-
-def available_strategies() -> Tuple[str, ...]:
-    """All registered strategy names, sorted."""
-    return tuple(sorted(_REGISTRY))
-
-
-def strategy_class(name: str) -> Type[AllocationStrategy]:
-    """Look up a strategy class by name (:class:`CircuitError` if absent)."""
-    cls = _REGISTRY.get(name)
-    if cls is None:
-        known = ", ".join(available_strategies()) or "(none)"
-        raise CircuitError(
-            f"unknown allocation strategy {name!r}; registered: {known}"
-        )
-    return cls
-
-
-def make_strategy(name: str, **options) -> AllocationStrategy:
-    """Instantiate a registered strategy with ``options``."""
-    return strategy_class(name)(**options)
+__all__ = [
+    "available_strategies",
+    "make_strategy",
+    "register_strategy",
+    "strategy_class",
+]

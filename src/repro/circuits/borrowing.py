@@ -39,6 +39,13 @@ class BorrowPlan:
         Ancillas for which no idle host existed (kept as real wires).
     periods:
         The activity period used for each ancilla.
+    windows:
+        Lending window of each ancilla — the gate-index span a guest
+        occupies whatever wire hosts it (today equal to the period; see
+        :class:`repro.alloc.model.ConflictModel`).  The online
+        multi-programmer shifts these onto the machine timeline to
+        decide whether an unplaced ancilla may lease a lent co-tenant
+        wire.
     wire_map:
         Original qubit index -> new index, for every surviving wire.
     original_width / final_width:
@@ -56,6 +63,7 @@ class BorrowPlan:
     final_width: int
     notes: List[str] = field(default_factory=list)
     strategy: str = "greedy"
+    windows: Dict[int, ActivityInterval] = field(default_factory=dict)
 
     @property
     def qubits_saved(self) -> int:

@@ -28,6 +28,16 @@ class ActivityInterval:
         """True when gate ``index`` falls inside the interval."""
         return self.first <= index <= self.last
 
+    def shifted(self, delta: int) -> "ActivityInterval":
+        """The same span, ``delta`` gate indices later.
+
+        The multi-programmer uses this to map a guest-local lending
+        window onto the machine's composite-interleave timeline: a job
+        admitted at logical round ``t`` touches a lent wire exactly
+        during ``window.shifted(t)``.
+        """
+        return ActivityInterval(self.first + delta, self.last + delta)
+
     def __str__(self) -> str:
         return f"[{self.first}, {self.last}]"
 

@@ -25,7 +25,6 @@ from repro.circuits.gates import (
     cnot,
     cphase,
     hadamard,
-    mcx,
     phase,
     s_gate,
     swap,

@@ -12,7 +12,16 @@ Module tour
       registered :mod:`repro.alloc` strategy, lazily batch-verifying
       its ancillas, letting verified-safe ones borrow idle co-tenant
       wires) or raise :class:`~repro.errors.CapacityError` when it
-      does not fit;
+      does not fit.  Lending is *time-sliced*: a lent wire carries a
+      set of window-disjoint :class:`Lease`\\ s (the guest ancilla's
+      gate-index lending window mapped onto the machine timeline), so
+      one idle wire multiplexes several concurrent guests;
+      ``lending="whole"`` restores the historical one-guest-per-wire
+      rule as the comparison baseline.  :meth:`~MultiProgrammer.release`
+      retires only the releasing guest's leases, and
+      :meth:`~MultiProgrammer.lease_table` /
+      :meth:`~MultiProgrammer.idle_offers` report per-window
+      availability;
     * :meth:`~MultiProgrammer.submit` — the *queueing* path: a
       capacity-rejected arrival waits in an admission queue instead of
       bouncing.  Every :meth:`~MultiProgrammer.release` (and any
@@ -59,6 +68,7 @@ from repro.multiprog.queueing import (
 from repro.multiprog.scheduler import (
     Admission,
     BorrowRequest,
+    Lease,
     MultiProgrammer,
     QuantumJob,
     ScheduleResult,
@@ -69,6 +79,7 @@ __all__ = [
     "BackfillPolicy",
     "BorrowRequest",
     "FifoPolicy",
+    "Lease",
     "MultiProgrammer",
     "QuantumJob",
     "QueueEntry",

@@ -16,6 +16,15 @@ verification backends:
   arrival order, admitting every job that fits *now* and skipping the
   rest, so a narrow late arrival can slip past a blocked wide head.
 
+"Fits" is window-aware: the admission attempt a drain pass makes runs
+the full time-sliced lending machinery, so a queued job is admitted as
+soon as *some* window assignment works — its verified-safe ancillas may
+lease gate-index windows on wires that are already lent to other
+guests, provided the windows are disjoint on the machine timeline
+(:class:`repro.multiprog.scheduler.Lease`).  Policies themselves stay
+purely order-deciding; the window reasoning lives in
+:meth:`MultiProgrammer.admit`.
+
 The queue bookkeeping itself (:class:`QueueEntry`, :class:`QueueStats`,
 :class:`SubmitOutcome`) is policy-independent and lives here so the
 scheduler module stays focused on machine state.
@@ -25,17 +34,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import (
-    Any,
-    Callable,
-    Dict,
-    List,
-    Optional,
-    Tuple,
-    Type,
-)
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import CircuitError
+from repro.registry import make_registry
 
 
 @dataclass(eq=False)
@@ -149,54 +150,20 @@ class QueuePolicy(ABC):
 
 
 # ---------------------------------------------------------------------- #
-# Registry (same decorator shape as repro.alloc / repro.verify.backends)
+# Registry (the shared repro.registry implementation, same as
+# repro.alloc strategies and repro.verify.backends)
 # ---------------------------------------------------------------------- #
 
-_REGISTRY: Dict[str, Type[QueuePolicy]] = {}
+_REGISTRY = make_registry(QueuePolicy, "queue policy", plural="queue policies")
 
-
-def register_policy(
-    name: str,
-) -> Callable[[Type[QueuePolicy]], Type[QueuePolicy]]:
-    """Class decorator: publish a :class:`QueuePolicy` under ``name``."""
-
-    def decorate(cls: Type[QueuePolicy]) -> Type[QueuePolicy]:
-        if not (isinstance(cls, type) and issubclass(cls, QueuePolicy)):
-            raise CircuitError(
-                f"policy {name!r} must subclass QueuePolicy, got {cls!r}"
-            )
-        existing = _REGISTRY.get(name)
-        if existing is not None and existing is not cls:
-            raise CircuitError(
-                f"queue policy name {name!r} already registered by "
-                f"{existing.__name__}"
-            )
-        cls.name = name
-        _REGISTRY[name] = cls
-        return cls
-
-    return decorate
-
-
-def available_policies() -> Tuple[str, ...]:
-    """All registered queue-policy names, sorted."""
-    return tuple(sorted(_REGISTRY))
-
-
-def policy_class(name: str) -> Type[QueuePolicy]:
-    """Look up a policy class by name (:class:`CircuitError` if absent)."""
-    cls = _REGISTRY.get(name)
-    if cls is None:
-        known = ", ".join(available_policies()) or "(none)"
-        raise CircuitError(
-            f"unknown queue policy {name!r}; registered: {known}"
-        )
-    return cls
-
-
-def make_policy(name: str, **options) -> QueuePolicy:
-    """Instantiate a registered policy with ``options``."""
-    return policy_class(name)(**options)
+#: Class decorator: publish a :class:`QueuePolicy` under a name.
+register_policy = _REGISTRY.register
+#: All registered queue-policy names, sorted.
+available_policies = _REGISTRY.available
+#: Look up a policy class by name (:class:`CircuitError` if absent).
+policy_class = _REGISTRY.get
+#: Instantiate a registered policy with keyword options.
+make_policy = _REGISTRY.make
 
 
 # ---------------------------------------------------------------------- #

@@ -9,13 +9,24 @@ declared *dirty-ancilla requests*.  Jobs arrive over time
   registered allocation strategy (:mod:`repro.alloc`), then any safe
   ancilla still unplaced may borrow an idle wire a resident co-tenant
   lends out;
+* lending is **time-sliced**: a lent wire carries a set of
+  non-overlapping :class:`Lease`\\ s rather than a single guest.  Each
+  lease covers exactly the ancilla's *lending window* (the gate-index
+  span the guest actually touches the wire, straight from the interval
+  model) mapped onto the machine timeline by the composite-interleave
+  convention — every resident advances one gate per logical event
+  round, so a job admitted at round ``t`` occupies a lent wire during
+  ``window.shifted(t)``.  A new guest may therefore land on a wire that
+  is *already lent out*, as long as its window is disjoint from every
+  existing lease (``lending="whole"`` restores the historical
+  one-guest-per-wire behaviour for comparison);
 * verification is *lazy*: only ancillas with a candidate host (their
-  own circuit's, or a lendable co-tenant wire) pay solver time, in one
+  own circuit's, or an offered co-tenant wire) pay solver time, in one
   batched :class:`~repro.verify.batch.BatchVerifier` call per
   admission, memoised for the scheduler's lifetime;
 * :meth:`MultiProgrammer.release` returns a completed job's wires to
-  the pool; wires lent to still-resident guests stay occupied until the
-  guest finishes;
+  the pool and retires *only that guest's* leases; wires lent to
+  still-resident guests stay occupied until the last guest finishes;
 * a policy knob picks the allocation strategy per admission, so light
   jobs can take greedy while width-critical ones pay for lookahead;
 * :meth:`MultiProgrammer.submit` is the queueing front door: an arrival
@@ -42,6 +53,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 from repro.alloc import BorrowPlan, ConflictModel, allocate, build_model
 from repro.circuits.circuit import Circuit
 from repro.circuits.classical import is_classical_circuit
+from repro.circuits.intervals import ActivityInterval
 from repro.errors import CapacityError, CircuitError, VerificationError
 from repro.multiprog.queueing import (
     QueueEntry,
@@ -58,6 +70,36 @@ class BorrowRequest:
     """One dirty-ancilla wire a job would like to outsource."""
 
     wire: int
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One time-sliced tenancy of a guest ancilla on a lent wire.
+
+    ``window`` is expressed in *machine rounds* — the composite
+    interleave executes one gate per resident per logical event round,
+    so a guest admitted at round ``t`` whose ancilla has lending window
+    ``[f, l]`` in its own circuit touches the wire exactly during
+    rounds ``[t + f, t + l]``.  The scheduler admits a new lease onto a
+    wire only when its window is disjoint from every lease already on
+    that wire, which is what lets one idle wire serve several
+    concurrent guests.
+    """
+
+    guest: str
+    ancilla: int
+    wire: int
+    window: ActivityInterval
+
+    def overlaps(self, other: "Lease") -> bool:
+        """True when the two leases compete for the same rounds."""
+        return self.window.overlaps(other.window)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.guest}:a{self.ancilla} on m{self.wire} "
+            f"rounds {self.window}"
+        )
 
 
 @dataclass
@@ -97,6 +139,14 @@ class Admission:
     cross_hosts:
         Original ancilla wire -> machine wire borrowed from a resident
         co-tenant (ancillas the internal pass could not place).
+    leases:
+        Original ancilla wire -> the :class:`Lease` recording the
+        gate-round window that borrow occupies on the machine timeline
+        (same keys as ``cross_hosts``).
+    gate_offset:
+        Machine round this admission's gate 0 executes at (the logical
+        clock at admission) — the offset its lending windows were
+        shifted by.
     safety:
         Verified verdicts, by original ancilla wire.  Ancillas skipped
         by lazy verification (no candidate host anywhere) are absent.
@@ -114,6 +164,8 @@ class Admission:
     safety: Dict[int, bool]
     seq: int
     strategy: str
+    leases: Dict[int, Lease] = field(default_factory=dict)
+    gate_offset: int = 0
 
     @property
     def fresh_wires(self) -> Tuple[int, ...]:
@@ -212,6 +264,13 @@ class MultiProgrammer:
         or ``backfill``) or a :class:`QueuePolicy` instance.  Governs
         :meth:`submit` / the backfill passes; plain :meth:`admit` never
         touches the queue.
+    lending:
+        ``"windowed"`` (default) — a lent wire carries any number of
+        window-disjoint :class:`Lease`\\ s, so several concurrent
+        guests can multiplex one idle wire; ``"whole"`` — the
+        historical behaviour, one guest per lent wire for its entire
+        residency (kept as the comparison baseline the benchmark and
+        the differential tests measure against).
     """
 
     def __init__(
@@ -223,12 +282,18 @@ class MultiProgrammer:
         verifier: Optional[BatchVerifier] = None,
         cache_path: Optional[str] = None,
         queue_policy: Union[str, QueuePolicy] = "fifo",
+        lending: str = "windowed",
     ):
         if machine_size < 1:
             raise CircuitError("machine must have at least one qubit")
+        if lending not in ("windowed", "whole"):
+            raise CircuitError(
+                f"lending must be 'windowed' or 'whole', got {lending!r}"
+            )
         self.machine_size = machine_size
         self.backend = backend
         self.strategy = strategy
+        self.lending = lending
         self.queue_policy = (
             queue_policy
             if isinstance(queue_policy, QueuePolicy)
@@ -242,6 +307,10 @@ class MultiProgrammer:
         self._holders: Dict[int, Set[str]] = {}
         #: Idle machine wire -> owner offering it to co-tenant guests.
         self._idle_owner: Dict[int, str] = {}
+        #: Lent machine wire -> its active leases, in grant order.
+        self._leases: Dict[int, List[Lease]] = {}
+        #: Lifetime count of leases granted (bench/introspection).
+        self.total_leases = 0
         self._seq = 0
         #: The admission wait queue, oldest entry first.
         self._queue: List[QueueEntry] = []
@@ -272,12 +341,17 @@ class MultiProgrammer:
 
     @property
     def lendable_wires(self) -> Tuple[int, ...]:
-        """Resident-owned idle wires currently offered to guests."""
+        """Offered wires with no active lease at all.
+
+        Under windowed lending this understates availability — a wire
+        that is already leased can still take any window-disjoint
+        lease; :meth:`lease_table` (plus :meth:`idle_offers`) is the
+        per-window truth.  Kept with its historical meaning as the
+        "completely free to lend" view.
+        """
         return tuple(
             sorted(
-                w
-                for w, owner in self._idle_owner.items()
-                if len(self._holders.get(w, ())) == 1
+                w for w in self._idle_owner if not self._leases.get(w)
             )
         )
 
@@ -288,15 +362,44 @@ class MultiProgrammer:
         return adm
 
     def occupancy_table(self) -> Dict[int, Tuple[str, ...]]:
-        """Machine wire -> sorted names of the residents holding it."""
+        """Machine wire -> sorted names of the residents holding it.
+
+        A wire multiplexed across several guests lists them all; the
+        per-window breakdown of *when* each guest holds it is
+        :meth:`lease_table`.
+        """
         return {
             wire: tuple(sorted(holders))
             for wire, holders in sorted(self._holders.items())
         }
 
     def idle_offers(self) -> Dict[int, str]:
-        """Machine wire -> resident offering it to co-tenant guests."""
+        """Machine wire -> resident offering it to co-tenant guests.
+
+        An offer stays live while the wire is leased: under windowed
+        lending the wire can still host any window-disjoint lease, so
+        availability is per gate-round window, not per wire.
+        """
         return dict(sorted(self._idle_owner.items()))
+
+    def lease_table(self) -> Dict[int, Tuple[Lease, ...]]:
+        """Machine wire -> its active leases, by window start.
+
+        The per-window availability report: the gaps between (and
+        around) a wire's lease windows are exactly the rounds a new
+        guest could still lease, provided the wire's owner offer is
+        live (:meth:`idle_offers`).
+        """
+        return {
+            wire: tuple(
+                sorted(
+                    leases,
+                    key=lambda lease: (lease.window.first, lease.guest),
+                )
+            )
+            for wire, leases in sorted(self._leases.items())
+            if leases
+        }
 
     def pending(self) -> Tuple[str, ...]:
         """Names of the queued (not yet admitted) jobs, oldest first."""
@@ -314,6 +417,8 @@ class MultiProgrammer:
         """
         data = self._queue_stats.as_dict()
         data["policy"] = self.queue_policy.name
+        data["lending"] = self.lending
+        data["leases_granted"] = self.total_leases
         data["pending"] = len(self._queue)
         data["residents"] = len(self._residents)
         data["clock"] = self._clock
@@ -328,6 +433,12 @@ class MultiProgrammer:
         ]
         for adm in self._residents.values():
             lines.append(f"  {adm.summary()}")
+        for wire, leases in self.lease_table().items():
+            spans = ", ".join(
+                f"{lease.guest}:a{lease.ancilla}@{lease.window}"
+                for lease in leases
+            )
+            lines.append(f"  m{wire} leased [{spans}]")
         for entry in self._queue:
             lines.append(
                 f"  {entry.name}: waiting since t={entry.enqueued_at}"
@@ -375,24 +486,36 @@ class MultiProgrammer:
             model=model,
         )
 
-        # Ancillas the internal pass could not place may borrow an idle
-        # wire a co-tenant lends out (safe ones only — an unverified
-        # ancilla never crosses a program boundary).
+        # Ancillas the internal pass could not place may lease a wire a
+        # co-tenant lends out (safe ones only — an unverified ancilla
+        # never crosses a program boundary).  Each lease covers just
+        # the ancilla's lending window on the machine timeline, so a
+        # wire that is already lent can serve this guest too as long as
+        # the windows are disjoint.
+        gate_offset = self._clock
         cross_hosts: Dict[int, int] = {}
+        leases: Dict[int, Lease] = {}
         for a in plan.unplaced:
             if not safety.get(a):
                 continue
-            lendable = self.lendable_wires
-            if not lendable:
-                break
-            cross_hosts[a] = lendable[0]
-            self._holders[lendable[0]].add(job.name)
+            window = plan.windows[a].shifted(gate_offset)
+            wire = self._lease_host(window)
+            if wire is None:
+                continue
+            lease = Lease(
+                guest=job.name, ancilla=a, wire=wire, window=window
+            )
+            cross_hosts[a] = wire
+            leases[a] = lease
+            self._leases.setdefault(wire, []).append(lease)
+            self._holders[wire].add(job.name)
 
         fresh_needed = plan.final_width - len(cross_hosts)
         try:
             fresh = self._take_free(job.name, fresh_needed, enforce_capacity)
         except CircuitError:
-            for wire in cross_hosts.values():  # roll back the borrows
+            self._retire_leases(leases.values())  # roll back the borrows
+            for wire in set(cross_hosts.values()):
                 self._holders[wire].discard(job.name)
             raise
 
@@ -416,6 +539,7 @@ class MultiProgrammer:
                 self._idle_owner[wire] = job.name
 
         self._seq += 1
+        self.total_leases += len(leases)
         admission = Admission(
             name=job.name,
             job=job,
@@ -425,6 +549,8 @@ class MultiProgrammer:
             safety=safety,
             seq=self._seq,
             strategy=strategy,
+            leases=leases,
+            gate_offset=gate_offset,
         )
         self._residents[job.name] = admission
         return admission
@@ -587,17 +713,20 @@ class MultiProgrammer:
     def release(self, name: str) -> Tuple[int, ...]:
         """Complete a resident job; returns the machine wires freed.
 
-        A wire lent to a still-resident guest stays occupied (the guest
-        now holds it alone) and is freed when the guest releases.
-        Releasing also ticks the logical clock, expires overdue queued
-        jobs, and runs a backfill pass admitting any queued job that
-        now fits under the scheduler's :class:`QueuePolicy`.
+        Only this guest's leases retire — a wire it shared with other
+        window-disjoint guests stays occupied by them (and by its
+        owner, if still resident) and is freed when the last of them
+        releases.  Releasing also ticks the logical clock, expires
+        overdue queued jobs, and runs a backfill pass admitting any
+        queued job that now fits under the scheduler's
+        :class:`QueuePolicy`.
         """
         admission = self._residents.pop(name, None)
         if admission is None:
             raise CircuitError(f"no resident job named {name!r}")
         self._clock += 1
         self._expire()
+        self._retire_leases(admission.leases.values())
         freed: List[int] = []
         for wire in set(admission.wires):
             holders = self._holders.get(wire)
@@ -608,14 +737,14 @@ class MultiProgrammer:
                 del self._holders[wire]
                 self._idle_owner.pop(wire, None)
                 freed.append(wire)
-        # Wires this job owned but could not free (guest still on them)
-        # are no longer lendable — the owner is gone.
+        # Wires this job owned but could not free (guests still hold
+        # leases) stop being offered — the owner is gone.
         for wire, owner in list(self._idle_owner.items()):
             if owner == name:
                 del self._idle_owner[wire]
-        # Wires this job borrowed return to the owner's lendable pool
-        # automatically: the owner's _idle_owner entry persists and the
-        # holder count just dropped back to one.
+        # Windows this job leased return to the owners' pools
+        # automatically: the owners' _idle_owner entries persist and
+        # the retired leases no longer block anyone.
         self._drain()
         return tuple(sorted(freed))
 
@@ -647,6 +776,7 @@ class MultiProgrammer:
             backend=self.backend,
             strategy=self.strategy,
             verifier=self.verifier,
+            lending=self.lending,
         )
         admissions = [
             replay.admit(job, enforce_capacity=False, lazy_verify=False)
@@ -689,6 +819,34 @@ class MultiProgrammer:
     # Internals
     # ------------------------------------------------------------------ #
 
+    def _lease_host(self, window: ActivityInterval) -> Optional[int]:
+        """Smallest offered wire that can host ``window``.
+
+        Windowed lending accepts any offered wire whose existing leases
+        are all disjoint from ``window``; whole-residency lending only
+        accepts a wire with no lease at all (the historical
+        one-guest-per-wire rule).
+        """
+        for wire in sorted(self._idle_owner):
+            leases = self._leases.get(wire, ())
+            if self.lending == "whole":
+                if leases:
+                    continue
+            elif any(lease.window.overlaps(window) for lease in leases):
+                continue
+            return wire
+        return None
+
+    def _retire_leases(self, leases) -> None:
+        """Remove ``leases`` from the per-wire tables."""
+        for lease in leases:
+            active = self._leases.get(lease.wire)
+            if active is None:
+                continue
+            active.remove(lease)
+            if not active:
+                del self._leases[lease.wire]
+
     def _engine(self, strategy: str):
         """Resolve a strategy name, sharing the scheduler's memoising
         verifier with the ``verified`` wrapper (its re-checks of
@@ -723,7 +881,12 @@ class MultiProgrammer:
         model = None
         if lazy_verify:
             model = build_model(job.circuit, requests)
-            lendable = bool(self.lendable_wires)
+            # Any live offer can potentially host a window under
+            # windowed lending; whole-residency needs a lease-free one.
+            if self.lending == "windowed":
+                lendable = bool(self._idle_owner)
+            else:
+                lendable = bool(self.lendable_wires)
             to_verify = tuple(
                 a
                 for a in model.ancillas

@@ -1,0 +1,135 @@
+"""One decorator registry for every pluggable subsystem.
+
+Verification backends, allocation strategies and queue policies all
+follow the same pattern: a base class, a class decorator that publishes
+implementations under a name, a sorted listing, and name-based lookup
+that fails with an actionable message naming the alternatives.  Each
+subsystem used to carry its own ~40-line copy of that machinery;
+:func:`make_registry` is the single implementation they now share.
+
+A subsystem instantiates one :class:`Registry` at module scope and
+re-exports bound methods under its historical names::
+
+    _REGISTRY = make_registry(CheckerBackend, "backend", error=SolverError)
+    register_backend = _REGISTRY.register
+    available_backends = _REGISTRY.available
+    backend_class = _REGISTRY.get
+
+so every pre-unification caller keeps working unchanged, and a new
+subsystem gets the whole contract — subclass enforcement, duplicate
+rejection, ``cls.name`` stamping, actionable unknown-name errors — in
+one line.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Type
+
+from repro.errors import CircuitError
+
+
+class Registry:
+    """A named family of registered subclasses of one base class.
+
+    Parameters
+    ----------
+    base_class:
+        Every registered class must subclass this (enforced at
+        registration, so a typo'd decorator fails at import time).
+    noun:
+        Human noun used in error messages (``"backend"``,
+        ``"allocation strategy"``, ``"queue policy"``).
+    error:
+        Exception class raised on misuse; defaults to
+        :class:`~repro.errors.CircuitError`.
+    plural:
+        Plural of ``noun`` for the unknown-name listing; defaults to
+        ``noun + "s"``.
+    """
+
+    def __init__(
+        self,
+        base_class: type,
+        noun: str,
+        error: Type[Exception] = CircuitError,
+        plural: Optional[str] = None,
+    ):
+        self.base_class = base_class
+        self.noun = noun
+        self.plural = plural if plural is not None else f"{noun}s"
+        self.error = error
+        self._classes: Dict[str, type] = {}
+
+    def register(self, name: str) -> Callable[[type], type]:
+        """Class decorator: publish a ``base_class`` subclass under
+        ``name`` (and stamp it with ``cls.name = name``)."""
+
+        def decorate(cls: type) -> type:
+            if not (isinstance(cls, type) and issubclass(cls, self.base_class)):
+                raise self.error(
+                    f"{self.noun} {name!r} must subclass "
+                    f"{self.base_class.__name__}, got {cls!r}"
+                )
+            existing = self._classes.get(name)
+            if existing is not None and existing is not cls:
+                raise self.error(
+                    f"{self.noun} name {name!r} already registered by "
+                    f"{existing.__name__}"
+                )
+            cls.name = name
+            self._classes[name] = cls
+            return cls
+
+        return decorate
+
+    def available(self) -> Tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._classes))
+
+    def get(self, name: str) -> type:
+        """Look up a registered class by name (``error`` if absent)."""
+        cls = self._classes.get(name)
+        if cls is None:
+            known = ", ".join(self.available()) or "(none)"
+            raise self.error(
+                f"unknown {self.noun} {name!r}; registered "
+                f"{self.plural}: {known}"
+            )
+        return cls
+
+    def make(self, name: str, *args, **options):
+        """Instantiate a registered class with ``args``/``options``."""
+        return self.get(name)(*args, **options)
+
+    # Mapping conveniences: a registry *is* a name -> class mapping,
+    # and tests lean on that to install/retire temporary entries.
+
+    def pop(self, name: str) -> type:
+        """Retire a registration and return its class (``KeyError`` if
+        absent) — the teardown half of a temporary ``register``."""
+        return self._classes.pop(name)
+
+    def __getitem__(self, name: str) -> type:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __iter__(self):
+        return iter(self.available())
+
+
+def make_registry(
+    base_class: type,
+    noun: str,
+    error: Type[Exception] = CircuitError,
+    plural: Optional[str] = None,
+) -> Registry:
+    """Create the decorator registry for one pluggable subsystem."""
+    return Registry(base_class, noun, error=error, plural=plural)
+
+
+__all__ = ["Registry", "make_registry"]

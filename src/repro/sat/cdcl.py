@@ -11,7 +11,7 @@ deletion.  It stands in for the native bit-blasting solvers the paper uses
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from repro.boolfn.cnf import Cnf
 from repro.errors import SolverCancelled, SolverError

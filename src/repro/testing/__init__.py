@@ -9,8 +9,11 @@ randomized, *reproducible* testing a first-class citizen:
 * :mod:`repro.testing.generators` — deterministic generators driven by
   an explicit seed: :func:`random_reversible_circuit` (classical
   circuits whose ancillas are constructively safe — or deliberately
-  spoiled), :func:`random_job`, and :func:`random_arrival_trace`
-  (seeded submit/release event sequences with timeouts);
+  spoiled), :func:`random_job`, :func:`random_arrival_trace` (seeded
+  submit/release event sequences with timeouts), and
+  :func:`random_lending_trace` (a lender/guest mix shaped for the
+  time-sliced lending regime, built from :func:`lender_job` and
+  :func:`windowed_guest_job`);
 * :mod:`repro.testing.invariants` —
   :class:`OccupancyInvariantChecker`, which re-derives the scheduler's
   global safety contract from first principles (no double-owned wire,
@@ -28,9 +31,12 @@ from one integer.
 
 from repro.testing.generators import (
     TraceEvent,
+    lender_job,
     random_arrival_trace,
     random_job,
+    random_lending_trace,
     random_reversible_circuit,
+    windowed_guest_job,
 )
 from repro.testing.harness import TraceLog, replay_trace
 from repro.testing.invariants import OccupancyInvariantChecker
@@ -39,8 +45,11 @@ __all__ = [
     "OccupancyInvariantChecker",
     "TraceEvent",
     "TraceLog",
+    "lender_job",
     "random_arrival_trace",
     "random_job",
+    "random_lending_trace",
     "random_reversible_circuit",
     "replay_trace",
+    "windowed_guest_job",
 ]

@@ -164,6 +164,115 @@ class TraceEvent:
     pick: int = 0
 
 
+def lender_job(
+    name: str, width: int = 5, touched: int = 3
+) -> QuantumJob:
+    """A job whose last ``width - touched`` wires are idle — they
+    become the scheduler's lendable offers.  No ancilla requests."""
+    if not 2 <= touched <= width:
+        raise CircuitError("need 2 <= touched <= width")
+    circuit = Circuit(width)
+    circuit.extend([cnot(i, i + 1) for i in range(touched - 1)])
+    return QuantumJob(name, circuit, [])
+
+
+def windowed_guest_job(
+    name: str,
+    prelude: int = 0,
+    span: int = 1,
+    num_ancillas: int = 1,
+) -> QuantumJob:
+    """A job whose ancillas can only be hosted by a cross-program lease.
+
+    Wire 0 is padded with ``prelude`` ``X`` gates, then each requested
+    ancilla gets its own ``(CX;CX) * span`` segment — restored for
+    every input (verified safe), with lending window exactly
+    ``[prelude + 2*span*k, prelude + 2*span*(k+1) - 1]`` for the k-th
+    ancilla.  Wire 0 participates in every segment, so no ancilla ever
+    has an internal candidate host: placement happens through the
+    multi-programmer's window-disjoint leases or not at all.
+    """
+    if prelude < 0 or span < 1 or num_ancillas < 1:
+        raise CircuitError("need prelude >= 0, span >= 1, ancillas >= 1")
+    circuit = Circuit(1 + num_ancillas)
+    circuit.extend([x(0)] * prelude)
+    for k in range(num_ancillas):
+        circuit.extend([cnot(0, 1 + k), cnot(0, 1 + k)] * span)
+    return QuantumJob(
+        name, circuit, [BorrowRequest(1 + k) for k in range(num_ancillas)]
+    )
+
+
+def random_lending_trace(
+    seed: SeedLike,
+    num_jobs: int = 50,
+    lender_every: int = 8,
+    lender_width: int = 5,
+    lender_touched: int = 3,
+    lender_guard: int = 3,
+    max_prelude: int = 10,
+    max_span: int = 3,
+    max_ancillas: int = 2,
+    min_timeout: int = 2,
+    max_timeout: int = 3,
+    release_probability: float = 0.3,
+    drain: bool = True,
+) -> List[TraceEvent]:
+    """A seeded trace shaped for the time-sliced lending regime.
+
+    Every ``lender_every``-th submission is a :func:`lender_job` (its
+    idle wires are the only offers in the system); the rest are
+    :func:`windowed_guest_job` arrivals with randomized window
+    positions/spans and tight logical-clock timeouts.  Release bursts
+    are suppressed for ``lender_guard`` submissions after each lender
+    so the offers survive long enough to be contended.  The result is
+    a workload where whole-residency lending runs out of lease-free
+    wires while windowed lending keeps multiplexing them — the regime
+    the ``lending`` benchmark section and its CI gate measure.
+    """
+    rng = _rng(seed)
+    events: List[TraceEvent] = []
+    cooldown = 0
+    for index in range(num_jobs):
+        if index % lender_every == 0:
+            events.append(
+                TraceEvent(
+                    "submit",
+                    job=lender_job(
+                        f"L{index}", lender_width, lender_touched
+                    ),
+                )
+            )
+            cooldown = lender_guard
+        else:
+            job = windowed_guest_job(
+                f"g{index}",
+                prelude=rng.randint(0, max_prelude),
+                span=rng.randint(1, max_span),
+                num_ancillas=rng.randint(1, max_ancillas),
+            )
+            events.append(
+                TraceEvent(
+                    "submit",
+                    job=job,
+                    timeout=rng.randint(min_timeout, max_timeout),
+                )
+            )
+        if cooldown > 0:
+            cooldown -= 1
+            continue
+        while rng.random() < release_probability:
+            events.append(
+                TraceEvent("release", pick=rng.randrange(1 << 16))
+            )
+    if drain:
+        for _ in range(2 * num_jobs):
+            events.append(
+                TraceEvent("release", pick=rng.randrange(1 << 16))
+            )
+    return events
+
+
 def random_arrival_trace(
     seed: SeedLike,
     num_jobs: int = 10,
@@ -212,7 +321,10 @@ def random_arrival_trace(
 
 __all__ = [
     "TraceEvent",
+    "lender_job",
     "random_arrival_trace",
     "random_job",
+    "random_lending_trace",
     "random_reversible_circuit",
+    "windowed_guest_job",
 ]

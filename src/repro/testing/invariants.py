@@ -17,8 +17,14 @@ the first inconsistency:
    internal pass left unplaced, and the guest really holds the lent
    wire; every idle-wire offer comes from a live resident that holds
    the offered wire;
-4. the wait queue never overlaps the residents and has no duplicates;
-5. every resident's internal borrow placement still satisfies
+4. every lease belongs to a live resident that holds the leased wire,
+   its window is exactly the ancilla's lending window from a freshly
+   rebuilt interval model shifted by the admission's gate offset, the
+   admission's ``cross_hosts`` and ``leases`` agree, and **no two
+   leases on one wire overlap** (under whole-residency lending, no
+   wire carries more than one lease at all);
+5. the wait queue never overlaps the residents and has no duplicates;
+6. every resident's internal borrow placement still satisfies
    :func:`repro.alloc.model.validate_placement` against a freshly
    rebuilt interval model, and no unverified ancilla was ever placed.
 
@@ -29,7 +35,7 @@ bookkeeping bug cannot hide itself.
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Dict, Set
 
 from repro.alloc import Placement, build_model, validate_placement
 from repro.errors import CircuitError, InvariantViolation
@@ -136,7 +142,82 @@ class OccupancyInvariantChecker:
                     f"wire {wire}"
                 )
 
-        # 4. Queue consistency.
+        # 4. Leases: recorded consistently, windows re-derived from
+        # first principles, and pairwise disjoint per wire.  Models are
+        # built lazily — only leaseholders need one here, and check 6
+        # (the other consumer) may be switched off.
+        models: Dict[str, object] = {}
+
+        def model_of(adm):
+            if adm.name not in models:
+                models[adm.name] = build_model(
+                    adm.job.circuit, adm.job.request_wires
+                )
+            return models[adm.name]
+
+        by_admission = {adm.name: adm for adm in admissions}
+        lease_table = mp.lease_table()
+        for wire, leases in lease_table.items():
+            for lease in leases:
+                adm = by_admission.get(lease.guest)
+                if adm is None:
+                    self._fail(
+                        f"lease {lease} held by non-resident "
+                        f"{lease.guest!r} (dangling lease)"
+                    )
+                if lease.wire != wire:
+                    self._fail(
+                        f"lease {lease} filed under wire {wire}"
+                    )
+                if lease.guest not in table.get(wire, ()):
+                    self._fail(
+                        f"leaseholder {lease.guest!r} does not hold "
+                        f"wire {wire}"
+                    )
+                if adm.cross_hosts.get(lease.ancilla) != wire:
+                    self._fail(
+                        f"lease {lease} disagrees with cross_hosts "
+                        f"{adm.cross_hosts}"
+                    )
+                expected = model_of(adm).windows[
+                    lease.ancilla
+                ].shifted(adm.gate_offset)
+                if (expected.first, expected.last) != (
+                    lease.window.first,
+                    lease.window.last,
+                ):
+                    self._fail(
+                        f"lease {lease} window differs from the "
+                        f"re-derived lending window {expected} "
+                        f"(offset {adm.gate_offset})"
+                    )
+            if mp.lending == "whole" and len(leases) > 1:
+                self._fail(
+                    f"wire {wire} carries {len(leases)} leases under "
+                    f"whole-residency lending"
+                )
+            for i, first in enumerate(leases):
+                for second in leases[i + 1 :]:
+                    if first.overlaps(second):
+                        self._fail(
+                            f"overlapping leases on wire {wire}: "
+                            f"{first} vs {second} (double-lend in "
+                            f"time)"
+                        )
+        for adm in admissions:
+            if set(adm.cross_hosts) != set(adm.leases):
+                self._fail(
+                    f"{adm.name!r} cross_hosts/leases keys disagree: "
+                    f"{sorted(adm.cross_hosts)} vs "
+                    f"{sorted(adm.leases)}"
+                )
+            for lease in adm.leases.values():
+                if lease not in lease_table.get(lease.wire, ()):
+                    self._fail(
+                        f"lease {lease} missing from the lease table"
+                    )
+
+        # 5. Queue consistency.
         pending = mp.pending()
         if len(set(pending)) != len(pending):
             self._fail(f"duplicate names in the queue: {pending}")
@@ -146,12 +227,10 @@ class OccupancyInvariantChecker:
                 f"jobs {sorted(overlap)} are both queued and resident"
             )
 
-        # 5. Placement soundness of every resident.
+        # 6. Placement soundness of every resident.
         if self.check_placements:
             for adm in admissions:
-                model = build_model(
-                    adm.job.circuit, adm.job.request_wires
-                )
+                model = model_of(adm)
                 placement = Placement(
                     assignment=dict(adm.plan.assignment),
                     unplaced=list(adm.plan.unplaced),

@@ -1,4 +1,4 @@
-"""Decorator-based backend registry.
+"""The backend registry — one line over :mod:`repro.registry`.
 
 Backends self-register at import time::
 
@@ -12,60 +12,36 @@ and are instantiated by name::
 
 :func:`available_backends` lists every registered name; an unknown name
 raises :class:`~repro.errors.SolverError` naming the alternatives, so
-typos fail with an actionable message.
+typos fail with an actionable message.  The decorator machinery itself
+is the shared :class:`repro.registry.Registry` — the allocation
+strategies and queue policies ride the same implementation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple, Type
-
 from repro.errors import SolverError
+from repro.registry import make_registry
 from repro.verify.backends.base import CheckerBackend
 from repro.verify.tracking import TrackedFormulas
 
-_REGISTRY: Dict[str, Type[CheckerBackend]] = {}
+_REGISTRY = make_registry(CheckerBackend, "backend", error=SolverError)
 
-
-def register_backend(
-    name: str,
-) -> Callable[[Type[CheckerBackend]], Type[CheckerBackend]]:
-    """Class decorator: publish a :class:`CheckerBackend` under ``name``."""
-
-    def decorate(cls: Type[CheckerBackend]) -> Type[CheckerBackend]:
-        if not (isinstance(cls, type) and issubclass(cls, CheckerBackend)):
-            raise SolverError(
-                f"backend {name!r} must subclass CheckerBackend, "
-                f"got {cls!r}"
-            )
-        existing = _REGISTRY.get(name)
-        if existing is not None and existing is not cls:
-            raise SolverError(
-                f"backend name {name!r} already registered by "
-                f"{existing.__name__}"
-            )
-        cls.name = name
-        _REGISTRY[name] = cls
-        return cls
-
-    return decorate
-
-
-def available_backends() -> Tuple[str, ...]:
-    """All registered backend names, sorted."""
-    return tuple(sorted(_REGISTRY))
-
-
-def backend_class(name: str) -> Type[CheckerBackend]:
-    """Look up a backend class by name (:class:`SolverError` if absent)."""
-    cls = _REGISTRY.get(name)
-    if cls is None:
-        known = ", ".join(available_backends()) or "(none)"
-        raise SolverError(
-            f"unknown backend {name!r}; registered backends: {known}"
-        )
-    return cls
+#: Class decorator: publish a :class:`CheckerBackend` under a name.
+register_backend = _REGISTRY.register
+#: All registered backend names, sorted.
+available_backends = _REGISTRY.available
+#: Look up a backend class by name (:class:`SolverError` if absent).
+backend_class = _REGISTRY.get
 
 
 def make_checker(tracked: TrackedFormulas, backend: str = "cdcl") -> CheckerBackend:
     """Instantiate a registered backend over one tracked circuit."""
-    return backend_class(backend)(tracked)
+    return _REGISTRY.make(backend, tracked)
+
+
+__all__ = [
+    "available_backends",
+    "backend_class",
+    "make_checker",
+    "register_backend",
+]

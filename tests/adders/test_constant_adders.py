@@ -1,7 +1,6 @@
 """Functional tests for all four constant-adder constructions (the
 Figure 1.1 columns) plus their ancilla contracts."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

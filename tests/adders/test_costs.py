@@ -3,7 +3,7 @@
 import pytest
 
 from repro.adders import adder_cost_rows
-from repro.adders.costs import ADDER_BUILDERS, fit_growth
+from repro.adders.costs import fit_growth
 
 
 class TestCostRows:

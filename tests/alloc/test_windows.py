@@ -1,0 +1,79 @@
+"""Lending-window structure of the interval model and the
+window-disjointness contract of ``validate_placement``."""
+
+import pytest
+
+from repro.alloc import (
+    Placement,
+    allocate,
+    build_model,
+    validate_placement,
+)
+from repro.circuits import Circuit, cnot
+from repro.errors import CircuitError
+
+
+def staircase_circuit():
+    """Wire 4 is busy throughout; ancillas 1 and 2 have disjoint
+    windows [0,1] and [2,3], and wires 0/3 stay idle (hosts)."""
+    c = Circuit(5)
+    c.extend([cnot(4, 1), cnot(4, 1)])  # ancilla 1: window [0, 1]
+    c.extend([cnot(4, 2), cnot(4, 2)])  # ancilla 2: window [2, 3]
+    return c
+
+
+class TestModelWindows:
+    def test_windows_equal_activity_periods(self):
+        model = build_model(staircase_circuit(), [1, 2])
+        assert set(model.windows) == {1, 2}
+        for a in model.ancillas:
+            assert model.windows[a] == model.periods[a]
+        assert (model.windows[1].first, model.windows[1].last) == (0, 1)
+        assert (model.windows[2].first, model.windows[2].last) == (2, 3)
+
+    def test_conflicts_are_window_overlaps(self):
+        model = build_model(staircase_circuit(), [1, 2])
+        assert model.conflicts[1] == frozenset()
+        assert model.conflicts[2] == frozenset()
+
+    def test_restrict_keeps_windows(self):
+        model = build_model(staircase_circuit(), [1, 2])
+        sub = model.restrict([2])
+        assert set(sub.windows) == {2}
+        assert sub.windows[2] == model.windows[2]
+
+    def test_shifted_window(self):
+        model = build_model(staircase_circuit(), [1])
+        shifted = model.windows[1].shifted(7)
+        assert (shifted.first, shifted.last) == (7, 8)
+        assert model.windows[1].overlaps(shifted) is False
+
+
+class TestWindowDisjointness:
+    def test_disjoint_windows_may_share_a_host(self):
+        model = build_model(staircase_circuit(), [1, 2])
+        placement = Placement(assignment={1: 0, 2: 0})
+        validate_placement(model, placement)  # must not raise
+
+    def test_overlapping_windows_on_one_host_rejected(self):
+        # Ancillas 1 and 2 both active over [0, 3]: same window.
+        c = Circuit(4).extend(
+            [cnot(3, 1), cnot(3, 2), cnot(3, 2), cnot(3, 1)]
+        )
+        model = build_model(c, [1, 2])
+        placement = Placement(assignment={1: 0, 2: 0})
+        with pytest.raises(CircuitError, match="share host"):
+            validate_placement(model, placement)
+
+    def test_allocate_packs_disjoint_windows_onto_one_host(self):
+        plan = allocate(staircase_circuit(), [1, 2], strategy="greedy")
+        assert plan.assignment == {1: 0, 2: 0}
+        assert plan.final_width == 3
+        assert set(plan.windows) == {1, 2}
+
+    def test_plan_carries_windows_for_unplaced_ancillas(self):
+        # No idle host at all: both wires busy during the window.
+        c = Circuit(2).extend([cnot(0, 1), cnot(0, 1)])
+        plan = allocate(c, [1], strategy="greedy")
+        assert plan.unplaced == [1]
+        assert (plan.windows[1].first, plan.windows[1].last) == (0, 1)

@@ -1,6 +1,5 @@
 """Tests for classical permutation simulation."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 

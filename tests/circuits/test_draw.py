@@ -1,6 +1,6 @@
 """Tests for ASCII circuit rendering."""
 
-from repro.circuits import Circuit, cnot, draw_circuit, hadamard, toffoli, x
+from repro.circuits import Circuit, cnot, draw_circuit, hadamard, x
 from tests.conftest import fig13_circuit
 
 

@@ -6,7 +6,6 @@ from repro.circuits import (
     activity_intervals,
     cnot,
     idle_qubits_during,
-    toffoli,
     x,
 )
 

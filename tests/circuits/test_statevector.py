@@ -4,7 +4,6 @@ dense unitary and classical simulators."""
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.circuits import (
     Circuit,

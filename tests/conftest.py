@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import strategies as st
 
-from repro.circuits import Circuit, cnot, mcx, toffoli, x
+from repro.circuits import Circuit, cnot, mcx, toffoli
 
 
 @pytest.fixture

@@ -1,7 +1,6 @@
 """Cross-subsystem integration: QASM interchange, drawing, the builder
 DSL, and program-level verification on the paper's running examples."""
 
-import numpy as np
 
 from repro.adders import haner_carry_benchmark
 from repro.circuits import draw_circuit, from_qasm, to_qasm

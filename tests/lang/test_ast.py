@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import SemanticsError
 from repro.lang import (
-    Borrow,
     Seq,
     Skip,
     basis_measurement_on,

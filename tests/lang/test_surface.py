@@ -10,7 +10,6 @@ from repro.lang.surface.parser import (
     ForStmt,
     GateStmt,
     LetStmt,
-    Num,
 )
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.circuits import Circuit, truth_table
-from repro.circuits.metrics import toffoli_count
 from repro.errors import CircuitError
 from repro.mcx import cccnot_with_dirty_ancilla, mcx_clean_ladder, mcx_dirty_chain
 from repro.verify import verify_circuit

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.circuits import truth_table
-from repro.circuits.metrics import depth, toffoli_count
+from repro.circuits.metrics import toffoli_count
 from repro.errors import CircuitError
 from repro.mcx import gidney_mcx
 from repro.verify import verify_circuit

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.channels import QuantumOperation
-from repro.circuits import Circuit, circuit_unitary, cnot, toffoli, x as x_gate
+from repro.circuits import Circuit, circuit_unitary, cnot
 from repro.errors import SemanticsError
 from repro.lang import (
     basis_measurement_on,

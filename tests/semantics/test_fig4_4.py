@@ -5,13 +5,12 @@ borrows can only take q3, so the semantics collapses to the single
 unitary implemented by the Figure 3.1 circuit.
 """
 
-import numpy as np
 
 from repro.channels import QuantumOperation
 from repro.circuits import circuit_unitary
 from repro.lang import borrow, idle, seq, substitute, unitary
 from repro.semantics import Interpretation
-from repro.verify import program_is_safe, program_safely_uncomputes
+from repro.verify import program_is_safe
 from tests.conftest import fig31_circuit, fig44_verbatim_second_routine
 
 UNIVERSE = ["q1", "q2", "q3", "q4", "q5"]

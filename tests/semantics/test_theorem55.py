@@ -5,7 +5,6 @@ import random
 
 from repro.lang import borrow, init, seq, skip, unitary
 from repro.lang.ast import If, basis_measurement_on
-from repro.semantics import Interpretation
 from repro.verify import program_is_safe
 from repro.verify.channel import semantics_is_deterministic
 

@@ -1,0 +1,271 @@
+"""The bench-regression gate must catch real regressions and stay
+quiet on noise.  Synthetic records keep the tests hermetic; the last
+class drives the CLI end to end, including the acceptance case of an
+artificially inflated baseline."""
+
+import json
+from pathlib import Path
+
+from benchmarks.check_bench import (
+    WALL_FLOOR,
+    compare_alloc,
+    compare_verify,
+    main,
+    markdown_summary,
+)
+
+
+def verify_record(backend_wall=1.0, batch_wall=1.0, agree=True, safe=True):
+    return {
+        "backends": [
+            {
+                "backend": "bdd",
+                "wall_seconds": backend_wall,
+                "all_safe": safe,
+            },
+            {"backend": "dpll", "error": "capped"},
+        ],
+        "sequential_vs_batch": [
+            {
+                "backend": "bdd",
+                "batch_wall_seconds": batch_wall,
+                "verdicts_agree": agree,
+            }
+        ],
+    }
+
+
+def alloc_record(
+    width=8,
+    placed=3,
+    admitted=40,
+    windowed_admitted=44,
+    wall=1.0,
+    lazy_runs=0,
+):
+    return {
+        "workloads": {
+            "fig31": [
+                {
+                    "strategy": "greedy",
+                    "final_width": width,
+                    "placed": placed,
+                    "wall_seconds": wall,
+                }
+            ]
+        },
+        "lazy_vs_eager_verification": {
+            "lazy_solver_runs": lazy_runs,
+            "lazy_wall_seconds": wall,
+        },
+        "online": [{"strategy": "greedy", "wall_seconds": wall}],
+        "queueing": {
+            "rows": [
+                {
+                    "policy": "fifo",
+                    "admitted": admitted,
+                    "wall_seconds": wall,
+                }
+            ]
+        },
+        "lending": {
+            "rows": [
+                {
+                    "policy": "fifo",
+                    "lending": "whole",
+                    "admitted": admitted,
+                    "wall_seconds": wall,
+                },
+                {
+                    "policy": "fifo",
+                    "lending": "windowed",
+                    "admitted": windowed_admitted,
+                    "wall_seconds": wall,
+                },
+            ]
+        },
+    }
+
+
+def regressed(comp):
+    return [finding.metric for finding in comp.regressions]
+
+
+class TestCompareVerify:
+    def test_identical_records_pass(self):
+        comp = compare_verify(verify_record(), verify_record())
+        assert comp.findings and not comp.regressions
+
+    def test_wall_regression_over_tolerance_fails(self):
+        comp = compare_verify(
+            verify_record(), verify_record(backend_wall=1.3)
+        )
+        assert "verify.backends[bdd].wall_seconds" in regressed(comp)
+
+    def test_wall_growth_within_tolerance_passes(self):
+        comp = compare_verify(
+            verify_record(), verify_record(backend_wall=1.2)
+        )
+        assert not comp.regressions
+
+    def test_subfloor_baseline_is_noise_not_signal(self):
+        base = verify_record(backend_wall=WALL_FLOOR / 2)
+        fresh = verify_record(backend_wall=WALL_FLOOR * 10)
+        comp = compare_verify(base, fresh)
+        assert not comp.regressions
+
+    def test_vanished_backend_fails(self):
+        fresh = verify_record()
+        fresh["backends"] = []
+        comp = compare_verify(verify_record(), fresh)
+        assert "verify.backends[bdd]" in regressed(comp)
+
+    def test_safe_workload_turning_unsafe_fails(self):
+        comp = compare_verify(verify_record(), verify_record(safe=False))
+        assert "verify.backends[bdd].all_safe" in regressed(comp)
+
+    def test_verdict_disagreement_fails(self):
+        comp = compare_verify(verify_record(), verify_record(agree=False))
+        assert "verify.sequential_vs_batch[bdd].verdicts_agree" in (
+            regressed(comp)
+        )
+
+    def test_errored_baseline_row_is_skipped(self):
+        comp = compare_verify(verify_record(), verify_record())
+        assert not any("dpll" in m for m in regressed(comp))
+
+
+class TestCompareAlloc:
+    def test_identical_records_pass(self):
+        comp = compare_alloc(alloc_record(), alloc_record())
+        assert comp.findings and not comp.regressions
+
+    def test_width_increase_fails(self):
+        comp = compare_alloc(alloc_record(), alloc_record(width=9))
+        assert "alloc.fig31[greedy].final_width" in regressed(comp)
+
+    def test_width_decrease_passes(self):
+        comp = compare_alloc(alloc_record(), alloc_record(width=7))
+        assert not comp.regressions
+
+    def test_admitted_drop_fails(self):
+        comp = compare_alloc(alloc_record(), alloc_record(admitted=39))
+        metrics = regressed(comp)
+        assert "alloc.queueing[fifo].admitted" in metrics
+        assert "alloc.lending[fifo,whole].admitted" in metrics
+
+    def test_inflated_baseline_admitted_fails_the_gate(self):
+        """The acceptance probe: bump a baseline number the fresh run
+        cannot reach and the gate must fail."""
+        comp = compare_alloc(alloc_record(admitted=99), alloc_record())
+        assert "alloc.queueing[fifo].admitted" in regressed(comp)
+
+    def test_windowed_below_whole_fails_within_fresh(self):
+        fresh = alloc_record(admitted=40, windowed_admitted=39)
+        comp = compare_alloc(alloc_record(), fresh)
+        assert "alloc.lending[fifo].windowed_vs_whole" in regressed(comp)
+
+    def test_lazy_solver_run_growth_fails(self):
+        comp = compare_alloc(alloc_record(), alloc_record(lazy_runs=3))
+        assert "alloc.lazy_vs_eager.lazy_solver_runs" in regressed(comp)
+
+    def test_missing_lending_section_in_baseline_is_fine(self):
+        """New sections may appear in fresh records before the baseline
+        is regenerated — that must not fail the gate."""
+        base = alloc_record()
+        del base["lending"]
+        comp = compare_alloc(base, alloc_record())
+        assert not comp.regressions
+
+
+class TestCli:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def run_gate(self, tmp_path, base_alloc, fresh_alloc, monkeypatch):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        code = main(
+            [
+                "--verify-baseline",
+                self.write(tmp_path, "vb.json", verify_record()),
+                "--verify-fresh",
+                self.write(tmp_path, "vf.json", verify_record()),
+                "--alloc-baseline",
+                self.write(tmp_path, "ab.json", base_alloc),
+                "--alloc-fresh",
+                self.write(tmp_path, "af.json", fresh_alloc),
+            ]
+        )
+        return code, summary.read_text()
+
+    def test_clean_run_exits_zero_and_writes_summary(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        code, summary = self.run_gate(
+            tmp_path, alloc_record(), alloc_record(), monkeypatch
+        )
+        assert code == 0
+        assert "Bench-regression gate" in summary
+        assert "REGRESSION" not in summary
+        assert "no bench regressions" in capsys.readouterr().out
+
+    def test_inflated_baseline_exits_nonzero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        code, summary = self.run_gate(
+            tmp_path,
+            alloc_record(admitted=99, windowed_admitted=99),
+            alloc_record(),
+            monkeypatch,
+        )
+        assert code == 1
+        assert "REGRESSION" in summary
+        assert "admitted" in capsys.readouterr().err
+
+    def test_summary_lists_every_metric(self, tmp_path, monkeypatch):
+        _, summary = self.run_gate(
+            tmp_path, alloc_record(), alloc_record(), monkeypatch
+        )
+        assert "alloc.lending[fifo].windowed_vs_whole" in summary
+        assert "verify.backends[bdd].wall_seconds" in summary
+
+
+class TestMarkdown:
+    def test_counts_checks_and_regressions(self):
+        comp = compare_alloc(alloc_record(), alloc_record(width=9))
+        text = markdown_summary({"BENCH_alloc": comp})
+        assert "1 regression(s)" in text
+        assert "❌ REGRESSION" in text
+
+    def test_real_committed_baselines_pass_against_themselves(self):
+        """The committed records must be self-consistent under the
+        gate (fresh == baseline is the identity run CI starts from)."""
+        repo = Path(__file__).resolve().parent.parent
+        verify = json.loads((repo / "BENCH_verify.json").read_text())
+        alloc = json.loads((repo / "BENCH_alloc.json").read_text())
+        assert not compare_verify(verify, verify).regressions
+        assert not compare_alloc(alloc, alloc).regressions
+
+    def test_committed_lending_rows_show_windowed_win(self):
+        """Acceptance: on the seeded 50-job lending trace, windowed
+        lending admits strictly more than whole-residency under at
+        least one policy (gate-guarded via the committed baseline)."""
+        repo = Path(__file__).resolve().parent.parent
+        payload = json.loads((repo / "BENCH_alloc.json").read_text())
+        rows = payload["lending"]["rows"]
+        by_key = {
+            (row["policy"], row["lending"]): row["admitted"]
+            for row in rows
+        }
+        policies = {policy for policy, _ in by_key}
+        assert any(
+            by_key[(p, "windowed")] > by_key[(p, "whole")]
+            for p in policies
+        )
+        assert all(
+            by_key[(p, "windowed")] >= by_key[(p, "whole")]
+            for p in policies
+        )

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.boolfn import ExprBuilder
 from repro.circuits import Circuit, cnot, toffoli, x
 from repro.errors import SolverError, VerificationError
 from repro.verify import (

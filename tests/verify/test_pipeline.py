@@ -3,7 +3,7 @@ replay."""
 
 import pytest
 
-from repro.circuits import Circuit, cnot, toffoli, x
+from repro.circuits import Circuit, cnot, x
 from repro.errors import VerificationError
 from repro.verify import verify_circuit
 from repro.verify.pipeline import Counterexample, _replay
