@@ -16,8 +16,12 @@ The gate fails (exit 1) on:
   deterministic counts, so no tolerance applies;
 * a **vanished row** — a backend/strategy/policy present in the
   baseline but missing from the fresh record (silent coverage loss);
-* the **lending invariant** — within the fresh record itself, windowed
-  lending admitting fewer jobs than whole-residency under any policy.
+* the **lending invariants** — within the fresh record itself:
+  windowed lending admitting fewer jobs than whole-residency, or
+  segmented lending fewer than windowed, under any policy; and
+  segmented lending failing to admit *strictly more* than windowed
+  under at least one policy (the restore-point analysis must keep
+  paying for itself on the pinned trace).
 
 A markdown summary of every comparison goes to stdout and, when the
 ``GITHUB_STEP_SUMMARY`` environment variable is set, to that file as
@@ -267,20 +271,40 @@ def compare_alloc(baseline: dict, fresh: dict) -> Comparator:
             base_row.get("wall_seconds"),
             fresh_row.get("wall_seconds"),
         )
-    # The windowed-vs-whole invariant inside the fresh record itself:
-    # time-sliced lending must never admit fewer jobs than the
-    # whole-residency baseline it generalises.
+    # The lending-lattice invariants inside the fresh record itself:
+    # each refinement must never admit fewer jobs than the mode it
+    # generalises (windowed >= whole, segmented >= windowed), and
+    # segmented lending must beat windowed outright under at least one
+    # policy — otherwise the restore-point analysis stopped paying for
+    # itself on the pinned trace.
+    strict_pairs = []
     for (policy, lending), fresh_row in sorted(fresh_lending.items()):
-        if lending != "windowed":
+        coarser = {"windowed": "whole", "segmented": "windowed"}.get(lending)
+        if coarser is None:
             continue
-        whole = fresh_lending.get((policy, "whole"))
-        if whole is None:
+        base_row = fresh_lending.get((policy, coarser))
+        if base_row is None:
             continue
         comp.at_least(
-            f"alloc.lending[{policy}].windowed_vs_whole",
-            whole.get("admitted"),
+            f"alloc.lending[{policy}].{lending}_vs_{coarser}",
+            base_row.get("admitted"),
             fresh_row.get("admitted"),
-            "windowed lending must admit >= whole-residency",
+            f"{lending} lending must admit >= {coarser}",
+        )
+        if lending == "segmented":
+            strict_pairs.append(
+                (policy, base_row.get("admitted"), fresh_row.get("admitted"))
+            )
+    if strict_pairs:
+        wins = [p for p, base, seg in strict_pairs if seg > base]
+        comp.findings.append(
+            Finding(
+                "alloc.lending.segmented_strictly_beats_windowed",
+                "some policy",
+                ", ".join(wins) or "none",
+                bool(wins),
+                "segmented must out-admit windowed under >= 1 policy",
+            )
         )
     return comp
 

@@ -16,9 +16,10 @@ can track the trajectory:
   allocation strategy on the Figure 3.1 example and the 13-dirty-qubit
   adder, the lazy vs. eager verification comparison, a ≥8-job online
   multi-programming workload per strategy, the seeded 50-job queueing
-  trace per queue policy, and the seeded 50-job *lending* trace per
-  (policy, lending-mode) pair — windowed vs. whole-residency admitted
-  counts, the number the bench-regression gate guards.
+  trace per queue policy (fifo / backfill / sjf / priority), and the
+  seeded 50-job *lending* trace per (policy, lending-mode) pair —
+  whole vs. windowed vs. segmented admitted counts, the numbers the
+  bench-regression gate guards.
 
 The *sequential loop* baseline is the pre-batch caller pattern (one
 :func:`verify_circuit` call per dirty qubit, re-tracking and re-encoding
@@ -464,17 +465,22 @@ def _queueing_workload(policy: str) -> dict:
 
 #: The lending record's fixed workload: the seed-1 50-job lending
 #: trace (repro.testing.random_lending_trace: every 8th arrival is a
-#: 5-wire lender offering 2 idle wires, the rest are guests whose 1-2
-#: safe ancillas can only be hosted by a cross-program lease) against
-#: an 11-qubit machine.  Offers are scarce by construction, so
-#: whole-residency lending runs out of lease-free wires while windowed
-#: lending keeps multiplexing them — replayed under every registered
-#: queue policy and both lending modes so the admitted counts are
-#: directly comparable (and CI-gated: windowed must never admit fewer
-#: than whole).
+#: 5-wire lender offering 2 idle wires, the rest are guests whose safe
+#: ancillas can only be hosted by a cross-program lease — 70% of them
+#: segmented guests whose two identity blocks straddle a long restore
+#: gap) against an 11-qubit machine.  Offers are scarce by
+#: construction, so whole-residency lending runs out of lease-free
+#: wires, windowed lending multiplexes them, and segmented lending
+#: additionally threads guests through the restore gaps — replayed
+#: under every registered queue policy and all three lending modes so
+#: the admitted counts are directly comparable (and CI-gated:
+#: windowed must never admit fewer than whole, segmented never fewer
+#: than windowed, and segmented must beat windowed outright under at
+#: least one policy).
 LENDING_TRACE_SEED = 1
 LENDING_TRACE_JOBS = 50
 LENDING_MACHINE = 11
+LENDING_MODES = ("whole", "windowed", "segmented")
 
 
 def _lending_workload(policy: str, lending: str) -> dict:
@@ -553,7 +559,7 @@ def bench_alloc(path: str) -> None:
             "rows": [
                 _lending_workload(policy, lending)
                 for policy in available_policies()
-                for lending in ("whole", "windowed")
+                for lending in LENDING_MODES
             ],
         },
     }

@@ -20,10 +20,10 @@ Run:  python examples/multiprogramming.py
 """
 
 from repro.adders import haner_ripple_constant_adder
-from repro.circuits import Circuit, cnot, x
+from repro.circuits import Circuit, cnot, restore_segments, x
 from repro.mcx import cccnot_with_dirty_ancilla
 from repro.multiprog import BorrowRequest, MultiProgrammer, QuantumJob
-from repro.testing import lender_job, windowed_guest_job
+from repro.testing import lender_job, segmented_guest_job, windowed_guest_job
 
 
 def grover_oracle_job(name="grover-oracle") -> QuantumJob:
@@ -158,6 +158,34 @@ def main() -> None:
         f"these guests; windowed lending used "
         f"{len(window_machine.lease_table())}"
     )
+
+    print("\n=== segmented lending: restore gaps become capacity ===")
+    print("a guest whose ancilla runs two identity blocks around a")
+    print("long idle gap — the restore-point analysis proves the wire")
+    print("can be handed back in between")
+    gappy = segmented_guest_job("gappy", prelude=0, span=1, gap=6)
+    print(
+        f"      restore segments of gappy's ancilla: "
+        f"{restore_segments(gappy.circuit, 1)}"
+    )
+    seg_machine = MultiProgrammer(9, lending="segmented")
+    seg_machine.admit(lender_job("lender"))
+    gap_adm = seg_machine.admit(gappy)
+    print(
+        f"      lease covers only the segments: "
+        f"{[str(lease) for lease in gap_adm.leases.values()]}"
+    )
+
+    print("\n[t=1] a guest whose window [3,4] sits inside gappy's gap")
+    print("      lands on the SAME wire — under plain windowed lending")
+    print("      the whole hull [0,9] would have blocked it")
+    mid = seg_machine.admit(windowed_guest_job("mid", prelude=3))
+    print(f"      leases: {[str(lease) for lease in mid.leases.values()]}")
+    for wire, leases in seg_machine.lease_table().items():
+        spans = ", ".join(
+            f"{lease.guest}@{lease.window}" for lease in leases
+        )
+        print(f"        m{wire}: {spans}")
 
     print("\n=== lazy verification: only placeable ancillas pay ===")
     print(

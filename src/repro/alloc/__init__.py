@@ -4,8 +4,11 @@ The width-reduction pass is split into layers mirroring
 :mod:`repro.verify`:
 
 * :mod:`repro.alloc.model` — the interval-conflict model
-  (:func:`build_model`): ancilla periods, per-ancilla candidate hosts
-  and the overlap graph, extracted from the circuit once;
+  (:func:`build_model`): ancilla periods, per-ancilla lending
+  :class:`~repro.circuits.intervals.WindowSet`\\ s (whole-period by
+  default; split at restore points with ``segmented=True``, so a host
+  busy only inside a restore gap still qualifies), candidate hosts and
+  the window-overlap conflict graph, extracted from the circuit once;
 * :mod:`repro.alloc.base` / :mod:`repro.alloc.registry` — the
   :class:`AllocationStrategy` interface and the ``@register_strategy``
   decorator registry;

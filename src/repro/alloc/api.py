@@ -34,6 +34,8 @@ def allocate(
     safety_check: Optional[SafetyCheck] = None,
     on_unsafe: str = "error",
     model: Optional[ConflictModel] = None,
+    segmented: bool = False,
+    segment_check=None,
     **strategy_options,
 ) -> BorrowPlan:
     """Eliminate dirty-ancilla wires by borrowing idle qubits.
@@ -61,11 +63,19 @@ def allocate(
         ``(circuit, ancillas)`` — callers that needed the model for
         their own analysis (the online scheduler's lazy-verification
         gate) pass it back to skip the rebuild.
+    segmented / segment_check:
+        Forwarded to :func:`~repro.alloc.model.build_model` when no
+        ``model`` is supplied: refine each ancilla's lending window
+        into its restore-point :class:`~repro.circuits.intervals.WindowSet`
+        (optionally solver-backed), so hosts busy only inside the gaps
+        become candidates.
     """
     if on_unsafe not in ("error", "skip"):
         raise CircuitError(f"on_unsafe must be 'error' or 'skip', got {on_unsafe!r}")
     if model is None:
-        model = build_model(circuit, ancillas)
+        model = build_model(
+            circuit, ancillas, segmented=segmented, segment_check=segment_check
+        )
     elif model.circuit is not circuit or set(model.all_targets) != set(
         ancillas
     ):

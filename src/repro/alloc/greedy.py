@@ -1,10 +1,11 @@
 """First-fit placement — the seed's Figure 3.1 policy, extracted.
 
 Ancillas are processed in period-start order; each takes the
-smallest-index candidate host whose existing guests' lending windows do
-not overlap its own.  Hosts whose windows freed up are reused, which is
-what lets ``q3`` serve both ``a1`` and ``a2`` in Figure 3.1.
-Linear-time and good enough when hosts are plentiful;
+smallest-index candidate host whose existing guests' lending window
+sets do not overlap its own.  Hosts whose windows freed up are reused,
+which is what lets ``q3`` serve both ``a1`` and ``a2`` in Figure 3.1
+(and, under segmented windows, lets a guest slot into another guest's
+restore gap).  Linear-time and good enough when hosts are plentiful;
 :mod:`repro.alloc.lookahead` is the optimal reference it is measured
 against.
 """
@@ -14,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.alloc.base import AllocationStrategy
-from repro.alloc.model import ActivityInterval, ConflictModel, Placement
+from repro.alloc.model import ConflictModel, Placement, WindowSet
 from repro.alloc.registry import register_strategy
 
 
@@ -24,7 +25,7 @@ class GreedyStrategy(AllocationStrategy):
 
     def plan(self, model: ConflictModel) -> Placement:
         placement = Placement()
-        guest_windows: Dict[int, List[ActivityInterval]] = {}
+        guest_windows: Dict[int, List[WindowSet]] = {}
         for a in model.ancillas:
             host = self._first_fit(model, a, guest_windows)
             if host is None:

@@ -1,11 +1,13 @@
 """Conflict-graph colouring that packs guests onto few hosts.
 
-The ancillas and their lending-window overlaps form an interval graph;
-a valid placement is a colouring where each colour class is one host
-compatible with every member.  This strategy colours in Welsh–Powell order (most
-conflicted first) and, among compatible hosts, prefers the one already
-carrying the *most* guests — so non-overlapping ancillas pile onto a
-shared host instead of spreading across the register.
+The ancillas and their lending-window overlaps form an interval graph
+(a union-of-intervals graph once windows are segmented — the colouring
+argument is unchanged); a valid placement is a colouring where each
+colour class is one host compatible with every member.  This strategy
+colours in Welsh–Powell order (most conflicted first) and, among
+compatible hosts, prefers the one already carrying the *most* guests —
+so non-overlapping ancillas pile onto a shared host instead of
+spreading across the register.
 
 Final width equals greedy's whenever both place the same ancillas; the
 difference is occupancy shape, which matters to the multi-programmer:

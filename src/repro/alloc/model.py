@@ -8,19 +8,23 @@ extracts that structure from a circuit once — periods, per-ancilla host
 candidates, and the ancilla conflict graph — so strategies are pure
 combinatorial searches that never re-scan the gate list.
 
-Every ancilla additionally carries a **lending window**: the gate-index
-span in which a guest actually touches whatever wire hosts it.  Today
-the window equals the activity period (the composite-interleave
-construction of Section 7 proves the host is needed for exactly that
-span), but it is a first-class field so host sharing is decided by
-*window disjointness* everywhere — inside one circuit by
-:meth:`ConflictModel.compatible` / :func:`validate_placement`, and
-across programs by the multi-programmer's lease machinery, which shifts
-the same windows onto the machine timeline.
+Every ancilla additionally carries a **lending window**: a
+:class:`~repro.circuits.intervals.WindowSet`, the ordered set of
+disjoint gate-index segments in which a guest actually occupies
+whatever wire hosts it.  By default the window is the whole activity
+period (one segment); with ``segmented=True`` the
+:func:`~repro.circuits.intervals.restore_segments` analysis splits it
+at valid release points — the gaps where the prefix provably restores
+the ancilla — so the host is only needed inside the segments.  Host
+sharing is decided by *window-set disjointness* everywhere: inside one
+circuit by :meth:`ConflictModel.compatible` /
+:func:`validate_placement`, and across programs by the
+multi-programmer's lease machinery, which shifts the same window sets
+onto the machine timeline.
 
 Candidate computation is a single pass over the gates plus one binary
-search per (host, ancilla) pair, so building the model is
-``O(gates + hosts * ancillas * log gates)`` — noticeably cheaper than
+search per (host, segment) pair, so building the model is
+``O(gates + hosts * segments * log gates)`` — noticeably cheaper than
 the seed's per-ancilla ``idle_qubits_during`` rescans on wide circuits.
 """
 
@@ -28,10 +32,17 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import Circuit
-from repro.circuits.intervals import ActivityInterval, activity_intervals
+from repro.circuits.intervals import (
+    ActivityInterval,
+    SegmentCheck,
+    WindowSet,
+    activity_intervals,
+    restore_segments,
+    touch_indices,
+)
 from repro.errors import CircuitError
 
 
@@ -67,27 +78,34 @@ class ConflictModel:
     periods:
         Ancilla wire -> its :class:`ActivityInterval`.
     windows:
-        Ancilla wire -> its lending window: the gate-index span during
-        which a guest occupies its host wire.  Derived from the
-        activity period; the single source every host-sharing decision
-        (in-circuit and cross-program) reasons over.
+        Ancilla wire -> its lending :class:`WindowSet`: the disjoint
+        gate-index segments during which a guest occupies its host
+        wire.  One whole-period segment by default; the restore-point
+        segmentation under ``segmented=True``.  The single source every
+        host-sharing decision (in-circuit and cross-program) reasons
+        over.
     hosts:
         Non-ancilla wires, ascending — the potential hosts.
     candidates:
-        Ancilla wire -> hosts idle throughout its period, ascending.
+        Ancilla wire -> hosts idle throughout every window segment,
+        ascending.  (A host busy only inside a window *gap* is a
+        candidate under segmentation — the wire is released there.)
     conflicts:
-        Ancilla wire -> the other ancillas whose lending windows
-        overlap it (the edges of the interval conflict graph).
+        Ancilla wire -> the other ancillas whose window sets overlap it
+        (the edges of the conflict graph).
+    segmented:
+        Whether the windows carry the restore-point segmentation.
     """
 
     circuit: Circuit
     ancillas: Tuple[int, ...]
     untouched: Tuple[int, ...]
     periods: Dict[int, ActivityInterval]
-    windows: Dict[int, ActivityInterval]
+    windows: Dict[int, WindowSet]
     hosts: Tuple[int, ...]
     candidates: Dict[int, Tuple[int, ...]]
     conflicts: Dict[int, FrozenSet[int]]
+    segmented: bool = False
 
     @property
     def all_targets(self) -> Tuple[int, ...]:
@@ -116,13 +134,14 @@ class ConflictModel:
             conflicts={
                 a: self.conflicts[a] & keep_set for a in ancillas
             },
+            segmented=self.segmented,
         )
 
     def compatible(self, ancilla: int, host: int, taken: Dict[int, int]) -> bool:
         """May ``ancilla`` land on ``host`` given placements ``taken``?
 
         True when ``host`` is a candidate and no already-placed ancilla
-        with an overlapping lending window sits on the same host.  The
+        with an overlapping window set sits on the same host.  The
         conflict graph *is* the window-overlap relation (see
         :func:`build_model`), so the precomputed edge set answers this
         in O(degree) — this sits in the lookahead search's innermost
@@ -135,8 +154,22 @@ class ConflictModel:
         )
 
 
-def build_model(circuit: Circuit, ancillas: Sequence[int]) -> ConflictModel:
-    """Extract the interval-conflict structure for ``ancillas``."""
+def build_model(
+    circuit: Circuit,
+    ancillas: Sequence[int],
+    segmented: bool = False,
+    segment_check: Optional[SegmentCheck] = None,
+) -> ConflictModel:
+    """Extract the interval-conflict structure for ``ancillas``.
+
+    With ``segmented`` on, each ancilla's lending window is refined by
+    the restore-point analysis
+    (:func:`~repro.circuits.intervals.restore_segments`, optionally
+    solver-backed through ``segment_check``); candidate hosts then only
+    need to be idle inside the surviving segments, and conflicts are
+    window-*set* overlaps — both strictly more permissive than the
+    whole-period default, never less.
+    """
     ancilla_set = set(ancillas)
     for a in ancilla_set:
         if not 0 <= a < circuit.num_qubits:
@@ -152,29 +185,42 @@ def build_model(circuit: Circuit, ancillas: Sequence[int]) -> ConflictModel:
         q for q in range(circuit.num_qubits) if q not in ancilla_set
     )
 
-    # One gate-index list per host; a host is a candidate for an
-    # ancilla iff binary search finds none of its indices in the period.
-    touches: Dict[int, List[int]] = {q: [] for q in hosts}
-    for index, gate in enumerate(circuit.gates):
-        for q in gate.qubits:
-            if q in touches:
-                touches[q].append(index)
+    # One pass builds every wire's sorted gate-index list; the restore
+    # analysis and the candidate scan both read it, so neither re-walks
+    # the gate list per ancilla.
+    touches = touch_indices(circuit)
 
+    # The lending window: the whole activity period (a dirty ancilla
+    # carries borrowed state from its first touch to its last), or the
+    # restore-point segmentation of it — the host wire is occupied for
+    # exactly those segments and no longer.
+    if segmented:
+        windows = {
+            a: restore_segments(
+                circuit,
+                a,
+                segment_check=segment_check,
+                touches=touches[a],
+            )
+            for a in active
+        }
+    else:
+        windows = {a: WindowSet.whole(intervals[a]) for a in active}
+
+    # A host is a candidate for an ancilla iff binary search finds none
+    # of its indices in any of the ancilla's window segments.
     candidates: Dict[int, Tuple[int, ...]] = {}
     for a in active:
-        period = intervals[a]
         idle = []
         for host in hosts:
-            indices = touches[host]
-            cut = bisect_left(indices, period.first)
-            if cut == len(indices) or indices[cut] > period.last:
+            indices = touches.get(host, ())
+            if all(
+                (cut := bisect_left(indices, seg.first)) == len(indices)
+                or indices[cut] > seg.last
+                for seg in windows[a].segments
+            ):
                 idle.append(host)
         candidates[a] = tuple(idle)
-
-    # The lending window is the whole activity period: a dirty ancilla
-    # carries borrowed state from its first touch to its last, so the
-    # host wire is occupied for exactly that span and no longer.
-    windows = {a: intervals[a] for a in active}
 
     conflicts: Dict[int, FrozenSet[int]] = {
         a: frozenset(
@@ -194,6 +240,7 @@ def build_model(circuit: Circuit, ancillas: Sequence[int]) -> ConflictModel:
         hosts=hosts,
         candidates=candidates,
         conflicts=conflicts,
+        segmented=segmented,
     )
 
 
@@ -201,13 +248,16 @@ def validate_placement(model: ConflictModel, placement: Placement) -> None:
     """Raise :class:`CircuitError` unless ``placement`` is sound.
 
     Sound means: every assigned host is a candidate for its guest, the
-    lending windows of the guests sharing any one host are pairwise
-    disjoint, and every active ancilla is either assigned or listed
-    unplaced.  Window disjointness (not whole-circuit exclusivity) is
-    the contract — it is what lets several guests multiplex one host —
-    and it is exactly what the conflict graph encodes, so the check is
-    equivalent to the historical no-overlapping-conflict rule while
-    stating the real invariant.  Used by the differential tests to hold
+    lending window *sets* of the guests sharing any one host are
+    pairwise disjoint, and every active ancilla is either assigned or
+    listed unplaced.  Set disjointness (not whole-circuit exclusivity)
+    is the contract — it is what lets several guests multiplex one
+    host, interleaving through each other's gaps — and it is exactly
+    what the conflict graph encodes, so the check is equivalent to the
+    historical no-overlapping-conflict rule while stating the real
+    invariant.  Checked by a single sweep over every segment on the
+    host (adjacent-pair comparison of whole sets would miss an overlap
+    between non-adjacent sets).  Used by the differential tests to hold
     every registered strategy to the same structural contract, and by
     the occupancy invariant checker after every scheduler event.
     """
@@ -224,10 +274,16 @@ def validate_placement(model: ConflictModel, placement: Placement) -> None:
     for a, host in placement.assignment.items():
         guests_by_host.setdefault(host, []).append(a)
     for host, guests in guests_by_host.items():
-        ordered = sorted(guests, key=lambda a: model.windows[a].first)
-        for earlier, later in zip(ordered, ordered[1:]):
-            if model.windows[earlier].overlaps(model.windows[later]):
+        spans = sorted(
+            (seg.first, seg.last, a)
+            for a in guests
+            for seg in model.windows[a].segments
+        )
+        for (_, prev_last, prev_a), (nxt_first, _, nxt_a) in zip(
+            spans, spans[1:]
+        ):
+            if nxt_first <= prev_last:
                 raise CircuitError(
-                    f"overlapping ancillas {min(earlier, later)} and "
-                    f"{max(earlier, later)} share host {host}"
+                    f"overlapping ancillas {min(prev_a, nxt_a)} and "
+                    f"{max(prev_a, nxt_a)} share host {host}"
                 )

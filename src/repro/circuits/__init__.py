@@ -9,11 +9,15 @@ the two execution models the paper needs:
   circuits built from X and multi-controlled-NOT gates — the fragment in
   which Section 6 verifies safe uncomputation at scale.
 
-:mod:`repro.circuits.intervals` computes per-qubit activity periods;
-the Figure 3.1 width-reduction pass that borrows idle working qubits as
-dirty ancillas lives in :mod:`repro.alloc` (a pluggable strategy
-subsystem), with :mod:`repro.circuits.borrowing` as its historical
-façade.
+:mod:`repro.circuits.intervals` computes per-qubit activity periods and
+their refinement into segmented lending windows: the restore-point
+analysis (:func:`restore_segments`) splits an ancilla's period at the
+gaps where the prefix provably restores it, yielding the
+:class:`WindowSet` of disjoint segments a borrowed host is actually
+occupied for.  The Figure 3.1 width-reduction pass that borrows idle
+working qubits as dirty ancillas lives in :mod:`repro.alloc` (a
+pluggable strategy subsystem), with :mod:`repro.circuits.borrowing` as
+its historical façade.
 """
 
 from repro.circuits.gates import (
@@ -41,8 +45,12 @@ from repro.circuits.classical import (
 )
 from repro.circuits.intervals import (
     ActivityInterval,
+    WindowSet,
     activity_intervals,
     idle_qubits_during,
+    restore_segments,
+    solver_restore_checker,
+    touch_indices,
 )
 from repro.circuits.metrics import CircuitCosts, circuit_costs, depth, size
 from repro.circuits.unitary import circuit_unitary
@@ -58,6 +66,7 @@ from repro.circuits.borrowing import BorrowPlan, borrow_dirty_qubits
 __all__ = [
     "ActivityInterval",
     "BorrowPlan",
+    "WindowSet",
     "Circuit",
     "CircuitCosts",
     "Gate",
@@ -76,6 +85,9 @@ __all__ = [
     "gate_from_name",
     "hadamard",
     "idle_qubits_during",
+    "restore_segments",
+    "solver_restore_checker",
+    "touch_indices",
     "is_classical_circuit",
     "mcx",
     "permutation_of",

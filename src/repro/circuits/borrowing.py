@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.circuits.circuit import Circuit
-from repro.circuits.intervals import ActivityInterval
+from repro.circuits.intervals import ActivityInterval, WindowSet
 
 SafetyCheck = Callable[[Circuit, int], bool]
 
@@ -40,8 +40,11 @@ class BorrowPlan:
     periods:
         The activity period used for each ancilla.
     windows:
-        Lending window of each ancilla — the gate-index span a guest
-        occupies whatever wire hosts it (today equal to the period; see
+        Lending window of each ancilla — a
+        :class:`~repro.circuits.intervals.WindowSet` of disjoint
+        gate-index segments a guest occupies whatever wire hosts it
+        (the whole period as one segment by default; the restore-point
+        segmentation under ``segmented`` allocation — see
         :class:`repro.alloc.model.ConflictModel`).  The online
         multi-programmer shifts these onto the machine timeline to
         decide whether an unplaced ancilla may lease a lent co-tenant
@@ -63,7 +66,7 @@ class BorrowPlan:
     final_width: int
     notes: List[str] = field(default_factory=list)
     strategy: str = "greedy"
-    windows: Dict[int, ActivityInterval] = field(default_factory=dict)
+    windows: Dict[int, WindowSet] = field(default_factory=dict)
 
     @property
     def qubits_saved(self) -> int:

@@ -14,11 +14,19 @@ Module tour
       wires) or raise :class:`~repro.errors.CapacityError` when it
       does not fit.  Lending is *time-sliced*: a lent wire carries a
       set of window-disjoint :class:`Lease`\\ s (the guest ancilla's
-      gate-index lending window mapped onto the machine timeline), so
-      one idle wire multiplexes several concurrent guests;
-      ``lending="whole"`` restores the historical one-guest-per-wire
-      rule as the comparison baseline.  :meth:`~MultiProgrammer.release`
-      retires only the releasing guest's leases, and
+      gate-index lending :class:`~repro.circuits.intervals.WindowSet`
+      mapped onto the machine timeline), so one idle wire multiplexes
+      several concurrent guests.  Under ``lending="segmented"`` each
+      window carries the restore-point segmentation — a lease covers
+      only the ancilla's compute/uncompute segments, and other guests
+      thread through the restore gaps; ``lending="windowed"`` keeps
+      whole-period windows and ``lending="whole"`` the historical
+      one-guest-per-wire rule, both as comparison baselines.  Which
+      feasible wire a lease lands on is a registered
+      :class:`~repro.multiprog.packing.LeasePacker` (``first-fit`` /
+      ``best-fit`` / ``earliest-gap``), selectable per scheduler and
+      per admission.  :meth:`~MultiProgrammer.release` retires only
+      the releasing guest's leases, and
       :meth:`~MultiProgrammer.lease_table` /
       :meth:`~MultiProgrammer.idle_offers` report per-window
       availability;
@@ -39,9 +47,17 @@ Module tour
     The pluggable queue-policy layer, a decorator registry mirroring
     the allocation strategies and verification backends:
     ``fifo`` (strict head-of-line — admission order equals arrival
-    order, at the price of head-of-line blocking) and ``backfill``
+    order, at the price of head-of-line blocking), ``backfill``
     (out-of-order — any queued job that fits *now* is admitted, so a
-    narrow late arrival can slip past a blocked wide head).
+    narrow late arrival can slip past a blocked wide head), ``sjf``
+    (narrowest reduced width first) and ``priority`` (highest
+    ``submit(..., priority=…)`` first).
+
+:mod:`repro.multiprog.packing`
+    The pluggable lease-packing layer: a :class:`LeasePacker` decides
+    which feasible offered wire a new cross-program lease lands on —
+    ``first-fit`` (smallest index), ``best-fit`` (most-loaded wire)
+    or ``earliest-gap`` (tightest fit after the preceding lease).
 
 Safety is non-negotiable throughout: a job's dirty ancilla may borrow
 an idle qubit *from another job* only when it is verified safely
@@ -53,12 +69,24 @@ submit/release/backfill and asserts the global occupancy contract
 after every event.
 """
 
+from repro.multiprog.packing import (
+    BestFitPacker,
+    EarliestGapPacker,
+    FirstFitPacker,
+    LeasePacker,
+    available_packers,
+    make_packer,
+    packer_class,
+    register_packer,
+)
 from repro.multiprog.queueing import (
     BackfillPolicy,
     FifoPolicy,
+    PriorityPolicy,
     QueueEntry,
     QueuePolicy,
     QueueStats,
+    ShortestJobFirstPolicy,
     SubmitOutcome,
     available_policies,
     make_policy,
@@ -77,18 +105,28 @@ from repro.multiprog.scheduler import (
 __all__ = [
     "Admission",
     "BackfillPolicy",
+    "BestFitPacker",
     "BorrowRequest",
+    "EarliestGapPacker",
     "FifoPolicy",
+    "FirstFitPacker",
     "Lease",
+    "LeasePacker",
     "MultiProgrammer",
+    "PriorityPolicy",
     "QuantumJob",
     "QueueEntry",
     "QueuePolicy",
     "QueueStats",
     "ScheduleResult",
+    "ShortestJobFirstPolicy",
     "SubmitOutcome",
+    "available_packers",
     "available_policies",
+    "make_packer",
     "make_policy",
+    "packer_class",
     "policy_class",
+    "register_packer",
     "register_policy",
 ]

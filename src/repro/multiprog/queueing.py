@@ -14,7 +14,16 @@ verification backends:
   behind it);
 * ``backfill`` — out-of-order: one pass over the whole queue in
   arrival order, admitting every job that fits *now* and skipping the
-  rest, so a narrow late arrival can slip past a blocked wide head.
+  rest, so a narrow late arrival can slip past a blocked wide head;
+* ``sjf`` — shortest job first: one pass in ascending *reduced width*
+  (the job's wire count minus its ancilla requests — the floor on the
+  fresh qubits it can need), oldest first among equals, so the narrow
+  jobs that fit almost anywhere drain before the wide ones that were
+  blocking them;
+* ``priority`` — highest ``submit(..., priority=…)`` first, oldest
+  first among equals: paying tenants overtake, equal-priority traffic
+  degrades to arrival order (with priorities left at the default the
+  policy behaves like ``backfill``).
 
 "Fits" is window-aware: the admission attempt a drain pass makes runs
 the full time-sliced lending machinery, so a queued job is admitted as
@@ -46,7 +55,9 @@ class QueueEntry:
     ``enqueued_at`` and ``deadline`` are *logical-clock* values (the
     scheduler ticks once per submit/release event), so timeout behaviour
     is deterministic and replayable — no wall-clock in the contract.
-    ``deadline is None`` means the entry never expires.
+    ``deadline is None`` means the entry never expires.  ``priority``
+    orders the ``priority`` policy's drain passes (higher first) and is
+    ignored by the other policies.
     """
 
     job: Any  # a repro.multiprog.scheduler.QuantumJob (typed loosely to
@@ -55,10 +66,17 @@ class QueueEntry:
     enqueued_at: int
     deadline: Optional[int]
     seq: int
+    priority: int = 0
 
     @property
     def name(self) -> str:
         return self.job.name
+
+    @property
+    def reduced_width(self) -> int:
+        """The job's :attr:`~repro.multiprog.scheduler.QuantumJob.reduced_width`
+        — the floor on its fresh-qubit need, the ``sjf`` sort key."""
+        return self.job.reduced_width
 
 
 @dataclass
@@ -188,6 +206,20 @@ class FifoPolicy(QueuePolicy):
         return admitted
 
 
+def _drain_in_order(
+    entries: List[QueueEntry], try_admit: TryAdmit, key
+) -> List[QueueEntry]:
+    """The shared one-pass drain: attempt every entry in ``key`` order,
+    removing the admitted ones from the queue in place.  Every
+    out-of-order policy is this loop with a different sort key."""
+    admitted: List[QueueEntry] = []
+    for entry in sorted(entries, key=key):
+        if try_admit(entry) is not None:
+            entries.remove(entry)
+            admitted.append(entry)
+    return admitted
+
+
 @register_policy("backfill")
 class BackfillPolicy(QueuePolicy):
     """Out-of-order: admit anything that fits now, oldest first."""
@@ -197,17 +229,48 @@ class BackfillPolicy(QueuePolicy):
     def drain(
         self, entries: List[QueueEntry], try_admit: TryAdmit
     ) -> List[QueueEntry]:
-        admitted: List[QueueEntry] = []
-        for entry in list(entries):
-            if try_admit(entry) is not None:
-                entries.remove(entry)
-                admitted.append(entry)
-        return admitted
+        return _drain_in_order(
+            entries, try_admit, key=lambda entry: entry.seq
+        )
+
+
+@register_policy("sjf")
+class ShortestJobFirstPolicy(QueuePolicy):
+    """Narrowest reduced width first, oldest first among equals."""
+
+    allows_overtaking = True
+
+    def drain(
+        self, entries: List[QueueEntry], try_admit: TryAdmit
+    ) -> List[QueueEntry]:
+        return _drain_in_order(
+            entries,
+            try_admit,
+            key=lambda entry: (entry.reduced_width, entry.seq),
+        )
+
+
+@register_policy("priority")
+class PriorityPolicy(QueuePolicy):
+    """Highest submission priority first, oldest first among equals."""
+
+    allows_overtaking = True
+
+    def drain(
+        self, entries: List[QueueEntry], try_admit: TryAdmit
+    ) -> List[QueueEntry]:
+        return _drain_in_order(
+            entries,
+            try_admit,
+            key=lambda entry: (-entry.priority, entry.seq),
+        )
 
 
 __all__ = [
     "BackfillPolicy",
     "FifoPolicy",
+    "PriorityPolicy",
+    "ShortestJobFirstPolicy",
     "QueueEntry",
     "QueuePolicy",
     "QueueStats",

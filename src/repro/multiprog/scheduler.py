@@ -11,15 +11,24 @@ declared *dirty-ancilla requests*.  Jobs arrive over time
   lends out;
 * lending is **time-sliced**: a lent wire carries a set of
   non-overlapping :class:`Lease`\\ s rather than a single guest.  Each
-  lease covers exactly the ancilla's *lending window* (the gate-index
-  span the guest actually touches the wire, straight from the interval
-  model) mapped onto the machine timeline by the composite-interleave
-  convention — every resident advances one gate per logical event
-  round, so a job admitted at round ``t`` occupies a lent wire during
-  ``window.shifted(t)``.  A new guest may therefore land on a wire that
-  is *already lent out*, as long as its window is disjoint from every
-  existing lease (``lending="whole"`` restores the historical
-  one-guest-per-wire behaviour for comparison);
+  lease covers exactly the ancilla's *lending window* — a
+  :class:`~repro.circuits.intervals.WindowSet` of disjoint gate-index
+  segments, straight from the interval model — mapped onto the machine
+  timeline by the composite-interleave convention: every resident
+  advances one gate per logical event round, so a job admitted at
+  round ``t`` occupies a lent wire during ``window.shifted(t)``.  A
+  new guest may therefore land on a wire that is *already lent out*,
+  as long as its window set is disjoint from every existing lease.
+  Under ``lending="segmented"`` the windows carry the restore-point
+  segmentation (:func:`~repro.circuits.intervals.restore_segments`) —
+  an ancilla idle *and restored* between its compute/uncompute
+  segments releases the wire in the gap, so other guests interleave
+  through it; ``lending="windowed"`` keeps whole-period windows and
+  ``lending="whole"`` the historical one-guest-per-wire rule, both as
+  measured baselines.  Which feasible wire a new lease lands on is a
+  registered :class:`~repro.multiprog.packing.LeasePacker` policy
+  (``first-fit`` / ``best-fit`` / ``earliest-gap``), selectable per
+  scheduler and per admission;
 * verification is *lazy*: only ancillas with a candidate host (their
   own circuit's, or an offered co-tenant wire) pay solver time, in one
   batched :class:`~repro.verify.batch.BatchVerifier` call per
@@ -53,8 +62,9 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 from repro.alloc import BorrowPlan, ConflictModel, allocate, build_model
 from repro.circuits.circuit import Circuit
 from repro.circuits.classical import is_classical_circuit
-from repro.circuits.intervals import ActivityInterval
+from repro.circuits.intervals import WindowSet
 from repro.errors import CapacityError, CircuitError, VerificationError
+from repro.multiprog.packing import LeasePacker, make_packer
 from repro.multiprog.queueing import (
     QueueEntry,
     QueuePolicy,
@@ -63,6 +73,11 @@ from repro.multiprog.queueing import (
     make_policy,
 )
 from repro.verify.batch import BatchVerifier
+
+#: Lending modes, loosest first: ``segmented`` leases restore-point
+#: window sets, ``windowed`` leases whole-period windows, ``whole``
+#: dedicates a lent wire to one guest for its entire residency.
+LENDING_MODES = ("segmented", "windowed", "whole")
 
 
 @dataclass(frozen=True)
@@ -76,20 +91,22 @@ class BorrowRequest:
 class Lease:
     """One time-sliced tenancy of a guest ancilla on a lent wire.
 
-    ``window`` is expressed in *machine rounds* — the composite
-    interleave executes one gate per resident per logical event round,
-    so a guest admitted at round ``t`` whose ancilla has lending window
-    ``[f, l]`` in its own circuit touches the wire exactly during
-    rounds ``[t + f, t + l]``.  The scheduler admits a new lease onto a
-    wire only when its window is disjoint from every lease already on
-    that wire, which is what lets one idle wire serve several
-    concurrent guests.
+    ``window`` is a :class:`WindowSet` expressed in *machine rounds* —
+    the composite interleave executes one gate per resident per logical
+    event round, so a guest admitted at round ``t`` whose ancilla has
+    lending window ``w`` in its own circuit touches the wire exactly
+    during ``w.shifted(t)``.  Under segmented lending the set carries
+    several segments and the lease covers *only* those: the restore
+    gaps between them are free rounds any other lease may use.  The
+    scheduler admits a new lease onto a wire only when its window set
+    is disjoint from every lease already on that wire, which is what
+    lets one idle wire serve several concurrent guests.
     """
 
     guest: str
     ancilla: int
     wire: int
-    window: ActivityInterval
+    window: WindowSet
 
     def overlaps(self, other: "Lease") -> bool:
         """True when the two leases compete for the same rounds."""
@@ -121,6 +138,15 @@ class QuantumJob:
     @property
     def request_wires(self) -> Tuple[int, ...]:
         return tuple(r.wire for r in self.ancilla_requests)
+
+    @property
+    def reduced_width(self) -> int:
+        """Floor on the job's fresh-qubit need: each requested ancilla
+        can save at most one fresh wire (removed internally or
+        cross-borrowed), so the wire count minus the requests bounds
+        what any placement can achieve.  The submit fail-fast and the
+        ``sjf`` queue policy both key off this."""
+        return self.circuit.num_qubits - len(self.ancilla_requests)
 
 
 @dataclass
@@ -266,11 +292,22 @@ class MultiProgrammer:
         touches the queue.
     lending:
         ``"windowed"`` (default) — a lent wire carries any number of
-        window-disjoint :class:`Lease`\\ s, so several concurrent
-        guests can multiplex one idle wire; ``"whole"`` — the
+        window-disjoint :class:`Lease`\\ s covering each guest's whole
+        activity period, so several concurrent guests can multiplex one
+        idle wire; ``"segmented"`` — windows are refined by the
+        restore-point analysis into :class:`WindowSet`\\ s, so a lease
+        covers only the guest's compute/uncompute segments and other
+        guests interleave through the restore gaps; ``"whole"`` — the
         historical behaviour, one guest per lent wire for its entire
-        residency (kept as the comparison baseline the benchmark and
-        the differential tests measure against).
+        residency.  The two stricter modes are kept as the measured
+        baselines the benchmark and the differential tests compare
+        against.
+    lease_packer:
+        Which feasible offered wire a new lease lands on — a registered
+        name (:func:`repro.multiprog.packing.available_packers`:
+        ``first-fit``, ``best-fit`` or ``earliest-gap``) or a
+        :class:`LeasePacker` instance; overridable per admission via
+        ``admit(job, packer=...)``.
     """
 
     def __init__(
@@ -283,17 +320,20 @@ class MultiProgrammer:
         cache_path: Optional[str] = None,
         queue_policy: Union[str, QueuePolicy] = "fifo",
         lending: str = "windowed",
+        lease_packer: Union[str, LeasePacker] = "first-fit",
     ):
         if machine_size < 1:
             raise CircuitError("machine must have at least one qubit")
-        if lending not in ("windowed", "whole"):
+        if lending not in LENDING_MODES:
             raise CircuitError(
-                f"lending must be 'windowed' or 'whole', got {lending!r}"
+                f"lending must be one of {', '.join(LENDING_MODES)}, "
+                f"got {lending!r}"
             )
         self.machine_size = machine_size
         self.backend = backend
         self.strategy = strategy
         self.lending = lending
+        self.lease_packer = self._resolve_packer(lease_packer)
         self.queue_policy = (
             queue_policy
             if isinstance(queue_policy, QueuePolicy)
@@ -418,6 +458,7 @@ class MultiProgrammer:
         data = self._queue_stats.as_dict()
         data["policy"] = self.queue_policy.name
         data["lending"] = self.lending
+        data["packer"] = self.lease_packer.name
         data["leases_granted"] = self.total_leases
         data["pending"] = len(self._queue)
         data["residents"] = len(self._residents)
@@ -460,17 +501,24 @@ class MultiProgrammer:
         strategy: Optional[str] = None,
         enforce_capacity: bool = True,
         lazy_verify: bool = True,
+        packer: Optional[Union[str, LeasePacker]] = None,
     ) -> Admission:
         """Place an arriving job against live machine occupancy.
 
-        Raises :class:`CircuitError` when the job needs more free
-        qubits than the machine has (the over-capacity rejection),
-        unless ``enforce_capacity`` is off — the batch replay uses that
-        to report non-fitting schedules instead of failing fast.
+        ``packer`` overrides the scheduler's lease-packing policy for
+        this admission only (a registered name or a
+        :class:`LeasePacker` instance).  Raises :class:`CircuitError`
+        when the job needs more free qubits than the machine has (the
+        over-capacity rejection), unless ``enforce_capacity`` is off —
+        the batch replay uses that to report non-fitting schedules
+        instead of failing fast.
         """
         if job.name in self._residents:
             raise CircuitError(f"job {job.name!r} is already resident")
         strategy = strategy or self.strategy
+        packer = (
+            self.lease_packer if packer is None else self._resolve_packer(packer)
+        )
 
         safety, model = self._verify_job(job, lazy_verify)
         # Every requested wire goes into the model (so an unsafe or
@@ -499,7 +547,7 @@ class MultiProgrammer:
             if not safety.get(a):
                 continue
             window = plan.windows[a].shifted(gate_offset)
-            wire = self._lease_host(window)
+            wire = self._lease_host(window, packer)
             if wire is None:
                 continue
             lease = Lease(
@@ -564,6 +612,7 @@ class MultiProgrammer:
         job: QuantumJob,
         strategy: Optional[str] = None,
         timeout: Optional[int] = None,
+        priority: int = 0,
     ) -> SubmitOutcome:
         """Admit an arriving job, or queue it until capacity frees up.
 
@@ -576,7 +625,9 @@ class MultiProgrammer:
         the queue is empty; under ``backfill`` every arrival is tried
         immediately.
 
-        ``timeout`` is a logical-clock budget: the queued job expires
+        ``priority`` orders the ``priority`` queue policy's drain
+        passes (higher first; other policies ignore it).  ``timeout``
+        is a logical-clock budget: the queued job expires
         (dropped, counted in :meth:`stats`) if still waiting after that
         many submit/release events.  A job that can never be admitted
         is rejected at submission rather than queued: one that provably
@@ -604,10 +655,7 @@ class MultiProgrammer:
                 f"job {job.name}: only classical circuits can be "
                 f"auto-verified for cross-program borrowing"
             )
-        # Each requested ancilla can save at most one fresh wire
-        # (removed internally or cross-borrowed), so this bound is a
-        # floor on the job's fresh-qubit need.
-        min_fresh = job.circuit.num_qubits - len(job.request_wires)
+        min_fresh = job.reduced_width
         if min_fresh > self.machine_size:
             self._queue_stats.submitted += 1
             self._queue_stats.rejected += 1
@@ -642,6 +690,7 @@ class MultiProgrammer:
             enqueued_at=self._clock,
             deadline=None if timeout is None else self._clock + timeout,
             seq=self._queue_seq,
+            priority=priority,
         )
         self._queue.append(entry)
         self._queue_stats.queued += 1
@@ -777,6 +826,7 @@ class MultiProgrammer:
             strategy=self.strategy,
             verifier=self.verifier,
             lending=self.lending,
+            lease_packer=self.lease_packer,
         )
         admissions = [
             replay.admit(job, enforce_capacity=False, lazy_verify=False)
@@ -819,23 +869,34 @@ class MultiProgrammer:
     # Internals
     # ------------------------------------------------------------------ #
 
-    def _lease_host(self, window: ActivityInterval) -> Optional[int]:
-        """Smallest offered wire that can host ``window``.
+    @staticmethod
+    def _resolve_packer(packer: Union[str, LeasePacker]) -> LeasePacker:
+        if isinstance(packer, LeasePacker):
+            return packer
+        return make_packer(packer)
 
-        Windowed lending accepts any offered wire whose existing leases
-        are all disjoint from ``window``; whole-residency lending only
-        accepts a wire with no lease at all (the historical
-        one-guest-per-wire rule).
+    def _lease_host(
+        self, window: WindowSet, packer: LeasePacker
+    ) -> Optional[int]:
+        """The offered wire ``packer`` picks to host ``window``.
+
+        Feasibility is decided here, once, and is mode-dependent:
+        windowed/segmented lending accepts any offered wire whose
+        existing leases are all window-set-disjoint from ``window``;
+        whole-residency lending only accepts a wire with no lease at
+        all (the historical one-guest-per-wire rule).  The packer then
+        expresses a pure preference among the feasible wires.
         """
-        for wire in sorted(self._idle_owner):
-            leases = self._leases.get(wire, ())
+        feasible: Dict[int, Tuple[Lease, ...]] = {}
+        for wire in self._idle_owner:
+            leases = tuple(self._leases.get(wire, ()))
             if self.lending == "whole":
                 if leases:
                     continue
             elif any(lease.window.overlaps(window) for lease in leases):
                 continue
-            return wire
-        return None
+            feasible[wire] = leases
+        return packer.choose(window, feasible)
 
     def _retire_leases(self, leases) -> None:
         """Remove ``leases`` from the per-wire tables."""
@@ -866,9 +927,11 @@ class MultiProgrammer:
         Lazy mode skips ancillas that could never be placed anyway —
         no candidate host in the job's own circuit and no lendable
         co-tenant wire — so they pay no solver time at all.  Returns
-        the verdicts plus the interval model built for that decision
-        (``None`` when no model was needed), so the caller can hand it
-        on to :func:`allocate` instead of rebuilding it.
+        the verdicts plus the interval model (built with this
+        scheduler's lending mode: segmented windows under
+        ``lending="segmented"``), so the caller hands it on to
+        :func:`allocate` instead of rebuilding it — every admission
+        path plans over the same window sets the leases will cover.
         """
         requests = job.request_wires
         if not requests:
@@ -878,15 +941,17 @@ class MultiProgrammer:
                 f"job {job.name}: only classical circuits can be "
                 f"auto-verified for cross-program borrowing"
             )
-        model = None
+        model = build_model(
+            job.circuit, requests, segmented=self.lending == "segmented"
+        )
         if lazy_verify:
-            model = build_model(job.circuit, requests)
             # Any live offer can potentially host a window under
-            # windowed lending; whole-residency needs a lease-free one.
-            if self.lending == "windowed":
-                lendable = bool(self._idle_owner)
-            else:
+            # windowed/segmented lending; whole-residency needs a
+            # lease-free one.
+            if self.lending == "whole":
                 lendable = bool(self.lendable_wires)
+            else:
+                lendable = bool(self._idle_owner)
             to_verify = tuple(
                 a
                 for a in model.ancillas

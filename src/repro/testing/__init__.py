@@ -12,8 +12,10 @@ randomized, *reproducible* testing a first-class citizen:
   spoiled), :func:`random_job`, :func:`random_arrival_trace` (seeded
   submit/release event sequences with timeouts), and
   :func:`random_lending_trace` (a lender/guest mix shaped for the
-  time-sliced lending regime, built from :func:`lender_job` and
-  :func:`windowed_guest_job`);
+  time-sliced lending regime, built from :func:`lender_job`,
+  :func:`windowed_guest_job` and :func:`segmented_guest_job` — the
+  last with multiple restore segments straddling long idle gaps, the
+  shape segmented lending multiplexes);
 * :mod:`repro.testing.invariants` —
   :class:`OccupancyInvariantChecker`, which re-derives the scheduler's
   global safety contract from first principles (no double-owned wire,
@@ -36,6 +38,7 @@ from repro.testing.generators import (
     random_job,
     random_lending_trace,
     random_reversible_circuit,
+    segmented_guest_job,
     windowed_guest_job,
 )
 from repro.testing.harness import TraceLog, replay_trace
@@ -51,5 +54,6 @@ __all__ = [
     "random_lending_trace",
     "random_reversible_circuit",
     "replay_trace",
+    "segmented_guest_job",
     "windowed_guest_job",
 ]

@@ -162,6 +162,9 @@ class TraceEvent:
     job: Optional[QuantumJob] = None
     timeout: Optional[int] = None
     pick: int = 0
+    #: Submission priority (the ``priority`` queue policy's sort key;
+    #: other policies ignore it).
+    priority: int = 0
 
 
 def lender_job(
@@ -203,6 +206,40 @@ def windowed_guest_job(
     )
 
 
+def segmented_guest_job(
+    name: str,
+    prelude: int = 0,
+    span: int = 1,
+    gap: int = 6,
+    blocks: int = 2,
+) -> QuantumJob:
+    """A job whose single ancilla has ``blocks`` disjoint restore
+    segments — the workload shape segmented lending exists for.
+
+    Wire 0 is padded with ``prelude`` ``X`` gates, then the requested
+    ancilla gets ``blocks`` ``(CX;CX) * span`` identity blocks
+    separated by ``gap`` ``X`` gates on wire 0.  Each block restores
+    the ancilla for every input, so every inter-block gap is a valid
+    release point: the restore-point analysis yields the ``blocks``-
+    segment :class:`~repro.circuits.intervals.WindowSet` with segment
+    ``k`` at ``[prelude + k*(2*span + gap), … + 2*span - 1]``.  Wire 0
+    participates in every gate, so the ancilla never has an internal
+    candidate host — under windowed lending a lease must cover the
+    whole (mostly idle) hull, under segmented lending only the blocks.
+    """
+    if prelude < 0 or span < 1 or gap < 1 or blocks < 1:
+        raise CircuitError(
+            "need prelude >= 0, span >= 1, gap >= 1, blocks >= 1"
+        )
+    circuit = Circuit(2)
+    circuit.extend([x(0)] * prelude)
+    for block in range(blocks):
+        if block:
+            circuit.extend([x(0)] * gap)
+        circuit.extend([cnot(0, 1), cnot(0, 1)] * span)
+    return QuantumJob(name, circuit, [BorrowRequest(1)])
+
+
 def random_lending_trace(
     seed: SeedLike,
     num_jobs: int = 50,
@@ -215,20 +252,30 @@ def random_lending_trace(
     max_ancillas: int = 2,
     min_timeout: int = 2,
     max_timeout: int = 3,
-    release_probability: float = 0.3,
+    release_probability: float = 0.2,
+    segmented_fraction: float = 0.7,
+    min_gap: int = 6,
+    max_gap: int = 14,
+    timeouts: bool = True,
     drain: bool = True,
 ) -> List[TraceEvent]:
     """A seeded trace shaped for the time-sliced lending regime.
 
     Every ``lender_every``-th submission is a :func:`lender_job` (its
-    idle wires are the only offers in the system); the rest are
-    :func:`windowed_guest_job` arrivals with randomized window
-    positions/spans and tight logical-clock timeouts.  Release bursts
-    are suppressed for ``lender_guard`` submissions after each lender
-    so the offers survive long enough to be contended.  The result is
-    a workload where whole-residency lending runs out of lease-free
-    wires while windowed lending keeps multiplexing them — the regime
-    the ``lending`` benchmark section and its CI gate measure.
+    idle wires are the only offers in the system); the rest are guest
+    arrivals with randomized window positions/spans and tight
+    logical-clock timeouts — a ``segmented_fraction`` of them
+    :func:`segmented_guest_job`\\ s whose two identity blocks straddle a
+    long restore gap, the rest contiguous
+    :func:`windowed_guest_job`\\ s.  Release bursts are suppressed for
+    ``lender_guard`` submissions after each lender so the offers
+    survive long enough to be contended.  The result is a workload
+    where whole-residency lending runs out of lease-free wires,
+    windowed lending keeps multiplexing them, and segmented lending
+    additionally threads guests through the segmented guests' idle
+    gaps — the regime the ``lending`` benchmark section and its CI
+    gate measure.  ``timeouts=False`` emits the same arrival shape
+    with no deadlines (the differential tests' drained comparisons).
     """
     rng = _rng(seed)
     events: List[TraceEvent] = []
@@ -245,17 +292,26 @@ def random_lending_trace(
             )
             cooldown = lender_guard
         else:
-            job = windowed_guest_job(
-                f"g{index}",
-                prelude=rng.randint(0, max_prelude),
-                span=rng.randint(1, max_span),
-                num_ancillas=rng.randint(1, max_ancillas),
-            )
+            if rng.random() < segmented_fraction:
+                job = segmented_guest_job(
+                    f"g{index}",
+                    prelude=rng.randint(0, max_prelude),
+                    span=rng.randint(1, max_span),
+                    gap=rng.randint(min_gap, max_gap),
+                )
+            else:
+                job = windowed_guest_job(
+                    f"g{index}",
+                    prelude=rng.randint(0, max_prelude),
+                    span=rng.randint(1, max_span),
+                    num_ancillas=rng.randint(1, max_ancillas),
+                )
+            timeout = rng.randint(min_timeout, max_timeout)
             events.append(
                 TraceEvent(
                     "submit",
                     job=job,
-                    timeout=rng.randint(min_timeout, max_timeout),
+                    timeout=timeout if timeouts else None,
                 )
             )
         if cooldown > 0:
@@ -326,5 +382,6 @@ __all__ = [
     "random_job",
     "random_lending_trace",
     "random_reversible_circuit",
+    "segmented_guest_job",
     "windowed_guest_job",
 ]

@@ -66,7 +66,9 @@ def replay_trace(
             job = event.job
             log.jobs[job.name] = job
             try:
-                outcome = programmer.submit(job, timeout=event.timeout)
+                outcome = programmer.submit(
+                    job, timeout=event.timeout, priority=event.priority
+                )
             except CapacityError:
                 log.rejected.append(job.name)
                 log.events.append(f"submit {job.name}: rejected")

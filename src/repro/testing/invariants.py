@@ -18,11 +18,14 @@ the first inconsistency:
    wire; every idle-wire offer comes from a live resident that holds
    the offered wire;
 4. every lease belongs to a live resident that holds the leased wire,
-   its window is exactly the ancilla's lending window from a freshly
-   rebuilt interval model shifted by the admission's gate offset, the
-   admission's ``cross_hosts`` and ``leases`` agree, and **no two
-   leases on one wire overlap** (under whole-residency lending, no
-   wire carries more than one lease at all);
+   its window is segment-for-segment the ancilla's lending window from
+   a freshly rebuilt interval model — re-running the restore-point
+   analysis under ``lending="segmented"``, whole-period otherwise —
+   shifted by the admission's gate offset, the admission's
+   ``cross_hosts`` and ``leases`` agree, and **no two leases on one
+   wire overlap** as window sets (under whole-residency lending no
+   wire carries more than one lease at all, and outside segmented
+   lending every window is a single segment);
 5. the wait queue never overlaps the residents and has no duplicates;
 6. every resident's internal borrow placement still satisfies
    :func:`repro.alloc.model.validate_placement` against a freshly
@@ -142,16 +145,19 @@ class OccupancyInvariantChecker:
                     f"wire {wire}"
                 )
 
-        # 4. Leases: recorded consistently, windows re-derived from
-        # first principles, and pairwise disjoint per wire.  Models are
-        # built lazily — only leaseholders need one here, and check 6
-        # (the other consumer) may be switched off.
+        # 4. Leases: recorded consistently, windows (and their
+        # restore-point segmentation, under segmented lending)
+        # re-derived from first principles, and pairwise disjoint per
+        # wire.  Models are built lazily — only leaseholders need one
+        # here, and check 6 (the other consumer) may be switched off.
         models: Dict[str, object] = {}
 
         def model_of(adm):
             if adm.name not in models:
                 models[adm.name] = build_model(
-                    adm.job.circuit, adm.job.request_wires
+                    adm.job.circuit,
+                    adm.job.request_wires,
+                    segmented=mp.lending == "segmented",
                 )
             return models[adm.name]
 
@@ -182,14 +188,16 @@ class OccupancyInvariantChecker:
                 expected = model_of(adm).windows[
                     lease.ancilla
                 ].shifted(adm.gate_offset)
-                if (expected.first, expected.last) != (
-                    lease.window.first,
-                    lease.window.last,
-                ):
+                if expected.segments != lease.window.segments:
                     self._fail(
                         f"lease {lease} window differs from the "
                         f"re-derived lending window {expected} "
                         f"(offset {adm.gate_offset})"
+                    )
+                if mp.lending != "segmented" and len(lease.window) != 1:
+                    self._fail(
+                        f"lease {lease} carries a segmented window "
+                        f"under {mp.lending!r} lending"
                     )
             if mp.lending == "whole" and len(leases) > 1:
                 self._fail(

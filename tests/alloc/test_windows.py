@@ -1,5 +1,5 @@
 """Lending-window structure of the interval model and the
-window-disjointness contract of ``validate_placement``."""
+window-set-disjointness contract of ``validate_placement``."""
 
 import pytest
 
@@ -9,7 +9,7 @@ from repro.alloc import (
     build_model,
     validate_placement,
 )
-from repro.circuits import Circuit, cnot
+from repro.circuits import Circuit, WindowSet, cnot, x
 from repro.errors import CircuitError
 
 
@@ -22,12 +22,25 @@ def staircase_circuit():
     return c
 
 
+def gapped_circuit():
+    """Ancilla 1 has two identity blocks [0,1] and [5,6] straddling a
+    gap in which wire 0 (the only potential host) is busy."""
+    c = Circuit(3)
+    c.extend([cnot(2, 1), cnot(2, 1)])  # block 1 on the ancilla
+    c.extend([x(0), x(0), x(0)])  # the host is busy only in the gap
+    c.extend([cnot(2, 1), cnot(2, 1)])  # block 2
+    return c
+
+
 class TestModelWindows:
-    def test_windows_equal_activity_periods(self):
+    def test_windows_cover_activity_periods(self):
         model = build_model(staircase_circuit(), [1, 2])
         assert set(model.windows) == {1, 2}
+        assert model.segmented is False
         for a in model.ancillas:
-            assert model.windows[a] == model.periods[a]
+            assert isinstance(model.windows[a], WindowSet)
+            assert len(model.windows[a]) == 1
+            assert model.windows[a].hull == model.periods[a]
         assert (model.windows[1].first, model.windows[1].last) == (0, 1)
         assert (model.windows[2].first, model.windows[2].last) == (2, 3)
 
@@ -41,12 +54,51 @@ class TestModelWindows:
         sub = model.restrict([2])
         assert set(sub.windows) == {2}
         assert sub.windows[2] == model.windows[2]
+        assert sub.segmented is model.segmented
 
     def test_shifted_window(self):
         model = build_model(staircase_circuit(), [1])
         shifted = model.windows[1].shifted(7)
         assert (shifted.first, shifted.last) == (7, 8)
         assert model.windows[1].overlaps(shifted) is False
+
+
+class TestSegmentedModel:
+    def test_segmented_windows_split_at_restore_points(self):
+        model = build_model(gapped_circuit(), [1], segmented=True)
+        assert model.segmented is True
+        assert model.windows[1] == WindowSet.of((0, 1), (5, 6))
+        assert model.periods[1].first == 0 and model.periods[1].last == 6
+
+    def test_gap_busy_host_becomes_candidate_under_segmentation(self):
+        """Wire 0 is busy only inside the restore gap, so it is a
+        candidate exactly when windows are segmented."""
+        whole = build_model(gapped_circuit(), [1])
+        assert whole.candidates[1] == ()
+        segmented = build_model(gapped_circuit(), [1], segmented=True)
+        assert segmented.candidates[1] == (0,)
+
+    def test_segmented_allocate_places_through_the_gap(self):
+        plan = allocate(gapped_circuit(), [1], segmented=True)
+        assert plan.assignment == {1: 0}
+        assert plan.final_width == 2
+        assert plan.windows[1] == WindowSet.of((0, 1), (5, 6))
+        whole_plan = allocate(gapped_circuit(), [1])
+        assert whole_plan.unplaced == [1]
+
+    def test_interleaved_sets_share_a_host(self):
+        """Two ancillas whose segment sets interleave (each inside the
+        other's gap) pack onto one host under segmentation."""
+        c = Circuit(4)
+        c.extend([cnot(3, 1), cnot(3, 1)])  # a1 block 1: [0, 1]
+        c.extend([cnot(3, 2), cnot(3, 2)])  # a2 block 1: [2, 3]
+        c.extend([cnot(3, 1), cnot(3, 1)])  # a1 block 2: [4, 5]
+        c.extend([cnot(3, 2), cnot(3, 2)])  # a2 block 2: [6, 7]
+        model = build_model(c, [1, 2], segmented=True)
+        assert model.conflicts[1] == frozenset()
+        plan = allocate(c, [1, 2], segmented=True)
+        assert plan.assignment == {1: 0, 2: 0}
+        assert plan.final_width == 2
 
 
 class TestWindowDisjointness:
@@ -64,6 +116,29 @@ class TestWindowDisjointness:
         placement = Placement(assignment={1: 0, 2: 0})
         with pytest.raises(CircuitError, match="share host"):
             validate_placement(model, placement)
+
+    def test_nonadjacent_set_overlap_rejected(self):
+        """The sweep must catch an overlap between sets that are not
+        adjacent in first-segment order: a1 = {[0,1], [8,9]} and
+        a3 = {[8,9]} clash even though a2 = {[4,5]} sorts between
+        them (a whole-set adjacent-pair check would miss it)."""
+        c = Circuit(5)
+        c.extend([cnot(4, 1), cnot(4, 1)])  # a1 block 1: [0, 1]
+        c.extend([x(4), x(4)])
+        c.extend([cnot(4, 2), cnot(4, 2)])  # a2: [4, 5]
+        c.extend([x(4), x(4)])
+        c.extend([cnot(1, 3), cnot(1, 3)])  # a1 block 2 == a3: [8, 9]
+        model = build_model(c, [1, 2, 3], segmented=True)
+        assert model.windows[1] == WindowSet.of((0, 1), (8, 9))
+        assert model.windows[3] == WindowSet.of((8, 9))
+        # a2 alone fits a1's gap on a shared host.
+        validate_placement(
+            model, Placement(assignment={1: 0, 2: 0}, unplaced=[3])
+        )
+        with pytest.raises(CircuitError, match="share host"):
+            validate_placement(
+                model, Placement(assignment={1: 0, 2: 0, 3: 0})
+            )
 
     def test_allocate_packs_disjoint_windows_onto_one_host(self):
         plan = allocate(staircase_circuit(), [1, 2], strategy="greedy")

@@ -1,0 +1,191 @@
+"""The restore-point analysis and the WindowSet type.
+
+The soundness stakes: a release point the analysis wrongly certifies
+would hand a borrowed wire back mid-computation with garbage on it, so
+the tests here pin the conservative direction hard — non-identity
+segments, spoiled ancillas and undecidable shapes must all collapse to
+the whole-period window.
+"""
+
+import pytest
+
+from repro.circuits import (
+    ActivityInterval,
+    Circuit,
+    WindowSet,
+    cnot,
+    hadamard,
+    restore_segments,
+    solver_restore_checker,
+    toffoli,
+    x,
+)
+from repro.errors import CircuitError
+from repro.testing import random_reversible_circuit, segmented_guest_job
+
+
+class TestWindowSet:
+    def test_single_segment_roundtrip(self):
+        ws = WindowSet.whole(ActivityInterval(2, 5))
+        assert (ws.first, ws.last) == (2, 5)
+        assert ws.hull == ActivityInterval(2, 5)
+        assert len(ws) == 1 and ws.gaps() == ()
+
+    def test_ordering_and_gaps_validated(self):
+        with pytest.raises(CircuitError, match="at least one"):
+            WindowSet(())
+        with pytest.raises(CircuitError, match="gap"):
+            WindowSet.of((0, 1), (2, 3))  # contiguous: one segment
+        with pytest.raises(CircuitError, match="gap"):
+            WindowSet.of((4, 5), (0, 1))  # unsorted
+        with pytest.raises(CircuitError, match="empty"):
+            WindowSet.of((3, 2))
+
+    def test_overlap_is_per_segment(self):
+        a = WindowSet.of((0, 1), (8, 9))
+        assert a.overlaps(WindowSet.of((8, 12)))
+        assert a.overlaps(ActivityInterval(1, 2))
+        assert not a.overlaps(WindowSet.of((3, 6)))  # fits the gap
+        assert not a.overlaps(WindowSet.of((2, 3), (11, 12)))
+
+    def test_shift_and_lengths(self):
+        a = WindowSet.of((0, 1), (8, 9))
+        shifted = a.shifted(5)
+        assert shifted == WindowSet.of((5, 6), (13, 14))
+        assert a.length == 4  # covered rounds
+        assert a.hull.length == 10
+        assert a.gaps() == (ActivityInterval(2, 7),)
+
+    def test_contains_index(self):
+        a = WindowSet.of((0, 1), (8, 9))
+        assert a.contains_index(8)
+        assert not a.contains_index(4)
+
+    def test_str_joins_segments(self):
+        assert str(WindowSet.of((0, 1), (8, 9))) == "[0, 1]∪[8, 9]"
+
+
+def two_block_circuit(gap=4):
+    """Ancilla 1: two CX;CX identity blocks around a busy-wire gap."""
+    c = Circuit(2)
+    c.extend([cnot(0, 1), cnot(0, 1)])
+    c.extend([x(0)] * gap)
+    c.extend([cnot(0, 1), cnot(0, 1)])
+    return c
+
+
+class TestRestoreSegments:
+    def test_two_identity_blocks_split(self):
+        c = two_block_circuit(gap=4)
+        assert restore_segments(c, 1) == WindowSet.of((0, 1), (6, 7))
+
+    def test_single_block_stays_whole(self):
+        c = Circuit(2).extend([cnot(0, 1), cnot(0, 1)])
+        assert restore_segments(c, 1) == WindowSet.of((0, 1))
+
+    def test_compute_uncompute_straddle_not_split(self):
+        """An ancilla left dirty across the gap (classic V ... V⁻¹
+        shape) has no valid release point: the value mid-gap is
+        garbage, so the window must stay whole."""
+        c = Circuit(3)
+        c.extend([cnot(0, 1), toffoli(0, 1, 2)])  # compute, a1 dirty
+        c.extend([x(0)] * 3)  # gap: wire 1 holds garbage
+        c.extend([toffoli(0, 1, 2), cnot(0, 1)])  # uncompute
+        assert restore_segments(c, 1) == WindowSet.of((0, 6))
+
+    def test_internal_gap_of_one_block_not_split(self):
+        """Gates that skip the ancilla *inside* a block do not create
+        release points: the prefix up to the gap is not an identity."""
+        c = Circuit(3)
+        c.extend([cnot(0, 1), cnot(0, 2), cnot(0, 2), cnot(0, 1)])
+        # Ancilla 1 touched at 0 and 3; prefix [0, 0] is not identity.
+        assert restore_segments(c, 1) == WindowSet.of((0, 3))
+
+    def test_non_classical_block_not_certified(self):
+        c = Circuit(2)
+        c.extend([hadamard(1), hadamard(1)])  # identity, but not X-family
+        c.extend([x(0)] * 3)
+        c.extend([cnot(0, 1), cnot(0, 1)])
+        assert restore_segments(c, 1) == WindowSet.of((0, 6))
+
+    def test_uncertified_slice_merges_across_its_gap(self):
+        """The greedy scan: a slice that fails to certify at one gap
+        is retried, merged, at the next — the emitted segment [6, 9]
+        spans the internal gap and certifies as a whole."""
+        c = Circuit(2)
+        c.extend([cnot(0, 1), cnot(0, 1)])  # certified block: [0, 1]
+        c.extend([x(0)] * 4)
+        c.append(cnot(0, 1))  # [6, 6] alone is not an identity ...
+        c.extend([x(0)] * 2)
+        c.append(cnot(0, 1))  # ... but merged [6, 9] is a palindrome
+        assert restore_segments(c, 1) == WindowSet.of((0, 1), (6, 9))
+
+    def test_certified_prefix_withdrawn_when_tail_never_certifies(self):
+        """A release point is only sound if everything after it also
+        certifies: with an uncertifiable tail the earlier certified
+        block must NOT be emitted — the window stays whole."""
+        c = Circuit(2)
+        c.extend([cnot(0, 1), cnot(0, 1)])  # certified block: [0, 1]
+        c.extend([x(0)] * 4)
+        c.extend([cnot(0, 1), x(1)])  # tail leaves the ancilla dirty
+        assert restore_segments(c, 1) == WindowSet.of((0, 7))
+
+    def test_untouched_ancilla_rejected(self):
+        with pytest.raises(CircuitError, match="never touched"):
+            restore_segments(Circuit(2).append(x(0)), 1)
+        with pytest.raises(CircuitError, match="outside"):
+            restore_segments(Circuit(2), 5)
+
+    def test_generated_segmented_guest_splits_per_block(self):
+        job = segmented_guest_job("g", prelude=3, span=2, gap=5, blocks=3)
+        ws = restore_segments(job.circuit, 1)
+        assert [(seg.first, seg.last) for seg in ws.segments] == [
+            (3, 6),
+            (12, 15),
+            (21, 24),
+        ]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_spoiled_generator_ancilla_never_segmentable(self, seed):
+        """Acceptance pin: the trailing flip makes the final residue a
+        non-identity, so the whole decomposition must be withdrawn —
+        structurally and under the solver-backed checker alike."""
+        circuit, _ = random_reversible_circuit(
+            seed, num_data=3, num_ancillas=2, spoiled=[3]
+        )
+        assert len(restore_segments(circuit, 3)) == 1
+        checker = solver_restore_checker(backend="bdd")
+        assert len(restore_segments(circuit, 3, segment_check=checker)) == 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_generator_blocks_are_structural_identities(self, seed):
+        """Each generated ancilla has exactly one C;C⁻¹ block, so its
+        window set is that single block — never split, never widened."""
+        circuit, ancillas = random_reversible_circuit(seed, 4, 2)
+        for a in ancillas:
+            ws = restore_segments(circuit, a)
+            assert len(ws) == 1
+
+
+class TestSolverBackedCheck:
+    def test_solver_certifies_non_palindromic_identity(self):
+        """[CX(0,1); CX(2,1); CX(0,1); CX(2,1)] restores ancilla 1 for
+        every input but is not a palindrome — only the semantic check
+        can split here."""
+        c = Circuit(3)
+        c.extend([cnot(0, 1), cnot(2, 1), cnot(0, 1), cnot(2, 1)])
+        c.extend([x(0)] * 3)
+        c.extend([cnot(0, 1), cnot(0, 1)])
+        assert restore_segments(c, 1) == WindowSet.of((0, 8))
+        checker = solver_restore_checker(backend="bdd")
+        assert restore_segments(c, 1, segment_check=checker) == (
+            WindowSet.of((0, 3), (7, 8))
+        )
+
+    def test_solver_rejects_non_identity(self):
+        c = Circuit(2)
+        c.extend([cnot(0, 1), x(1)])  # leaves the ancilla flipped
+        c.extend([x(0)] * 3)
+        c.extend([cnot(0, 1), cnot(0, 1)])
+        checker = solver_restore_checker(backend="bdd")
+        assert len(restore_segments(c, 1, segment_check=checker)) == 1

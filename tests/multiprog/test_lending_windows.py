@@ -177,41 +177,113 @@ class TestWindowedLeases:
         assert "A:a1" in str(lease)
 
 
+class TestSegmentedLeases:
+    """Deterministic segmented-lending semantics: a lease covers only
+    its guest's restore segments, and other guests thread the gaps."""
+
+    def segmented_guest(self, name):
+        from repro.testing import segmented_guest_job
+
+        # Segments [0, 1] and [8, 9] around a 6-round restore gap.
+        return segmented_guest_job(name, prelude=0, span=1, gap=6)
+
+    def test_lease_covers_only_the_segments(self):
+        mp = MultiProgrammer(9, lending="segmented")
+        mp.admit(lender_job())
+        adm = mp.admit(self.segmented_guest("A"))
+        lease = adm.leases[1]
+        assert [
+            (seg.first, seg.last) for seg in lease.window.segments
+        ] == [(0, 1), (8, 9)]
+        OccupancyInvariantChecker(mp).check()
+
+    def test_guest_threads_through_the_restore_gap(self):
+        mp = MultiProgrammer(9, lending="segmented")
+        mp.admit(lender_job())
+        a = mp.admit(self.segmented_guest("A"))
+        b = mp.admit(guest_job("B", 3, post=2))  # window [3, 4]: the gap
+        assert a.cross_hosts[1] == b.cross_hosts[1]
+        OccupancyInvariantChecker(mp).check()
+
+    def test_windowed_mode_blocks_the_gap(self):
+        mp = MultiProgrammer(9, lending="windowed")
+        mp.admit(lender_job())
+        a = mp.admit(self.segmented_guest("A"))
+        assert len(a.leases[1].window) == 1  # hull, not segments
+        b = mp.admit(guest_job("B", 3, post=2))
+        assert a.cross_hosts[1] != b.cross_hosts[1]
+        OccupancyInvariantChecker(mp).check()
+
+    def test_segment_clash_takes_another_wire(self):
+        mp = MultiProgrammer(9, lending="segmented")
+        mp.admit(lender_job())
+        a = mp.admit(self.segmented_guest("A"))
+        c = mp.admit(guest_job("C", 1, post=4))  # window [1, 2] hits [0, 1]
+        assert a.cross_hosts[1] != c.cross_hosts[1]
+        OccupancyInvariantChecker(mp).check()
+
+    def test_release_frees_segmented_lease(self):
+        mp = MultiProgrammer(9, lending="segmented")
+        mp.admit(lender_job())
+        a = mp.admit(self.segmented_guest("A"))
+        wire = a.cross_hosts[1]
+        mp.release("A")
+        assert wire not in mp.lease_table()
+        d = mp.admit(self.segmented_guest("D"))
+        assert d.cross_hosts[1] == wire
+        OccupancyInvariantChecker(mp).check()
+
+
 class TestLendingTrace:
     """The seeded lending-regime trace (the ``lending`` benchmark
     workload) under the invariant checker and the throughput claim."""
 
     @pytest.mark.parametrize("seed", range(4))
-    def test_invariants_hold_through_lending_trace(self, seed):
+    @pytest.mark.parametrize("lending", ["windowed", "segmented"])
+    def test_invariants_hold_through_lending_trace(self, seed, lending):
         from repro.testing import (
             random_lending_trace,
             replay_trace,
         )
 
-        mp = MultiProgrammer(11, queue_policy="backfill", max_workers=1)
+        mp = MultiProgrammer(
+            11, queue_policy="backfill", lending=lending, max_workers=1
+        )
         checker = OccupancyInvariantChecker(mp)
         trace = random_lending_trace(seed, num_jobs=20)
         replay_trace(mp, trace, checker=checker)
         assert checker.checks == len(trace)
 
-    def test_windowed_strictly_beats_whole_on_bench_trace(self):
+    def test_lending_modes_strictly_ordered_on_bench_trace(self):
         """Pins the benchmark acceptance live: seed-1, 50 jobs, 11
-        qubits, backfill — windowed lending admits strictly more."""
+        qubits, fifo — each lending refinement admits strictly more
+        (``segmented > windowed > whole``), and no policy inverts the
+        non-strict ordering."""
         from repro.testing import random_lending_trace, replay_trace
 
         admitted = {}
-        for lending in ("whole", "windowed"):
-            mp = MultiProgrammer(
-                11,
-                queue_policy="backfill",
-                lending=lending,
-                max_workers=1,
-            )
-            log = replay_trace(
-                mp, random_lending_trace(1, num_jobs=50)
-            )
-            admitted[lending] = len(log.admitted)
-        assert admitted["windowed"] > admitted["whole"]
+        for policy in ("fifo", "backfill"):
+            for lending in ("whole", "windowed", "segmented"):
+                mp = MultiProgrammer(
+                    11,
+                    queue_policy=policy,
+                    lending=lending,
+                    max_workers=1,
+                )
+                log = replay_trace(
+                    mp, random_lending_trace(1, num_jobs=50)
+                )
+                admitted[(policy, lending)] = len(log.admitted)
+        assert (
+            admitted[("fifo", "segmented")]
+            > admitted[("fifo", "windowed")]
+            > admitted[("fifo", "whole")]
+        ), admitted
+        assert (
+            admitted[("backfill", "segmented")]
+            >= admitted[("backfill", "windowed")]
+            >= admitted[("backfill", "whole")]
+        ), admitted
 
 
 class TestWindowedThroughput:

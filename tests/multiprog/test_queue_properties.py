@@ -104,13 +104,18 @@ def run_seeded(
 
 class TestPolicyRegistry:
     def test_builtin_policies_registered(self):
-        assert available_policies() == ("backfill", "fifo")
+        assert available_policies() == (
+            "backfill",
+            "fifo",
+            "priority",
+            "sjf",
+        )
         assert policy_class("fifo") is FifoPolicy
         assert isinstance(make_policy("backfill"), BackfillPolicy)
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(CircuitError, match="registered"):
-            make_policy("priority")
+            make_policy("round-robin")
         with pytest.raises(CircuitError):
             MultiProgrammer(4, queue_policy="nope")
 
@@ -288,6 +293,67 @@ class TestBackfillPass:
         assert mp.stats()["rejected"] == 1
 
 
+class TestShortestJobFirst:
+    def test_sjf_drains_narrow_before_wide(self):
+        mp = make_programmer(machine=6, policy="sjf")
+        mp.submit(busy_job("a", 6))
+        mp.submit(busy_job("wide", 5))  # queued first, but wide
+        mp.submit(busy_job("mid", 3))
+        mp.submit(busy_job("tiny", 1))
+        mp.release("a")  # 6 free: sjf admits tiny, mid, then wide fails
+        assert mp.residents == ("tiny", "mid")
+        assert mp.pending() == ("wide",)
+        mp.release("tiny")
+        mp.release("mid")
+        assert mp.residents == ("wide",)
+
+    def test_sjf_key_is_reduced_width(self):
+        """A wide job whose ancilla requests shrink it sorts by the
+        reduced width, not the raw wire count."""
+        mp = make_programmer(machine=4, policy="sjf")
+        mp.submit(busy_job("a", 4))
+        mp.submit(busy_job("plain", 3))  # reduced width 3, queued first
+        mp.submit(hungry_job("shrunk"))  # 5 wires - 1 request = 4... still wider
+        mp.submit(busy_job("narrow", 2))  # reduced width 2
+        mp.release("a")
+        # narrow (2) leads mid-queue despite arriving last.
+        assert mp.residents[0] == "narrow"
+
+    def test_sjf_overtakes_like_backfill(self):
+        mp = make_programmer(machine=4, policy="sjf")
+        mp.submit(busy_job("a", 3))
+        mp.submit(busy_job("b", 2))  # queued
+        outcome = mp.submit(busy_job("c", 1))
+        assert outcome.admitted
+
+
+class TestPriorityPolicy:
+    def test_high_priority_drains_first(self):
+        mp = make_programmer(machine=6, policy="priority")
+        mp.submit(busy_job("a", 6))
+        mp.submit(busy_job("low", 3), priority=1)
+        mp.submit(busy_job("high", 3), priority=5)
+        mp.release("a")  # both fit one at a time; high first
+        assert mp.residents == ("high", "low")
+
+    def test_equal_priority_falls_back_to_arrival_order(self):
+        mp = make_programmer(machine=6, policy="priority")
+        mp.submit(busy_job("a", 6))
+        mp.submit(busy_job("first", 3))
+        mp.submit(busy_job("second", 3))
+        mp.release("a")
+        assert mp.residents == ("first", "second")
+
+    def test_priority_ignored_by_other_policies(self):
+        mp = make_programmer(machine=6, policy="fifo")
+        mp.submit(busy_job("a", 6))
+        mp.submit(busy_job("head", 4), priority=0)
+        mp.submit(busy_job("vip", 4), priority=99)
+        mp.release("a")  # strict fifo: head first, vip waits
+        assert mp.residents == ("head",)
+        assert mp.pending() == ("vip",)
+
+
 class TestTimeoutsAndCancel:
     def test_timeout_expires_after_events(self):
         mp = make_programmer(machine=2)
@@ -415,6 +481,19 @@ class TestWindowedLendingProperties:
         assert programmer.lending == "whole"
         assert checker.checks == len(trace)
 
+    @pytest.mark.parametrize("seed", range(0, 110, 5))
+    def test_invariants_hold_with_segmented_lending(self, seed):
+        """Under segmented lending the checker re-runs the restore-
+        point analysis from scratch for every lease, so these traces
+        pin the scheduler's segmentation against an independent
+        derivation after every event."""
+        policy = "sjf" if seed % 2 else "priority"
+        programmer, checker, _, trace = run_seeded(
+            seed, policy, lending="segmented"
+        )
+        assert programmer.lending == "segmented"
+        assert checker.checks == len(trace)
+
     @pytest.mark.parametrize("seed", range(0, 100, 2))
     def test_windowed_admits_at_least_whole_residency(self, seed):
         """On a drained, timeout-free trace, relaxing one-guest-per-
@@ -446,6 +525,37 @@ class TestWindowedLendingProperties:
         # A drained timeout-free trace admits every admissible job
         # under either mode, so the sets must in fact coincide.
         assert set(windowed_log.admitted) == set(whole_log.admitted)
+
+    @pytest.mark.parametrize("seed", range(0, 100, 4))
+    def test_segmented_admits_at_least_windowed(self, seed):
+        """The top of the lending lattice: on a drained, timeout-free
+        trace, refining whole-period windows into restore segments can
+        only admit more — every window that fits un-segmented fits
+        segmented a fortiori."""
+        logs = {}
+        for lending in ("whole", "windowed", "segmented"):
+            _, _, log, _ = run_seeded(
+                seed,
+                "backfill",
+                check=False,
+                timeout_probability=0.0,
+                lending=lending,
+            )
+            logs[lending] = log
+        counts = {k: len(v.admitted) for k, v in logs.items()}
+        if not (
+            counts["segmented"] >= counts["windowed"] >= counts["whole"]
+        ):
+            record_seed(
+                seed, "segmented-differential", f"chain broken: {counts}"
+            )
+            pytest.fail(
+                f"seed {seed}: admitted counts violate "
+                f"segmented >= windowed >= whole: {counts}"
+            )
+        assert set(logs["segmented"].admitted) == set(
+            logs["windowed"].admitted
+        )
 
 
 class TestDifferential:

@@ -40,6 +40,7 @@ def alloc_record(
     placed=3,
     admitted=40,
     windowed_admitted=44,
+    segmented_admitted=45,
     wall=1.0,
     lazy_runs=0,
 ):
@@ -80,6 +81,12 @@ def alloc_record(
                     "policy": "fifo",
                     "lending": "windowed",
                     "admitted": windowed_admitted,
+                    "wall_seconds": wall,
+                },
+                {
+                    "policy": "fifo",
+                    "lending": "segmented",
+                    "admitted": segmented_admitted,
                     "wall_seconds": wall,
                 },
             ]
@@ -165,6 +172,27 @@ class TestCompareAlloc:
         comp = compare_alloc(alloc_record(), fresh)
         assert "alloc.lending[fifo].windowed_vs_whole" in regressed(comp)
 
+    def test_segmented_below_windowed_fails_within_fresh(self):
+        fresh = alloc_record(windowed_admitted=44, segmented_admitted=43)
+        comp = compare_alloc(alloc_record(), fresh)
+        metrics = regressed(comp)
+        assert "alloc.lending[fifo].segmented_vs_windowed" in metrics
+
+    def test_segmented_without_a_strict_win_fails_within_fresh(self):
+        """Satellite acceptance: equal counts everywhere mean the
+        restore-point analysis bought nothing — the gate must complain
+        even though the non-strict lattice holds."""
+        fresh = alloc_record(windowed_admitted=44, segmented_admitted=44)
+        comp = compare_alloc(alloc_record(), fresh)
+        assert (
+            "alloc.lending.segmented_strictly_beats_windowed"
+            in regressed(comp)
+        )
+
+    def test_segmented_strict_win_on_any_policy_passes(self):
+        comp = compare_alloc(alloc_record(), alloc_record())
+        assert not comp.regressions
+
     def test_lazy_solver_run_growth_fails(self):
         comp = compare_alloc(alloc_record(), alloc_record(lazy_runs=3))
         assert "alloc.lazy_vs_eager.lazy_solver_runs" in regressed(comp)
@@ -249,10 +277,11 @@ class TestMarkdown:
         assert not compare_verify(verify, verify).regressions
         assert not compare_alloc(alloc, alloc).regressions
 
-    def test_committed_lending_rows_show_windowed_win(self):
-        """Acceptance: on the seeded 50-job lending trace, windowed
-        lending admits strictly more than whole-residency under at
-        least one policy (gate-guarded via the committed baseline)."""
+    def test_committed_lending_rows_show_refinement_wins(self):
+        """Acceptance: on the seeded 50-job lending trace the lattice
+        ``segmented >= windowed >= whole`` holds under every policy,
+        and each refinement wins strictly under at least one
+        (gate-guarded via the committed baseline)."""
         repo = Path(__file__).resolve().parent.parent
         payload = json.loads((repo / "BENCH_alloc.json").read_text())
         rows = payload["lending"]["rows"]
@@ -261,11 +290,15 @@ class TestMarkdown:
             for row in rows
         }
         policies = {policy for policy, _ in by_key}
-        assert any(
-            by_key[(p, "windowed")] > by_key[(p, "whole")]
-            for p in policies
-        )
-        assert all(
-            by_key[(p, "windowed")] >= by_key[(p, "whole")]
-            for p in policies
-        )
+        for finer, coarser in (
+            ("windowed", "whole"),
+            ("segmented", "windowed"),
+        ):
+            assert any(
+                by_key[(p, finer)] > by_key[(p, coarser)]
+                for p in policies
+            ), (finer, coarser, by_key)
+            assert all(
+                by_key[(p, finer)] >= by_key[(p, coarser)]
+                for p in policies
+            ), (finer, coarser, by_key)
