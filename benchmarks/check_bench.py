@@ -16,6 +16,14 @@ The gate fails (exit 1) on:
   deterministic counts, so no tolerance applies;
 * a **vanished row** — a backend/strategy/policy present in the
   baseline but missing from the fresh record (silent coverage loss);
+* the **solver-speed floors** — within the fresh verify record itself
+  (schema v2 ``fronts`` rows): the bitset kernel must stay at least
+  50x over the old per-row brute enumeration, the incremental probe
+  path must be strictly faster than fresh-instance solving (ratio
+  < 1.0), and the process executor must be at least 2x the thread
+  executor when the runner has >= 4 CPUs (recorded but not enforced
+  on smaller runners — the row carries ``cpu_count`` so the gate can
+  tell);
 * the **lending invariants** — within the fresh record itself:
   windowed lending admitting fewer jobs than whole-residency, or
   segmented lending fewer than windowed, under any policy; and
@@ -152,6 +160,67 @@ def compare_verify(baseline: dict, fresh: dict) -> Comparator:
                     "a safe workload must stay safe",
                 )
             )
+    # Solver-speed fronts (schema v2): presence is locked against the
+    # baseline; the wins themselves are locked by absolute floors on
+    # the *fresh* record, so they cannot silently erode run over run.
+    fresh_fronts = _by(fresh.get("fronts"), "front")
+    for key, _ in _by(baseline.get("fronts"), "front").items():
+        comp.present(f"verify.fronts[{key[0]}]", fresh_fronts.get(key))
+    bitset = fresh_fronts.get(("bitset_vs_brute",))
+    if bitset is not None:
+        speedup = bitset.get("speedup")
+        comp.findings.append(
+            Finding(
+                "verify.fronts[bitset_vs_brute].speedup",
+                ">= 50",
+                speedup,
+                isinstance(speedup, (int, float)) and speedup >= 50,
+                "bitset kernel must stay >= 50x over the old brute wall",
+            )
+        )
+        comp.findings.append(
+            Finding(
+                "verify.fronts[bitset_vs_brute].verdicts_agree",
+                True,
+                bitset.get("verdicts_agree"),
+                bitset.get("verdicts_agree") is True,
+                "kernel and enumeration must agree",
+            )
+        )
+    incremental = fresh_fronts.get(("incremental_vs_fresh",))
+    if incremental is not None:
+        ratio = incremental.get("ratio")
+        comp.findings.append(
+            Finding(
+                "verify.fronts[incremental_vs_fresh].ratio",
+                "< 1.0",
+                ratio,
+                isinstance(ratio, (int, float)) and ratio < 1.0,
+                "incremental probing must beat fresh-instance solving",
+            )
+        )
+    process = fresh_fronts.get(("process_vs_thread",))
+    if process is not None:
+        cpus = process.get("cpu_count") or 0
+        speedup = process.get("speedup")
+        if cpus >= 4:
+            ok = isinstance(speedup, (int, float)) and speedup >= 2.0
+            detail = "process pool must be >= 2x threads with >= 4 cores"
+        else:
+            ok = True
+            detail = (
+                f"not enforced: {cpus} cpu(s) on this runner "
+                "(needs >= 4 for multi-core scaling)"
+            )
+        comp.findings.append(
+            Finding(
+                "verify.fronts[process_vs_thread].speedup",
+                ">= 2.0 (with >= 4 cpus)",
+                speedup,
+                ok,
+                detail,
+            )
+        )
     fresh_cmp = _by(fresh.get("sequential_vs_batch"), "backend")
     for key, base_row in _by(
         baseline.get("sequential_vs_batch"), "backend"
@@ -347,17 +416,25 @@ def main(argv=None) -> int:
     parser.add_argument("--verify-baseline", default="BENCH_verify.json")
     parser.add_argument("--verify-fresh", required=True)
     parser.add_argument("--alloc-baseline", default="BENCH_alloc.json")
-    parser.add_argument("--alloc-fresh", required=True)
+    parser.add_argument("--alloc-fresh")
+    parser.add_argument(
+        "--verify-only",
+        action="store_true",
+        help="gate only the verify record (solver-speed CI job)",
+    )
     args = parser.parse_args(argv)
+    if not args.verify_only and not args.alloc_fresh:
+        parser.error("--alloc-fresh is required unless --verify-only is set")
 
     comparators = {
         "BENCH_verify": compare_verify(
             _load(args.verify_baseline), _load(args.verify_fresh)
         ),
-        "BENCH_alloc": compare_alloc(
-            _load(args.alloc_baseline), _load(args.alloc_fresh)
-        ),
     }
+    if not args.verify_only:
+        comparators["BENCH_alloc"] = compare_alloc(
+            _load(args.alloc_baseline), _load(args.alloc_fresh)
+        )
     summary = markdown_summary(comparators)
     print(summary)
     step_summary = os.environ.get("GITHUB_STEP_SUMMARY")

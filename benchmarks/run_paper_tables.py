@@ -165,10 +165,12 @@ def figure_10_3() -> None:
 
 
 #: Largest adder each backend gets in the per-backend table.  DPLL has
-#: no clause learning (~30x per +2 qubits past n=8) and brute force
-#: caps at 24 CNF variables, so both run a reduced companion workload —
+#: no clause learning (~30x per +2 qubits past n=8); brute and bitset
+#: enumerate truth tables, whose cone width crosses the bitset kernel's
+#: 20-variable ceiling past n=10 (n=10 is up from brute's historical
+#: n=4 — the bitset fast path moved its wall).  Reduced workloads are
 #: recorded per row so the JSON stays honest.
-_BACKEND_ADDER_CAP = {"dpll": 8, "brute": 4}
+_BACKEND_ADDER_CAP = {"dpll": 8, "brute": 10, "bitset": 10}
 
 
 def per_backend_solver_seconds() -> list:
@@ -206,7 +208,9 @@ def per_backend_solver_seconds() -> list:
 
 def sequential_vs_batch(program, backend: str) -> dict:
     """The headline comparison: per-qubit verify_circuit loop vs. one
-    BatchVerifier call over the same dirty qubits."""
+    BatchVerifier call over the same dirty qubits.  Records parallel
+    *efficiency* (speedup / workers) so a "1.11x with 8 threads" result
+    reads as the 14% efficiency it is, not as a win."""
     start = time.perf_counter()
     sequential_verdicts = []
     for qubit in program.dirty_wires:
@@ -224,18 +228,165 @@ def sequential_vs_batch(program, backend: str) -> dict:
     agree = [v.safe for v in sequential_verdicts] == [
         v.safe for v in batch_report.verdicts
     ]
+    speedup = (
+        round(sequential_wall / batch_wall, 2) if batch_wall > 0 else None
+    )
+    workers = verifier.max_workers
     row = {
         "backend": backend,
         "dirty_qubits": len(program.dirty_wires),
         "sequential_wall_seconds": round(sequential_wall, 4),
         "batch_wall_seconds": round(batch_wall, 4),
-        "speedup": round(sequential_wall / batch_wall, 2)
-        if batch_wall > 0 else None,
+        "speedup": speedup,
+        "workers": workers,
+        "efficiency": round(speedup / workers, 3)
+        if speedup is not None else None,
         "verdicts_agree": agree,
     }
     print(
         f"  {backend:<14} sequential={sequential_wall:>8.3f}s "
-        f"batch={batch_wall:>8.3f}s speedup={row['speedup']}x"
+        f"batch={batch_wall:>8.3f}s speedup={row['speedup']}x "
+        f"efficiency={row['efficiency']}"
+    )
+    return row
+
+
+def front_bitset_vs_brute() -> dict:
+    """Front 1: the bitset truth-table kernel vs. the historical brute
+    CNF enumeration, on the n=4 adder the old brute wall was measured
+    on.  ``bitset_max_vars=0`` disables brute's bitset fast path, so
+    the baseline is the genuine pre-kernel code path."""
+    from repro.verify.backends.brute import BruteCheckerBackend
+    from repro.verify.tracking import track_circuit
+
+    program = elaborate(adder_qbr_source(4))
+    qubits = sorted(program.dirty_wires)
+
+    old = BruteCheckerBackend(
+        track_circuit(program.circuit), bitset_max_vars=0
+    )
+    start = time.perf_counter()
+    old_safe = all(old.check_qubit(q).safe for q in qubits)
+    old_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    report = verify_circuit(
+        program.circuit, qubits, backend="bitset"
+    )
+    new_wall = time.perf_counter() - start
+
+    row = {
+        "front": "bitset_vs_brute",
+        "adder_n": 4,
+        "obligations": len(qubits),
+        "old_brute_wall_seconds": round(old_wall, 4),
+        "bitset_wall_seconds": round(new_wall, 4),
+        "speedup": round(old_wall / new_wall, 1) if new_wall > 0 else None,
+        "verdicts_agree": old_safe == report.all_safe,
+    }
+    print(
+        f"  bitset_vs_brute    old={old_wall:>8.3f}s new={new_wall:>8.3f}s "
+        f"speedup={row['speedup']}x"
+    )
+    return row
+
+
+def front_incremental_vs_fresh(program) -> dict:
+    """Front 2: one long-lived probing solver vs. a fresh CDCL instance
+    per obligation, over the full per-qubit batch.  Interleaved repeats
+    with a median keep the strict `incremental < fresh` gate out of
+    runner-jitter territory."""
+    from repro.verify.backends.cdcl import CdclCheckerBackend
+    from repro.verify.tracking import track_circuit
+
+    qubits = sorted(program.dirty_wires)
+    repeats = 3 if QUICK else 5
+
+    def run(incremental: bool) -> float:
+        checker = CdclCheckerBackend(
+            track_circuit(program.circuit), incremental=incremental
+        )
+        start = time.perf_counter()
+        for qubit in qubits:
+            checker.check_qubit(qubit)
+        return time.perf_counter() - start
+
+    fresh_walls, incremental_walls = [], []
+    for _ in range(repeats):
+        fresh_walls.append(run(False))
+        incremental_walls.append(run(True))
+    fresh = sorted(fresh_walls)[repeats // 2]
+    incremental = sorted(incremental_walls)[repeats // 2]
+    row = {
+        "front": "incremental_vs_fresh",
+        "adder_n": BENCH_ADDER_N,
+        "obligations": len(qubits),
+        "repeats": repeats,
+        "fresh_solver_seconds": round(fresh, 4),
+        "incremental_solver_seconds": round(incremental, 4),
+        "ratio": round(incremental / fresh, 3) if fresh > 0 else None,
+    }
+    print(
+        f"  incremental_vs_fresh fresh={fresh:>7.3f}s "
+        f"incremental={incremental:>7.3f}s ratio={row['ratio']}"
+    )
+    return row
+
+
+def front_process_vs_thread() -> dict:
+    """Front 3: the process-pool executor vs. the thread pool on a
+    CPU-bound multi-circuit batch.  Pure-Python solving holds the GIL,
+    so threads add nothing; processes scale with cores — which is why
+    the row records ``cpu_count`` and the gate only binds on machines
+    with enough of them."""
+    import os
+
+    from repro.verify import BatchVerifier, VerificationJob
+
+    ns = (13, 14, 15, 16) if QUICK else (15, 16, 17, 18)
+    workers = 4
+    jobs = []
+    for n in ns:
+        program = elaborate(adder_qbr_source(n))
+        jobs.append(
+            VerificationJob(
+                program.circuit, tuple(sorted(program.dirty_wires))
+            )
+        )
+
+    def run(executor: str) -> float:
+        with BatchVerifier(
+            backend="cdcl",
+            executor=executor,
+            max_workers=workers,
+            replay=False,
+        ) as verifier:
+            if executor == "process":
+                # Spin the pool up outside the timed region: the row
+                # measures steady-state batch throughput, not fork cost.
+                verifier._process_pool()
+            start = time.perf_counter()
+            reports = verifier.verify_circuits(jobs)
+            wall = time.perf_counter() - start
+        assert all(report.all_safe for report in reports)
+        return wall
+
+    thread_wall = run("thread")
+    process_wall = run("process")
+    row = {
+        "front": "process_vs_thread",
+        "adder_ns": list(ns),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "thread_wall_seconds": round(thread_wall, 4),
+        "process_wall_seconds": round(process_wall, 4),
+        "speedup": round(thread_wall / process_wall, 2)
+        if process_wall > 0 else None,
+    }
+    print(
+        f"  process_vs_thread  thread={thread_wall:>7.3f}s "
+        f"process={process_wall:>7.3f}s speedup={row['speedup']}x "
+        f"(cpus={row['cpu_count']})"
     )
     return row
 
@@ -244,21 +395,30 @@ def bench_verify(path: str) -> None:
     program = elaborate(adder_qbr_source(BENCH_ADDER_N))
     workload = (
         f"adder.qbr n={BENCH_ADDER_N} "
-        f"({len(program.dirty_wires)} dirty carry ancillas)"
+        f"({len(program.dirty_wires)} dirty carry ancillas); "
+        f"reduced workloads: dpll n=8, brute/bitset n=10 "
+        f"(brute raised from its historical n=4 wall)"
     )
     print(f"=== BENCH_verify: {workload} ===", flush=True)
     print("per-backend solver seconds:", flush=True)
     backend_rows = per_backend_solver_seconds()
+    print("solver-speed fronts:", flush=True)
+    fronts = [
+        front_bitset_vs_brute(),
+        front_incremental_vs_fresh(program),
+        front_process_vs_thread(),
+    ]
     print("sequential loop vs. batch engine:", flush=True)
     comparison = [
         sequential_vs_batch(program, backend) for backend in ("bdd", "cdcl")
     ]
     payload = {
-        "schema": "bench-verify/v1",
+        "schema": "bench-verify/v2",
         "generated_by": "benchmarks/run_paper_tables.py",
         "workload": workload,
         "quick": QUICK,
         "backends": backend_rows,
+        "fronts": fronts,
         "sequential_vs_batch": comparison,
         "figures": _figure_rows,
     }

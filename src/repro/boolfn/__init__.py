@@ -10,12 +10,22 @@ formulas live in (negation is canonicalised to ``x ⊕ 1``), with the
 
 :mod:`repro.boolfn.cnf` Tseitin-encodes a DAG node into CNF for the SAT
 backends; :mod:`repro.boolfn.anf` expands small nodes to algebraic normal
-form for pretty-printing and the Figure 6.1 trace.
+form for pretty-printing and the Figure 6.1 trace;
+:mod:`repro.boolfn.bitset` evaluates small cones as vectorised truth
+tables — one arbitrary-precision integer per DAG node, ``2**n``
+assignments per Python-level op — behind the ``bitset`` checker backend
+and the ``brute`` backend's fast path.
 """
 
 from repro.boolfn.expr import Expr, ExprBuilder
 from repro.boolfn.cnf import Cnf, TseitinEncoder, tseitin_encode
 from repro.boolfn.anf import AnfOverflowError, to_anf, anf_to_string
+from repro.boolfn.bitset import (
+    bitset_solve,
+    count_satisfying,
+    truth_table,
+    variable_row,
+)
 
 __all__ = [
     "AnfOverflowError",
@@ -24,6 +34,10 @@ __all__ = [
     "ExprBuilder",
     "TseitinEncoder",
     "anf_to_string",
+    "bitset_solve",
+    "count_satisfying",
     "to_anf",
+    "truth_table",
     "tseitin_encode",
+    "variable_row",
 ]

@@ -1,0 +1,152 @@
+"""Vectorised truth-table kernels over the hash-consed DAG.
+
+Exhaustive checking used to mean Tseitin-encoding an obligation and
+enumerating CNF assignments one Python loop iteration at a time.  For
+the small cones the (6.1)/(6.2) obligations actually produce, the whole
+truth table fits in one arbitrary-precision integer per DAG node: bit
+``i`` of a node's row is the node's value under assignment ``i`` (input
+variable ``k`` reads bit ``k`` of ``i``).  One Python-level ``&``/``|``/
+``^`` then evaluates the node under all ``2**n`` assignments at once,
+so a cone of ``m`` nodes costs ``O(m)`` big-int ops instead of
+``O(2**n * clauses)`` interpreter steps.
+
+:func:`bitset_solve` is the satisfiability entry point the ``bitset``
+checker backend and the ``brute`` backend's fast path share; the row
+builders are exposed for the tests and the ANF/trace tooling.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.boolfn.expr import AND, CONST, OR, VAR, XOR, Expr, _topological
+from repro.errors import BooleanError, SolverError
+from repro.sat.result import SatResult, SatStats
+
+#: Widest cone the kernel accepts by default.  2**20 assignments is a
+#: 128 KiB row per DAG node — still far cheaper than one CNF
+#: enumeration step per assignment — but the memory is per-node, so the
+#: cap keeps a pathological cone from allocating gigabytes.
+DEFAULT_MAX_VARS = 20
+
+
+@lru_cache(maxsize=256)
+def variable_row(position: int, num_vars: int) -> int:
+    """Truth-table row of input variable ``position`` among ``num_vars``.
+
+    Bit ``i`` of the row is ``(i >> position) & 1`` — the variable's
+    value under assignment index ``i``.  Built by doubling, so the cost
+    is ``O(num_vars)`` big-int shifts, not ``O(2**num_vars)`` loop
+    iterations.
+    """
+    if not 0 <= position < num_vars:
+        raise BooleanError(
+            f"variable position {position} outside 0..{num_vars - 1}"
+        )
+    half = 1 << position
+    row = ((1 << half) - 1) << half  # one period: 2**position 0s then 1s
+    width = half << 1
+    total = 1 << num_vars
+    while width < total:
+        row |= row << width
+        width <<= 1
+    return row
+
+
+def truth_table(
+    expr: Expr, order: Optional[Sequence[str]] = None
+) -> Tuple[int, Tuple[str, ...]]:
+    """Evaluate ``expr`` under every assignment of its variables at once.
+
+    Returns ``(table, order)`` where bit ``i`` of ``table`` is the value
+    of ``expr`` under the assignment that sets ``order[k]`` to bit ``k``
+    of ``i``.  ``order`` defaults to the cone's variables sorted by
+    name; passing it explicitly lets two cones share an assignment
+    indexing (how (6.1) and (6.2) rows stay comparable in the tests).
+    """
+    names = tuple(order) if order is not None else tuple(
+        sorted(expr.variables())
+    )
+    missing = expr.variables() - set(names)
+    if missing:
+        raise BooleanError(f"order omits cone variables {sorted(missing)}")
+    n = len(names)
+    mask = (1 << (1 << n)) - 1
+    position = {name: k for k, name in enumerate(names)}
+    rows: Dict[int, int] = {}
+    for node in _topological(expr):
+        if node.kind == CONST:
+            rows[node.uid] = mask if node.value else 0
+        elif node.kind == VAR:
+            rows[node.uid] = variable_row(position[node.name], n)
+        else:
+            children = [rows[c.uid] for c in node.children]
+            acc = children[0]
+            if node.kind == AND:
+                for row in children[1:]:
+                    acc &= row
+            elif node.kind == OR:
+                for row in children[1:]:
+                    acc |= row
+            elif node.kind == XOR:
+                for row in children[1:]:
+                    acc ^= row
+            else:  # pragma: no cover - exhaustive over kinds
+                raise BooleanError(f"unknown node kind {node.kind!r}")
+            rows[node.uid] = acc
+    return rows[expr.uid] & mask, names
+
+
+def model_from_index(index: int, order: Sequence[str]) -> Dict[str, bool]:
+    """Decode assignment index ``index`` back into a name -> value map."""
+    return {
+        name: bool((index >> position) & 1)
+        for position, name in enumerate(order)
+    }
+
+
+def bitset_solve(
+    expr: Expr, max_vars: int = DEFAULT_MAX_VARS
+) -> Tuple[SatResult, Optional[Dict[str, bool]]]:
+    """Decide satisfiability of ``expr`` by one vectorised evaluation.
+
+    Returns the :class:`SatResult` (its ``model`` left empty — variables
+    here are names, not DIMACS indices) plus the name-keyed satisfying
+    assignment when one exists: the lowest set bit of the truth table,
+    so verdicts are deterministic and match enumeration order.
+    """
+    names = sorted(expr.variables())
+    if len(names) > max_vars:
+        raise SolverError(
+            f"bitset kernel caps at {max_vars} cone variables, "
+            f"got {len(names)}"
+        )
+    table, order = truth_table(expr, names)
+    stats = SatStats(decisions=1 << len(names))
+    if table == 0:
+        return SatResult(False, stats=stats), None
+    witness = (table & -table).bit_length() - 1
+    return SatResult(True, stats=stats), model_from_index(witness, order)
+
+
+def count_satisfying(expr: Expr, max_vars: int = DEFAULT_MAX_VARS) -> int:
+    """Model count of ``expr`` over its own cone (exact, vectorised)."""
+    names = sorted(expr.variables())
+    if len(names) > max_vars:
+        raise SolverError(
+            f"bitset kernel caps at {max_vars} cone variables, "
+            f"got {len(names)}"
+        )
+    table, _ = truth_table(expr, names)
+    return table.bit_count()
+
+
+__all__ = [
+    "DEFAULT_MAX_VARS",
+    "bitset_solve",
+    "count_satisfying",
+    "model_from_index",
+    "truth_table",
+    "variable_row",
+]

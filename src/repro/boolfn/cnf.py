@@ -60,6 +60,7 @@ class TseitinEncoder:
         self.cnf = Cnf()
         self._node_var: Dict[int, int] = {}
         self._var_of_name: Dict[str, int] = {}
+        self._aux_vars: Dict[int, Tuple[int, ...]] = {}
         self._true_var: Optional[int] = None
 
     # ------------------------------------------------------------------ #
@@ -78,6 +79,20 @@ class TseitinEncoder:
     def variable_map(self) -> Dict[str, int]:
         """Input-variable name -> DIMACS index, for model extraction."""
         return dict(self._var_of_name)
+
+    def cone_vars(self, node: Expr) -> List[int]:
+        """DIMACS variables of ``node``'s cone (encoding it on demand).
+
+        Feeds incremental solving: an assumption probe of ``node`` can
+        restrict branching to exactly these variables, keeping search
+        local to the obligation inside a much larger shared instance.
+        """
+        self._encode_cone(node)
+        cone = set()
+        for n in _topological(node):
+            cone.add(abs(self._node_var[n.uid]))
+            cone.update(self._aux_vars.get(n.uid, ()))
+        return sorted(cone)
 
     def decode_model(self, model: Dict[int, bool]) -> Dict[str, bool]:
         """Project a solver model onto the original input variables."""
@@ -135,8 +150,15 @@ class TseitinEncoder:
     def _encode_xor(self, node: Expr) -> int:
         child_lits = [self._node_var[c.uid] for c in node.children]
         acc = child_lits[0]
+        ladder = []
         for lit in child_lits[1:]:
             acc = self._binary_xor(acc, lit)
+            ladder.append(abs(acc))
+        # The ladder's intermediate variables belong to no Expr node but
+        # appear in the node's defining clauses; cone_vars must report
+        # them or focused solving would leave those clauses asleep.
+        if len(ladder) > 1:
+            self._aux_vars[node.uid] = tuple(ladder[:-1])
         return acc
 
     def _binary_xor(self, a: int, b: int) -> int:

@@ -6,7 +6,14 @@ self-contained replacements (see DESIGN.md §4):
 
 * :class:`repro.sat.cdcl.CdclSolver` — conflict-driven clause learning with
   two-literal watching, VSIDS, 1-UIP learning, phase saving, Luby restarts
-  and clause-database reduction (the Bitwuzla stand-in);
+  and clause-database reduction (the Bitwuzla stand-in).  The solver is
+  **incremental**: ``add_clause`` extends a live instance between
+  ``solve`` calls, ``solve(assumptions=...)`` answers under a temporary
+  prefix, ``solve(focus=...)`` restricts branching and propagation to a
+  cone of variables, and ``probe(literal, focus=...)`` asserts one root
+  literal with fresh-solver economics and rolls it back — the mechanism
+  the ``cdcl`` checker backend uses to discharge every per-qubit
+  obligation off one shared Tseitin instance;
 * :class:`repro.sat.dpll.DpllSolver` — plain DPLL with unit propagation
   (the ablation baseline);
 * :func:`repro.sat.brute.brute_force_solve` — exhaustive enumeration, used

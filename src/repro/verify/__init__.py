@@ -13,13 +13,18 @@ Checkers, from most semantic to most scalable:
   Boolean formulas and the (6.1)/(6.2) obligations;
 * :mod:`repro.verify.backends` — the pluggable decision procedures
   behind Theorem 6.4: a ``@register_backend`` registry with one module
-  per engine (``cdcl``, ``dpll``, ``brute``, ``bdd``, ``bdd-reversed``)
-  plus ``portfolio``, which races SAT against BDD and returns the first
-  verdict;
+  per engine (``cdcl`` — incremental by default, probing each
+  obligation off one long-lived shared solver; ``dpll``; ``brute``;
+  ``bitset`` — vectorised truth tables, also ``brute``'s fast path
+  under its cone-width threshold; ``bdd``; ``bdd-reversed``) plus
+  ``portfolio``, which races the recorded-best SAT engine against BDD
+  and returns the first verdict;
 * :mod:`repro.verify.batch` — :class:`BatchVerifier`, the throughput
   engine: one tracking pass and one checker per circuit, per-qubit
-  checks fanned out over a worker pool, verdicts memoised by
-  ``(circuit fingerprint, qubit, backend)``;
+  checks fanned out over a worker pool (``executor="thread"`` shares
+  checkers in-process; ``executor="process"`` ships per-circuit chunks
+  to a ``ProcessPoolExecutor`` for true multi-core scaling), verdicts
+  memoised by ``(circuit fingerprint, qubit, backend)``;
 * :mod:`repro.verify.cache` — :class:`DiskVerdictCache`, the opt-in
   JSON persistence of that memo (``cache_path=`` on the verifier), so
   repeated service runs skip solver work across processes;

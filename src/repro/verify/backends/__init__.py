@@ -6,11 +6,14 @@ Layout
   :class:`BooleanCheckOutcome` verdict record;
 * :mod:`~repro.verify.backends.registry` — ``@register_backend`` and the
   name → class lookup behind :func:`make_checker`;
-* one module per engine: :mod:`~repro.verify.backends.cdcl`,
-  :mod:`~repro.verify.backends.dpll`, :mod:`~repro.verify.backends.brute`
-  (CNF SAT), :mod:`~repro.verify.backends.bdd`,
+* one module per engine: :mod:`~repro.verify.backends.cdcl`
+  (incremental assumption-probing SAT), :mod:`~repro.verify.backends.dpll`,
+  :mod:`~repro.verify.backends.brute` (CNF SAT),
+  :mod:`~repro.verify.backends.bitset` (vectorised truth tables),
+  :mod:`~repro.verify.backends.bdd`,
   :mod:`~repro.verify.backends.bdd_reversed` (canonical ROBDDs) and
-  :mod:`~repro.verify.backends.portfolio` (SAT vs BDD race).
+  :mod:`~repro.verify.backends.portfolio` (SAT vs BDD race, its SAT
+  contender picked from the recorded bench trajectory).
 
 Importing this package registers every built-in backend.  Third-party
 backends only need to subclass :class:`CheckerBackend` and apply the
@@ -29,6 +32,7 @@ from repro.verify.backends.registry import (
 from repro.verify.backends.cdcl import CdclCheckerBackend
 from repro.verify.backends.dpll import DpllCheckerBackend
 from repro.verify.backends.brute import BruteCheckerBackend
+from repro.verify.backends.bitset import BitsetCheckerBackend
 from repro.verify.backends.bdd import BddCheckerBackend
 from repro.verify.backends.bdd_reversed import BddReversedCheckerBackend
 from repro.verify.backends.portfolio import PortfolioCheckerBackend
@@ -37,6 +41,7 @@ from repro.verify.backends.sat import SatCheckerBackend
 __all__ = [
     "BddCheckerBackend",
     "BddReversedCheckerBackend",
+    "BitsetCheckerBackend",
     "BooleanCheckOutcome",
     "BruteCheckerBackend",
     "CdclCheckerBackend",

@@ -7,6 +7,13 @@ runs both on a small thread pool and returns whichever verdict lands
 first.  Both contenders are sound and complete on the classical
 fragment, so racing never changes the verdict, only the latency profile.
 
+Which SAT engine earns the seat is not hard-coded: by default the pair
+comes from :func:`recorded_contenders`, which reads the committed
+``BENCH_verify.json`` trajectory and promotes the fastest SAT-family
+backend that completed the full bench workload (see
+:func:`choose_contenders`).  Passing ``contenders=...`` explicitly
+overrides the record.
+
 Losing contenders are *cancelled*, not abandoned: the winner sets a
 per-race event that the solvers poll at their loop heads, so the pool's
 worker threads come back almost immediately instead of grinding out an
@@ -20,19 +27,81 @@ batch sweep pays thread start-up once per circuit, not once per qubit.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 import weakref
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from typing import ClassVar, Dict, Sequence, Tuple
+from pathlib import Path
+from typing import ClassVar, Dict, Optional, Sequence, Tuple
 
 from repro.errors import SolverCancelled, SolverError
 from repro.verify.backends.base import BooleanCheckOutcome, CheckerBackend
 from repro.verify.backends.registry import make_checker, register_backend
 from repro.verify.tracking import TrackedFormulas
 
-#: Default contenders; first entry is the tiebreak on simultaneous wins.
+#: Fallback contenders; first entry is the tiebreak on simultaneous wins.
 DEFAULT_CONTENDERS: Tuple[str, ...] = ("cdcl", "bdd")
+
+#: The SAT-family engines a recorded trajectory may promote into the
+#: race (the BDD side is structurally different and stays fixed).
+SAT_FAMILY: Tuple[str, ...] = ("cdcl", "dpll", "brute", "bitset")
+
+
+def choose_contenders(record: Optional[dict]) -> Tuple[str, ...]:
+    """Pick the portfolio pair from a ``BENCH_verify.json`` payload.
+
+    The SAT contender is the fastest SAT-family backend the recorded
+    trajectory shows completing the *largest* bench workload safely —
+    capped engines (brute/bitset run reduced adders) never outrank one
+    that went the distance.  The BDD side stays ``bdd``: the race exists
+    because the two families have complementary strengths, so the choice
+    worth recording is *which SAT engine* earns the seat.  An absent or
+    unusable record falls back to :data:`DEFAULT_CONTENDERS`.
+    """
+    if not record:
+        return DEFAULT_CONTENDERS
+    rows = [r for r in record.get("backends") or [] if isinstance(r, dict)]
+    full_n = max((r.get("adder_n") or 0 for r in rows), default=0)
+    best = None
+    best_seconds = None
+    for row in rows:
+        if row.get("backend") not in SAT_FAMILY or "error" in row:
+            continue
+        if row.get("adder_n") != full_n or row.get("all_safe") is not True:
+            continue
+        seconds = row.get("solver_seconds")
+        if not isinstance(seconds, (int, float)):
+            continue
+        if best_seconds is None or seconds < best_seconds:
+            best = row["backend"]
+            best_seconds = seconds
+    if best is None:
+        return DEFAULT_CONTENDERS
+    return (best, "bdd")
+
+
+_RECORD_PATH = Path(__file__).resolve().parents[4] / "BENCH_verify.json"
+_recorded_cache: Optional[Tuple[str, ...]] = None
+
+
+def recorded_contenders(
+    path: Optional[Path] = None,
+) -> Tuple[str, ...]:
+    """Contenders from the committed bench record (cached per process)."""
+    global _recorded_cache
+    if path is None and _recorded_cache is not None:
+        return _recorded_cache
+    record = None
+    try:
+        with open(path or _RECORD_PATH) as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        record = None
+    contenders = choose_contenders(record)
+    if path is None:
+        _recorded_cache = contenders
+    return contenders
 
 
 class _EitherSet:
@@ -62,9 +131,14 @@ class PortfolioCheckerBackend(CheckerBackend):
     def __init__(
         self,
         tracked: TrackedFormulas,
-        contenders: Sequence[str] = DEFAULT_CONTENDERS,
+        contenders: Optional[Sequence[str]] = None,
     ):
         super().__init__(tracked)
+        if contenders is None:
+            # The recorded bench trajectory decides which SAT engine
+            # races bdd (falls back to DEFAULT_CONTENDERS when no
+            # record is available).
+            contenders = recorded_contenders()
         if not contenders:
             raise SolverError("portfolio needs at least one contender")
         if "portfolio" in contenders:

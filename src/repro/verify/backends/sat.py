@@ -9,8 +9,21 @@ on the circuit.  The plus-restoration formulas (6.2) are dominated by
 qubit-specific cofactors with little cross-qubit sharing, so they use a
 cone-local encoder to keep each solver instance minimal.
 
-Solver runs happen outside the encoder lock, so per-qubit checks from
-the batch engine's worker threads overlap in the solve phase.
+Backends whose engine is incremental (``incremental = True``, i.e.
+cdcl) go further: **one long-lived solver per circuit** holds the whole
+shared Tseitin instance — (6.1) *and* (6.2) cones, which share their
+``b_q`` subterms through hash-consing — and every obligation is
+discharged as an *assumption probe* (``solve(assumptions=[root])``)
+against it.  Defining clauses are fed to the solver exactly once, and
+learned clauses, variable activities and saved phases carry over
+between probes, so a 13-obligation batch costs a fraction of 13 fresh
+solver runs.  Probes against the one solver serialise on an internal
+lock; true multi-core parallelism comes from the batch engine's
+process-pool executor, where each worker owns its own solver.
+
+Non-incremental solver runs happen outside the encoder lock, so
+per-qubit checks from the batch engine's worker threads overlap in the
+solve phase.
 """
 
 from __future__ import annotations
@@ -21,6 +34,7 @@ from typing import Callable, ClassVar, Dict, Optional, Tuple
 
 from repro.boolfn.cnf import Cnf, TseitinEncoder
 from repro.boolfn.expr import Expr
+from repro.errors import SolverError
 from repro.sat.result import SatResult
 from repro.verify.backends.base import BooleanCheckOutcome, CheckerBackend
 from repro.verify.tracking import TrackedFormulas, formula_61, formula_62
@@ -36,6 +50,10 @@ class SatCheckerBackend(CheckerBackend):
     #: backend turns this off: enumeration is exponential in the
     #: variable count, so its instances must stay cone-local.
     share_zero_encoder: ClassVar[bool] = True
+    #: Whether obligations are assumption probes against one long-lived
+    #: solver (requires :meth:`_new_incremental_solver`).  May be
+    #: overridden per instance by subclass constructors.
+    incremental: ClassVar[bool] = False
 
     def __init__(self, tracked: TrackedFormulas):
         super().__init__(tracked)
@@ -43,6 +61,13 @@ class SatCheckerBackend(CheckerBackend):
         self._zero_encoder: Optional[TseitinEncoder] = (
             TseitinEncoder() if self.share_zero_encoder else None
         )
+        if self.incremental:
+            #: One encoder + one solver for the whole circuit; the lock
+            #: serialises encode-feed-probe rounds across threads.
+            self._inc_lock = threading.Lock()
+            self._inc_encoder = TseitinEncoder()
+            self._inc_solver = None
+            self._inc_fed = 0
 
     # ------------------------------------------------------------------ #
     # Solver plumbing
@@ -50,6 +75,12 @@ class SatCheckerBackend(CheckerBackend):
 
     def _run_solver(self, cnf: Cnf, stop_check: StopCheck = None) -> SatResult:
         raise NotImplementedError
+
+    def _new_incremental_solver(self):
+        raise SolverError(
+            f"backend {self.name!r} declares incremental=True but "
+            f"provides no incremental solver"
+        )
 
     def _solve_fresh(
         self, expr: Expr, stop_check: StopCheck = None
@@ -78,6 +109,61 @@ class SatCheckerBackend(CheckerBackend):
                 model = self._zero_encoder.decode_model(result.model)
         return result, model, cnf
 
+    def _solve_incremental(
+        self, expr: Expr, stop_check: StopCheck = None
+    ) -> Tuple[SatResult, Optional[Dict[str, bool]], Cnf]:
+        """Encode into the long-lived instance and probe one assumption.
+
+        The root literal is asserted only for the duration of the
+        :meth:`~repro.sat.cdcl.CdclSolver.probe` call, so the instance
+        stays satisfiable and reusable while each probe runs with
+        fresh-solver mechanics; variable activities and saved phases
+        carry over between probes.  Because nothing is ever asserted
+        permanently except refuted roots (which are entailed), the
+        instance stays definitional — which licenses the ``focus``
+        shortcut: branching and propagation are restricted to the
+        obligation's own cone, so each probe searches a space the size
+        of a fresh cone-local instance without paying re-encoding.
+        """
+        with self._inc_lock:
+            literal = self._inc_encoder.literal(expr)
+            focus = self._inc_encoder.cone_vars(expr)
+            solver = self._inc_solver
+            if solver is None:
+                solver = self._inc_solver = self._new_incremental_solver()
+            cnf = self._inc_encoder.cnf
+            solver.ensure_vars(cnf.num_vars)
+            clauses = cnf.clauses
+            while self._inc_fed < len(clauses):
+                solver.add_clause(clauses[self._inc_fed])
+                self._inc_fed += 1
+            solver.stop_check = stop_check
+            try:
+                result = solver.probe(literal, focus=focus)
+            finally:
+                solver.stop_check = None
+            if not result.is_sat:
+                # UNSAT under the assumption means the instance entails
+                # the root's negation; asserting it is equivalence-
+                # preserving and lets later probes unit-propagate
+                # through this cone instead of re-searching it.
+                solver.add_clause([-literal])
+            model = (
+                self._inc_encoder.decode_model(result.model)
+                if result.is_sat
+                else None
+            )
+            return result, model, cnf
+
+    def _discharge(
+        self, expr: Expr, stop_check: StopCheck, shared: bool
+    ) -> Tuple[SatResult, Optional[Dict[str, bool]], Cnf]:
+        if self.incremental:
+            return self._solve_incremental(expr, stop_check)
+        if shared:
+            return self._solve_shared(expr, stop_check)
+        return self._solve_fresh(expr, stop_check)
+
     # ------------------------------------------------------------------ #
     # The Theorem 6.4 check
     # ------------------------------------------------------------------ #
@@ -90,7 +176,7 @@ class SatCheckerBackend(CheckerBackend):
         start = time.perf_counter()
         stop_check = self._stop_check(cancel_event)
         expr1 = formula_61(self.tracked, qubit)
-        result1, model1, cnf1 = self._solve_shared(expr1, stop_check)
+        result1, model1, cnf1 = self._discharge(expr1, stop_check, shared=True)
         if result1.is_sat:
             model1[self.tracked.names[qubit]] = False
             return BooleanCheckOutcome(
@@ -102,7 +188,7 @@ class SatCheckerBackend(CheckerBackend):
                 details={"cnf_clauses": len(cnf1.clauses)},
             )
         expr2 = formula_62(self.tracked, qubit)
-        result2, model2, cnf2 = self._solve_fresh(expr2, stop_check)
+        result2, model2, cnf2 = self._discharge(expr2, stop_check, shared=False)
         elapsed = time.perf_counter() - start
         if result2.is_sat:
             return BooleanCheckOutcome(

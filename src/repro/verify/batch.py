@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -42,6 +42,32 @@ from repro.verify.tracking import TrackedFormulas, track_circuit
 
 #: (circuit fingerprint, qubit, backend, simplify_xor) -> outcome.
 VerdictCache = Dict[Tuple[str, int, str, bool], BooleanCheckOutcome]
+
+#: Per-process checker cache for the process-pool executor.  Workers
+#: receive (circuit, qubit) jobs and rebuild tracking + checker once
+#: per (circuit, backend, simplify_xor); later jobs on the same circuit
+#: — including the incremental SAT backend's long-lived solver — reuse
+#: the warm instance for the lifetime of the worker process.
+_WORKER_CHECKERS: Dict[Tuple[str, str, bool], CheckerBackend] = {}
+
+
+def _process_check(
+    circuit: Circuit,
+    qubits: Sequence[int],
+    backend: str,
+    simplify_xor: bool,
+) -> List[BooleanCheckOutcome]:
+    """Top-level (picklable) worker: check a chunk of qubits in this
+    process.  Chunks are per-circuit so the tracking rebuild — and the
+    incremental SAT backend's shared instance — amortise over every
+    qubit in the chunk."""
+    key = (circuit.fingerprint(), backend, simplify_xor)
+    checker = _WORKER_CHECKERS.get(key)
+    if checker is None:
+        tracked = track_circuit(circuit, simplify_xor=simplify_xor)
+        checker = make_checker(tracked, backend)
+        _WORKER_CHECKERS[key] = checker
+    return [checker.check_qubit(qubit) for qubit in qubits]
 
 
 @dataclass(frozen=True)
@@ -78,8 +104,19 @@ class BatchVerifier:
     backend:
         Default backend name for jobs that do not pin their own.
     max_workers:
-        Worker-thread count for fanning out per-qubit checks; ``None``
-        uses the CPU count.  ``1`` degenerates to the sequential loop.
+        Worker count for fanning out per-qubit checks; ``None`` uses
+        the CPU count.  ``1`` degenerates to the sequential loop.
+    executor:
+        ``"thread"`` (default) fans out over a thread pool — cheap,
+        shares every in-process structure, but pure-Python solver
+        backends serialise on the GIL.  ``"process"`` fans out over a
+        persistent :class:`~concurrent.futures.ProcessPoolExecutor`
+        for true multi-core solving: each worker process rebuilds
+        tracking and its own checker per circuit (cached for the
+        worker's lifetime) and results merge back into this verifier's
+        memo and any shared :class:`~repro.verify.cache.DiskVerdictCache`.
+        Call :meth:`close` (or use the verifier as a context manager)
+        to reap the pool.
     simplify_xor:
         Apply the Figure 6.1 ``x ⊕ x = 0`` rule while tracking.
     replay:
@@ -104,9 +141,14 @@ class BatchVerifier:
         replay: bool = True,
         cache: Optional[VerdictCache] = None,
         cache_path: Optional[str] = None,
+        executor: str = "thread",
     ):
         if max_workers is not None and max_workers < 1:
             raise VerificationError("max_workers must be at least 1")
+        if executor not in ("thread", "process"):
+            raise VerificationError(
+                f"unknown executor {executor!r}: pick 'thread' or 'process'"
+            )
         if cache is not None and cache_path is not None:
             raise VerificationError(
                 "pass either cache or cache_path, not both"
@@ -117,6 +159,7 @@ class BatchVerifier:
             cache = DiskVerdictCache(cache_path)
         self.backend = backend
         self.max_workers = max_workers or os.cpu_count() or 1
+        self.executor = executor
         self.simplify_xor = simplify_xor
         self.replay = replay
         self.cache: VerdictCache = {} if cache is None else cache
@@ -125,10 +168,27 @@ class BatchVerifier:
         self._tracked: Dict[str, TrackedFormulas] = {}
         self._track_seconds: Dict[str, float] = {}
         self._checkers: Dict[Tuple[str, str], CheckerBackend] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut down the process pool, if one was ever started.
+
+        Idempotent; the verifier remains usable afterwards (a later
+        process-executor batch lazily starts a fresh pool).
+        """
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "BatchVerifier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def clear(self) -> None:
         """Drop memoised verdicts and per-circuit structures.
@@ -181,7 +241,9 @@ class BatchVerifier:
             plan.append((job, fingerprint, backend))
 
         # Deduplicate against the memo cache and within the batch.
-        pending: Dict[Tuple[str, int, str, bool], Tuple[CheckerBackend, int]] = {}
+        pending: Dict[
+            Tuple[str, int, str, bool], Tuple[CheckerBackend, int, Circuit]
+        ] = {}
         hits: Dict[int, int] = {}
         misses: Dict[int, int] = {}
         for index, (job, fingerprint, backend) in enumerate(plan):
@@ -193,7 +255,7 @@ class BatchVerifier:
                     hits[index] = hits.get(index, 0) + 1
                 else:
                     checker = self._checkers[(fingerprint, backend)]
-                    pending[key] = (checker, qubit)
+                    pending[key] = (checker, qubit, job.circuit)
                     misses[index] = misses.get(index, 0) + 1
         self._execute(pending)
 
@@ -255,9 +317,66 @@ class BatchVerifier:
         with checker.serial_lock:
             return checker.check_qubit(qubit)
 
+    def _process_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def _execute_process(
+        self,
+        pending: Dict[
+            Tuple[str, int, str, bool], Tuple[CheckerBackend, int, Circuit]
+        ],
+    ) -> None:
+        """Fan pending checks out over the process pool.
+
+        Work ships as per-circuit chunks, not per-qubit tasks: each
+        chunk pays one tracking rebuild in its worker and then runs all
+        its qubits against the worker's warm checker.  When the batch
+        holds fewer circuits than workers, each circuit's qubit list is
+        split so every worker still gets work.
+        """
+        groups: Dict[
+            Tuple[str, str, bool], Tuple[Circuit, List[Tuple[tuple, int]]]
+        ] = {}
+        for key, (_, qubit, circuit) in pending.items():
+            fingerprint, _, backend, simplify_xor = key
+            group = groups.setdefault(
+                (fingerprint, backend, simplify_xor), (circuit, [])
+            )
+            group[1].append((key, qubit))
+        # Oversubscribe chunks 2x so heterogeneous circuits load-balance
+        # (the largest circuit otherwise pins the makespan); tracking
+        # rebuilds cost milliseconds, so extra chunks are cheap.
+        chunks_per_group = max(1, -(-2 * self.max_workers // len(groups)))
+        pool = self._process_pool()
+        futures = []
+        for (_, backend, simplify_xor), (circuit, items) in groups.items():
+            splits = min(chunks_per_group, len(items))
+            size = -(-len(items) // splits)
+            for offset in range(0, len(items), size):
+                chunk = items[offset : offset + size]
+                futures.append(
+                    (
+                        chunk,
+                        pool.submit(
+                            _process_check,
+                            circuit,
+                            [qubit for _, qubit in chunk],
+                            backend,
+                            simplify_xor,
+                        ),
+                    )
+                )
+        for chunk, future in futures:
+            for (key, _), outcome in zip(chunk, future.result()):
+                self.cache[key] = outcome
+
     def _execute(
         self,
-        pending: Dict[Tuple[str, int, str, bool], Tuple[CheckerBackend, int]],
+        pending: Dict[
+            Tuple[str, int, str, bool], Tuple[CheckerBackend, int, Circuit]
+        ],
     ) -> None:
         if not pending:
             return
@@ -267,8 +386,11 @@ class BatchVerifier:
         store = deferred() if deferred is not None else nullcontext()
         with store:
             if self.max_workers == 1 or len(pending) == 1:
-                for key, (checker, qubit) in pending.items():
+                for key, (checker, qubit, _) in pending.items():
                     self.cache[key] = checker.check_qubit(qubit)
+                return
+            if self.executor == "process":
+                self._execute_process(pending)
                 return
             workers = min(self.max_workers, len(pending))
             with ThreadPoolExecutor(
@@ -276,7 +398,7 @@ class BatchVerifier:
             ) as pool:
                 futures = {
                     key: pool.submit(self._run_check, checker, qubit)
-                    for key, (checker, qubit) in pending.items()
+                    for key, (checker, qubit, _) in pending.items()
                 }
                 for key, future in futures.items():
                     self.cache[key] = future.result()

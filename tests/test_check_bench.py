@@ -15,8 +15,19 @@ from benchmarks.check_bench import (
 )
 
 
-def verify_record(backend_wall=1.0, batch_wall=1.0, agree=True, safe=True):
-    return {
+def verify_record(
+    backend_wall=1.0,
+    batch_wall=1.0,
+    agree=True,
+    safe=True,
+    fronts=True,
+    bitset_speedup=3600.0,
+    bitset_agree=True,
+    incremental_ratio=0.9,
+    process_speedup=2.4,
+    cpu_count=8,
+):
+    record = {
         "backends": [
             {
                 "backend": "bdd",
@@ -33,6 +44,25 @@ def verify_record(backend_wall=1.0, batch_wall=1.0, agree=True, safe=True):
             }
         ],
     }
+    if fronts:
+        record["schema"] = "bench-verify/v2"
+        record["fronts"] = [
+            {
+                "front": "bitset_vs_brute",
+                "speedup": bitset_speedup,
+                "verdicts_agree": bitset_agree,
+            },
+            {
+                "front": "incremental_vs_fresh",
+                "ratio": incremental_ratio,
+            },
+            {
+                "front": "process_vs_thread",
+                "speedup": process_speedup,
+                "cpu_count": cpu_count,
+            },
+        ]
+    return record
 
 
 def alloc_record(
@@ -140,6 +170,76 @@ class TestCompareVerify:
     def test_errored_baseline_row_is_skipped(self):
         comp = compare_verify(verify_record(), verify_record())
         assert not any("dpll" in m for m in regressed(comp))
+
+
+class TestSolverSpeedFronts:
+    """The schema-v2 ``fronts`` floors lock in the solver-speed wins."""
+
+    def test_bitset_speedup_below_floor_fails(self):
+        comp = compare_verify(
+            verify_record(), verify_record(bitset_speedup=49.0)
+        )
+        assert "verify.fronts[bitset_vs_brute].speedup" in regressed(comp)
+
+    def test_bitset_verdict_disagreement_fails(self):
+        comp = compare_verify(
+            verify_record(), verify_record(bitset_agree=False)
+        )
+        assert "verify.fronts[bitset_vs_brute].verdicts_agree" in (
+            regressed(comp)
+        )
+
+    def test_incremental_not_strictly_faster_fails(self):
+        comp = compare_verify(
+            verify_record(), verify_record(incremental_ratio=1.0)
+        )
+        assert "verify.fronts[incremental_vs_fresh].ratio" in (
+            regressed(comp)
+        )
+
+    def test_process_scaling_below_2x_fails_on_big_runner(self):
+        comp = compare_verify(
+            verify_record(),
+            verify_record(process_speedup=1.4, cpu_count=4),
+        )
+        assert "verify.fronts[process_vs_thread].speedup" in regressed(comp)
+
+    def test_process_scaling_not_enforced_on_small_runner(self):
+        """A 1-cpu box cannot show multi-core scaling; the row is
+        recorded honestly and the floor is waived, not faked."""
+        comp = compare_verify(
+            verify_record(),
+            verify_record(process_speedup=0.9, cpu_count=1),
+        )
+        assert not comp.regressions
+        waived = [
+            f
+            for f in comp.findings
+            if f.metric == "verify.fronts[process_vs_thread].speedup"
+        ]
+        assert waived and "not enforced" in waived[0].detail
+
+    def test_vanished_front_fails(self):
+        fresh = verify_record()
+        fresh["fronts"] = [
+            r for r in fresh["fronts"] if r["front"] != "incremental_vs_fresh"
+        ]
+        comp = compare_verify(verify_record(), fresh)
+        assert "verify.fronts[incremental_vs_fresh]" in regressed(comp)
+
+    def test_v1_baseline_without_fronts_still_gates_fresh(self):
+        """Fresh fronts are floor-checked even before the committed
+        baseline is regenerated with schema v2."""
+        comp = compare_verify(
+            verify_record(fronts=False), verify_record(bitset_speedup=10.0)
+        )
+        assert "verify.fronts[bitset_vs_brute].speedup" in regressed(comp)
+
+    def test_fronts_absent_everywhere_is_fine(self):
+        comp = compare_verify(
+            verify_record(fronts=False), verify_record(fronts=False)
+        )
+        assert not comp.regressions
 
 
 class TestCompareAlloc:
@@ -252,6 +352,56 @@ class TestCli:
         assert code == 1
         assert "REGRESSION" in summary
         assert "admitted" in capsys.readouterr().err
+
+    def test_verify_only_skips_alloc_records(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(tmp_path / "s.md"))
+        code = main(
+            [
+                "--verify-only",
+                "--verify-baseline",
+                self.write(tmp_path, "vb.json", verify_record()),
+                "--verify-fresh",
+                self.write(tmp_path, "vf.json", verify_record()),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BENCH_verify" in out
+        assert "BENCH_alloc" not in out
+
+    def test_verify_only_catches_front_regression(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(tmp_path / "s.md"))
+        code = main(
+            [
+                "--verify-only",
+                "--verify-baseline",
+                self.write(tmp_path, "vb.json", verify_record()),
+                "--verify-fresh",
+                self.write(
+                    tmp_path, "vf.json", verify_record(incremental_ratio=1.2)
+                ),
+            ]
+        )
+        assert code == 1
+        assert "incremental_vs_fresh" in capsys.readouterr().err
+
+    def test_missing_alloc_fresh_without_verify_only_errors(
+        self, tmp_path, monkeypatch
+    ):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "--verify-fresh",
+                    self.write(tmp_path, "vf.json", verify_record()),
+                ]
+            )
+        assert excinfo.value.code == 2
 
     def test_summary_lists_every_metric(self, tmp_path, monkeypatch):
         _, summary = self.run_gate(

@@ -17,7 +17,7 @@ from repro.verify.backends import (
 )
 from repro.verify.backends.registry import _REGISTRY
 
-BUILTIN = ("bdd", "bdd-reversed", "brute", "cdcl", "dpll", "portfolio")
+BUILTIN = ("bdd", "bdd-reversed", "bitset", "brute", "cdcl", "dpll", "portfolio")
 
 
 def random_circuit(seed: int, num_qubits: int = 6, max_gates: int = 12):
