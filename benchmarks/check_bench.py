@@ -29,7 +29,14 @@ The gate fails (exit 1) on:
   segmented lending fewer than windowed, under any policy; and
   segmented lending failing to admit *strictly more* than windowed
   under at least one policy (the restore-point analysis must keep
-  paying for itself on the pinned trace).
+  paying for itself on the pinned trace);
+* the **streaming floors** — within the fresh record's ``streaming``
+  section: the incremental model engine must stay at least 2x over
+  the per-gate rescan path on every workload (with both paths
+  producing identical models), the ``lookahead=inf`` sweep row must
+  reproduce the offline greedy plans exactly (the differential
+  contract: equal total width *and* per-circuit plan equality,
+  segmented mode included via ``segmented_parity``).
 
 A markdown summary of every comparison goes to stdout and, when the
 ``GITHUB_STEP_SUMMARY`` environment variable is set, to that file as
@@ -375,7 +382,86 @@ def compare_alloc(baseline: dict, fresh: dict) -> Comparator:
                 "segmented must out-admit windowed under >= 1 policy",
             )
         )
+    _compare_streaming(
+        comp, baseline.get("streaming") or {}, fresh.get("streaming") or {}
+    )
     return comp
+
+
+def _compare_streaming(comp: Comparator, baseline: dict, fresh: dict) -> None:
+    """The ``streaming`` section: presence locked against the baseline,
+    wins locked by absolute floors on the fresh record (same shape as
+    the solver-speed fronts)."""
+    fresh_rescan = _by(fresh.get("incremental_vs_rescan"), "workload")
+    for key, _ in _by(baseline.get("incremental_vs_rescan"), "workload").items():
+        comp.present(
+            f"alloc.streaming.incremental_vs_rescan[{key[0]}]",
+            fresh_rescan.get(key),
+        )
+    for key, row in sorted(fresh_rescan.items()):
+        name = f"alloc.streaming.incremental_vs_rescan[{key[0]}]"
+        speedup = row.get("speedup")
+        comp.findings.append(
+            Finding(
+                f"{name}.speedup",
+                ">= 2.0",
+                speedup,
+                isinstance(speedup, (int, float)) and speedup >= 2.0,
+                "incremental model engine must stay >= 2x over the "
+                "per-gate rescan path",
+            )
+        )
+        comp.findings.append(
+            Finding(
+                f"{name}.models_agree",
+                True,
+                row.get("models_agree"),
+                row.get("models_agree") is True,
+                "incremental and rescan models must be identical",
+            )
+        )
+    fresh_lookahead = _by(fresh.get("lookahead"), "lookahead")
+    for key, _ in _by(baseline.get("lookahead"), "lookahead").items():
+        comp.present(
+            f"alloc.streaming.lookahead[{key[0]}]",
+            fresh_lookahead.get(key),
+        )
+    if baseline.get("throughput") is not None:
+        comp.present("alloc.streaming.throughput", fresh.get("throughput"))
+    inf_row = fresh_lookahead.get(("inf",))
+    if inf_row is not None:
+        comp.findings.append(
+            Finding(
+                "alloc.streaming.lookahead[inf].width_matches_offline",
+                True,
+                inf_row.get("width_matches_offline"),
+                inf_row.get("width_matches_offline") is True,
+                "lookahead=∞ width must equal offline greedy width",
+            )
+        )
+        comp.findings.append(
+            Finding(
+                "alloc.streaming.lookahead[inf].plans_match_offline",
+                True,
+                inf_row.get("plans_match_offline"),
+                inf_row.get("plans_match_offline") is True,
+                "lookahead=∞ must reproduce the offline greedy plans "
+                "gate-for-gate",
+            )
+        )
+    parity = fresh.get("segmented_parity")
+    if baseline.get("segmented_parity") is not None:
+        comp.present("alloc.streaming.segmented_parity", parity)
+    if parity is not None:
+        comp.findings.append(
+            Finding(
+                "alloc.streaming.segmented_parity.matches_offline",
+                True,
+                parity.get("matches_offline"),
+                parity.get("matches_offline") is True,
+                "segmented ∞-lookahead plans must equal offline greedy",
+            )
+        )
 
 
 def markdown_summary(comparators: Dict[str, Comparator]) -> str:

@@ -26,7 +26,19 @@ The width-reduction pass is split into layers mirroring
 
 * :mod:`repro.alloc.api` — :func:`allocate`, which drives model ->
   strategy -> rewritten circuit and returns the historical
-  :class:`BorrowPlan`.
+  :class:`BorrowPlan`;
+* :mod:`repro.alloc.streaming` — the online face: a
+  :class:`StreamingAllocator` fed one gate at a time over an
+  :class:`~repro.alloc.model.IncrementalConflictModel` (per-wire
+  sorted touch lists and incremental restore scans from
+  :mod:`repro.circuits.intervals` — no prefix rescans).  Placements
+  stay tentative inside a bounded ``lookahead`` horizon (rolled back
+  and re-planned on conflict) and become final behind it; with
+  ``lookahead=None`` (∞) the closed stream reproduces the offline
+  ``greedy`` plan exactly.  :func:`build_model` itself now feeds the
+  same engine and snapshots it once, so the offline path shares the
+  incremental structures (see the ``streaming`` section of
+  ``BENCH_alloc.json`` for the speedup this buys on long circuits).
 
 :func:`repro.circuits.borrowing.borrow_dirty_qubits` remains as the
 compatibility shim over :func:`allocate`, and the online
@@ -34,13 +46,19 @@ multi-programmer (:mod:`repro.multiprog`) picks a strategy per
 admission.
 """
 
-from repro.alloc.api import BorrowPlan, SafetyCheck, allocate
-from repro.alloc.base import AllocationStrategy
+from repro.alloc.api import BorrowPlan, SafetyCheck, allocate, materialise
 from repro.alloc.model import (
     ConflictModel,
+    IncrementalConflictModel,
     Placement,
     build_model,
     validate_placement,
+)
+from repro.alloc.base import AllocationStrategy
+from repro.alloc.streaming import (
+    StreamingAllocator,
+    StreamingStats,
+    stream_allocate,
 )
 from repro.alloc.registry import (
     available_strategies,
@@ -60,16 +78,21 @@ __all__ = [
     "BorrowPlan",
     "ConflictModel",
     "GreedyStrategy",
+    "IncrementalConflictModel",
     "IntervalGraphStrategy",
     "LookaheadStrategy",
     "Placement",
     "SafetyCheck",
+    "StreamingAllocator",
+    "StreamingStats",
     "VerifiedStrategy",
     "allocate",
     "available_strategies",
     "build_model",
     "make_strategy",
+    "materialise",
     "register_strategy",
+    "stream_allocate",
     "strategy_class",
     "validate_placement",
 ]

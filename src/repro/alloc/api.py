@@ -112,17 +112,23 @@ def allocate(
     placement = engine.plan(model.restrict(targets))
     notes.extend(placement.notes)
     unplaced = sorted((*blocked, *placement.unplaced))
-    return _materialise(model, placement.assignment, unplaced, notes, engine.name)
+    return materialise(model, placement.assignment, unplaced, notes, engine.name)
 
 
-def _materialise(
+def materialise(
     model: ConflictModel,
     assignment: Dict[int, int],
     unplaced: List[int],
     notes: List[str],
     strategy_name: str,
 ) -> BorrowPlan:
-    """Rewrite the circuit onto the compacted register."""
+    """Rewrite the circuit onto the compacted register.
+
+    Shared back end of :func:`allocate` and
+    :class:`repro.alloc.streaming.StreamingAllocator.close`: given a
+    model and a final assignment, produce the :class:`BorrowPlan` with
+    ancilla wires merged into their hosts and the register compacted.
+    """
     circuit = model.circuit
     removed = set(assignment) | set(model.untouched)
     survivors = [q for q in range(circuit.num_qubits) if q not in removed]

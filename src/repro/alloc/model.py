@@ -30,18 +30,16 @@ the seed's per-ancilla ``idle_qubits_during`` rescans on wide circuits.
 
 from __future__ import annotations
 
-from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.intervals import (
     ActivityInterval,
+    IncrementalTouchIndex,
+    RestoreScan,
     SegmentCheck,
     WindowSet,
-    activity_intervals,
-    restore_segments,
-    touch_indices,
 )
 from repro.errors import CircuitError
 
@@ -154,6 +152,196 @@ class ConflictModel:
         )
 
 
+class IncrementalConflictModel:
+    """The interval-conflict structure, maintained one gate at a time.
+
+    The streaming engine behind both faces of the allocator: gates
+    arrive through :meth:`append`, and after every gate the per-wire
+    touch lists (:class:`~repro.circuits.intervals.IncrementalTouchIndex`),
+    each active ancilla's lending window
+    (:class:`~repro.circuits.intervals.RestoreScan` under
+    ``segmented=True``, the whole activity hull otherwise) and the
+    candidate-host query are current — no structure ever re-walks the
+    gate prefix.  :meth:`snapshot` materialises the usual frozen
+    :class:`ConflictModel` for the prefix seen so far; :func:`build_model`
+    is now exactly "feed every gate, snapshot once", so offline and
+    streaming answers agree by construction.
+
+    Per-gate cost is O(wires-per-gate) list appends plus, for touched
+    ancillas, one restore-scan step; the point queries
+    (:meth:`window`, :meth:`candidate_hosts`, :meth:`host_idle_in`)
+    are bisect probes over the sorted lists.  The rescan alternative —
+    rebuilding the model per gate — is O(gates) *per gate*; the bench's
+    ``streaming.incremental_vs_rescan`` section records the gap.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        ancillas: Sequence[int],
+        segmented: bool = False,
+        segment_check: Optional[SegmentCheck] = None,
+        labels: Optional[Sequence[str]] = None,
+    ):
+        self._ancilla_set = set(ancillas)
+        for a in self._ancilla_set:
+            if not 0 <= a < num_qubits:
+                raise CircuitError(f"ancilla {a} outside the register")
+        self._circuit = Circuit(num_qubits, labels=labels)
+        self._index = IncrementalTouchIndex(num_qubits)
+        self._segmented = segmented
+        self._segment_check = segment_check
+        self._scans: Dict[int, RestoreScan] = {}
+        # Active ancillas in first-touch order, ties broken by wire
+        # index — the canonical (period.first, a) processing order, kept
+        # sorted for free because first touches only ever move forward.
+        self._active: List[int] = []
+        self._active_set: set = set()
+        self._hosts = tuple(
+            q for q in range(num_qubits) if q not in self._ancilla_set
+        )
+
+    # ------------------------------------------------------------------ #
+    # Growth
+    # ------------------------------------------------------------------ #
+
+    def append(self, gate) -> int:
+        """Feed one gate; returns the gate index it was assigned."""
+        self._circuit.append(gate)  # validates wire indices
+        index = self._index.append(gate)
+        for a in sorted(set(gate.qubits) & self._ancilla_set):
+            if a not in self._active_set:
+                self._active_set.add(a)
+                self._active.append(a)
+            if self._segmented:
+                scan = self._scans.get(a)
+                if scan is None:
+                    scan = self._scans[a] = RestoreScan(
+                        self._circuit.num_qubits,
+                        self._circuit.gates,
+                        a,
+                        self._segment_check,
+                    )
+                scan.observe(index)
+        return index
+
+    def extend(self, gates) -> None:
+        """Feed many gates in order."""
+        for gate in gates:
+            self.append(gate)
+
+    # ------------------------------------------------------------------ #
+    # Point queries (current prefix)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_qubits(self) -> int:
+        return self._circuit.num_qubits
+
+    @property
+    def num_gates(self) -> int:
+        """Gates fed so far."""
+        return self._index.num_gates
+
+    @property
+    def segmented(self) -> bool:
+        return self._segmented
+
+    @property
+    def hosts(self) -> Tuple[int, ...]:
+        """Non-ancilla wires, ascending."""
+        return self._hosts
+
+    @property
+    def active(self) -> Tuple[int, ...]:
+        """Touched ancillas in (first touch, wire) order — the
+        canonical processing order of every strategy."""
+        return tuple(self._active)
+
+    def last_touch(self, ancilla: int) -> Optional[int]:
+        """The ancilla's most recent gate index, or ``None``."""
+        return self._index.last_touch(ancilla)
+
+    def period(self, ancilla: int) -> Optional[ActivityInterval]:
+        """The ancilla's activity period so far, or ``None``."""
+        return self._index.interval(ancilla)
+
+    def window(self, ancilla: int) -> Optional[WindowSet]:
+        """The ancilla's lending window over the prefix seen so far
+        (``None`` while untouched)."""
+        if ancilla not in self._active_set:
+            return None
+        if self._segmented:
+            return self._scans[ancilla].window()
+        return WindowSet.whole(self._index.interval(ancilla))
+
+    def host_idle_in(
+        self, host: int, window: Union[ActivityInterval, WindowSet]
+    ) -> bool:
+        """Is ``host`` free of gates inside every segment of ``window``?"""
+        return not self._index.busy_in(host, window)
+
+    def candidate_hosts(self, ancilla: int) -> Tuple[int, ...]:
+        """Hosts idle throughout the ancilla's current window, ascending."""
+        window = self.window(ancilla)
+        if window is None:
+            return self._hosts
+        return tuple(
+            h for h in self._hosts if not self._index.busy_in(h, window)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Materialisation
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, circuit: Optional[Circuit] = None) -> ConflictModel:
+        """Freeze the current prefix into a :class:`ConflictModel`.
+
+        ``circuit`` lets :func:`build_model` hand back the caller's own
+        circuit object (required: :func:`repro.alloc.api.allocate`
+        checks model/circuit identity).  Without it, the engine's
+        internal gate list is *copied* into a fresh circuit, so the
+        snapshot stays stable if more gates are fed afterwards.
+        """
+        if circuit is None:
+            circuit = Circuit(
+                self._circuit.num_qubits,
+                self._circuit.gates,
+                self._circuit.labels,
+            )
+        active = tuple(self._active)
+        untouched = tuple(sorted(self._ancilla_set - self._active_set))
+        windows = {a: self.window(a) for a in active}
+        periods = {a: self._index.interval(a) for a in active}
+        candidates = {
+            a: tuple(
+                h
+                for h in self._hosts
+                if not self._index.busy_in(h, windows[a])
+            )
+            for a in active
+        }
+        conflicts: Dict[int, FrozenSet[int]] = {
+            a: frozenset(
+                b
+                for b in active
+                if b != a and windows[a].overlaps(windows[b])
+            )
+            for a in active
+        }
+        return ConflictModel(
+            circuit=circuit,
+            ancillas=active,
+            untouched=untouched,
+            periods=periods,
+            windows=windows,
+            hosts=self._hosts,
+            candidates=candidates,
+            conflicts=conflicts,
+            segmented=self._segmented,
+        )
+
+
 def build_model(
     circuit: Circuit,
     ancillas: Sequence[int],
@@ -169,79 +357,21 @@ def build_model(
     need to be idle inside the surviving segments, and conflicts are
     window-*set* overlaps — both strictly more permissive than the
     whole-period default, never less.
+
+    Implemented as "feed every gate through an
+    :class:`IncrementalConflictModel`, snapshot once" — the same engine
+    the streaming allocator drives gate-by-gate, which is what makes
+    the offline/streaming differential contract hold by construction.
     """
-    ancilla_set = set(ancillas)
-    for a in ancilla_set:
-        if not 0 <= a < circuit.num_qubits:
-            raise CircuitError(f"ancilla {a} outside the register")
-
-    intervals = activity_intervals(circuit)
-    active = sorted(
-        (a for a in ancilla_set if a in intervals),
-        key=lambda a: (intervals[a].first, a),
-    )
-    untouched = tuple(sorted(a for a in ancilla_set if a not in intervals))
-    hosts = tuple(
-        q for q in range(circuit.num_qubits) if q not in ancilla_set
-    )
-
-    # One pass builds every wire's sorted gate-index list; the restore
-    # analysis and the candidate scan both read it, so neither re-walks
-    # the gate list per ancilla.
-    touches = touch_indices(circuit)
-
-    # The lending window: the whole activity period (a dirty ancilla
-    # carries borrowed state from its first touch to its last), or the
-    # restore-point segmentation of it — the host wire is occupied for
-    # exactly those segments and no longer.
-    if segmented:
-        windows = {
-            a: restore_segments(
-                circuit,
-                a,
-                segment_check=segment_check,
-                touches=touches[a],
-            )
-            for a in active
-        }
-    else:
-        windows = {a: WindowSet.whole(intervals[a]) for a in active}
-
-    # A host is a candidate for an ancilla iff binary search finds none
-    # of its indices in any of the ancilla's window segments.
-    candidates: Dict[int, Tuple[int, ...]] = {}
-    for a in active:
-        idle = []
-        for host in hosts:
-            indices = touches.get(host, ())
-            if all(
-                (cut := bisect_left(indices, seg.first)) == len(indices)
-                or indices[cut] > seg.last
-                for seg in windows[a].segments
-            ):
-                idle.append(host)
-        candidates[a] = tuple(idle)
-
-    conflicts: Dict[int, FrozenSet[int]] = {
-        a: frozenset(
-            b
-            for b in active
-            if b != a and windows[a].overlaps(windows[b])
-        )
-        for a in active
-    }
-
-    return ConflictModel(
-        circuit=circuit,
-        ancillas=tuple(active),
-        untouched=untouched,
-        periods={a: intervals[a] for a in active},
-        windows=windows,
-        hosts=hosts,
-        candidates=candidates,
-        conflicts=conflicts,
+    engine = IncrementalConflictModel(
+        circuit.num_qubits,
+        ancillas,
         segmented=segmented,
+        segment_check=segment_check,
+        labels=circuit.labels,
     )
+    engine.extend(circuit.gates)
+    return engine.snapshot(circuit)
 
 
 def validate_placement(model: ConflictModel, placement: Placement) -> None:

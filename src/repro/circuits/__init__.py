@@ -14,7 +14,10 @@ their refinement into segmented lending windows: the restore-point
 analysis (:func:`restore_segments`) splits an ancilla's period at the
 gaps where the prefix provably restores it, yielding the
 :class:`WindowSet` of disjoint segments a borrowed host is actually
-occupied for.  The Figure 3.1 width-reduction pass that borrows idle
+occupied for; :class:`IncrementalTouchIndex` and :class:`RestoreScan`
+run the same analyses gate-by-gate over a growing stream (the offline
+functions replay them, so the two can never drift).  The Figure 3.1
+width-reduction pass that borrows idle
 working qubits as dirty ancillas lives in :mod:`repro.alloc` (a
 pluggable strategy subsystem), with :mod:`repro.circuits.borrowing` as
 its historical façade.
@@ -45,6 +48,8 @@ from repro.circuits.classical import (
 )
 from repro.circuits.intervals import (
     ActivityInterval,
+    IncrementalTouchIndex,
+    RestoreScan,
     WindowSet,
     activity_intervals,
     idle_qubits_during,
@@ -70,6 +75,8 @@ __all__ = [
     "Circuit",
     "CircuitCosts",
     "Gate",
+    "IncrementalTouchIndex",
+    "RestoreScan",
     "activity_intervals",
     "apply_gate_to_ket",
     "apply_to_bits",

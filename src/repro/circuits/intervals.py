@@ -9,6 +9,22 @@ segments, so the host wire can be released there and re-borrowed later.
 :func:`restore_segments` finds those release points and returns the
 ancilla's :class:`WindowSet` — the ordered set of disjoint gate-index
 segments during which a guest actually occupies its host.
+
+The module has two faces over the same structures:
+
+* **Offline** — :func:`activity_intervals`, :func:`touch_indices` and
+  :func:`restore_segments` take a complete :class:`Circuit` and answer
+  in one pass.
+* **Incremental** — :class:`IncrementalTouchIndex` and
+  :class:`RestoreScan` accept gates *one at a time* and keep the same
+  answers current after every append: per-wire sorted touch lists grow
+  by O(wires-per-gate) (gate indices only ever increase, so every
+  insert is a tail append), and the restore-point scan advances its
+  greedy left-to-right state machine per touch instead of re-walking
+  the gate list.  :func:`restore_segments` is itself implemented by
+  replaying a :class:`RestoreScan`, so the offline and streaming
+  answers agree by construction — the differential contract the
+  streaming allocator (:mod:`repro.alloc.streaming`) is built on.
 """
 
 from __future__ import annotations
@@ -207,6 +223,67 @@ def touch_indices(circuit: Circuit) -> Dict[int, List[int]]:
     return touches
 
 
+class IncrementalTouchIndex:
+    """Per-wire sorted touch lists over a *growing* gate stream.
+
+    The streaming counterpart of :func:`touch_indices` /
+    :func:`activity_intervals`: gates arrive one at a time through
+    :meth:`append`, and because gate indices only ever increase, every
+    per-wire insert is a tail append — the lists stay sorted with no
+    ``insort`` shifting and no rescans.  Idle queries
+    (:meth:`busy_in`) are the same per-segment :func:`bisect_left`
+    probes the offline candidate scan uses, so a model maintained on
+    top of this index answers exactly like one built from the finished
+    circuit.
+    """
+
+    def __init__(self, num_qubits: int):
+        self.num_qubits = num_qubits
+        self._touches: List[List[int]] = [[] for _ in range(num_qubits)]
+        self._num_gates = 0
+
+    @property
+    def num_gates(self) -> int:
+        """Gates appended so far (the next gate gets this index)."""
+        return self._num_gates
+
+    def append(self, gate) -> int:
+        """Record one gate; returns the gate index it was assigned."""
+        index = self._num_gates
+        for q in gate.qubits:
+            self._touches[q].append(index)
+        self._num_gates += 1
+        return index
+
+    def touches_of(self, qubit: int) -> Sequence[int]:
+        """The wire's ascending gate-index list (live view)."""
+        return self._touches[qubit]
+
+    def interval(self, qubit: int) -> Optional[ActivityInterval]:
+        """The wire's activity interval so far, or ``None`` if untouched."""
+        indices = self._touches[qubit]
+        if not indices:
+            return None
+        return ActivityInterval(indices[0], indices[-1])
+
+    def last_touch(self, qubit: int) -> Optional[int]:
+        """Index of the wire's most recent gate, or ``None``."""
+        indices = self._touches[qubit]
+        return indices[-1] if indices else None
+
+    def busy_in(
+        self, qubit: int, window: Union[ActivityInterval, WindowSet]
+    ) -> bool:
+        """Does the wire have a gate inside ``window``'s segments?"""
+        indices = self._touches[qubit]
+        if not indices:
+            return False
+        segments = (
+            window.segments if isinstance(window, WindowSet) else (window,)
+        )
+        return _busy_inside(indices, segments)
+
+
 def idle_qubits_during(
     circuit: Circuit,
     window: Union[ActivityInterval, WindowSet],
@@ -278,6 +355,109 @@ def _structural_identity(gates: Sequence) -> bool:
     )
 
 
+class RestoreScan:
+    """Streaming restore-point analysis for one ancilla.
+
+    Holds the greedy left-to-right scan of :func:`restore_segments` as
+    live state over a *growing* gate list: feed every touch of the
+    ancilla (in order) through :meth:`observe`, and :meth:`window`
+    returns, at any prefix, exactly the :class:`WindowSet` that
+    :func:`restore_segments` would compute on that prefix — including
+    the all-or-nothing tail rule.  :func:`restore_segments` is in fact
+    implemented by replaying one of these, so the two can never drift.
+
+    ``gates`` is a live reference to the growing gate list (e.g.
+    ``circuit.gates``); certification slices are read from it on
+    demand and the verdicts cached per ``(first, last)`` span, so
+    repeated :meth:`window` calls between touches cost nothing new.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        gates: Sequence,
+        ancilla: int,
+        segment_check: Optional[SegmentCheck] = None,
+    ):
+        self._num_qubits = num_qubits
+        self._gates = gates
+        self._ancilla = ancilla
+        self._segment_check = segment_check
+        self._closed: List[ActivityInterval] = []
+        self._first: Optional[int] = None
+        self._seg_start: Optional[int] = None
+        self._prev: Optional[int] = None
+        self._certified: Dict[Tuple[int, int], bool] = {}
+
+    @property
+    def touched(self) -> bool:
+        """Has the ancilla been observed at all yet?"""
+        return self._prev is not None
+
+    @property
+    def last_touch(self) -> Optional[int]:
+        """Most recent observed touch index, or ``None``."""
+        return self._prev
+
+    def observe(self, index: int) -> None:
+        """Advance the scan past the ancilla's touch at ``index``.
+
+        Touches must arrive in ascending order (a repeated index is
+        tolerated as a no-op, matching the offline scan).  A gap before
+        ``index`` becomes a release point iff the open slice certifies,
+        exactly as in :func:`restore_segments`.
+        """
+        if self._prev is None:
+            self._first = self._seg_start = self._prev = index
+            return
+        if index == self._prev:
+            return
+        if index < self._prev:
+            raise CircuitError(
+                f"restore scan for ancilla {self._ancilla} fed touch "
+                f"{index} after {self._prev}; touches must ascend"
+            )
+        if index > self._prev + 1 and self._certifies(
+            self._seg_start, self._prev
+        ):
+            self._closed.append(ActivityInterval(self._seg_start, self._prev))
+            self._seg_start = index
+        self._prev = index
+
+    def window(self) -> WindowSet:
+        """The prefix's lending window — same answer, same tail rule,
+        as :func:`restore_segments` on the gates seen so far."""
+        if self._prev is None:
+            raise CircuitError(
+                f"ancilla {self._ancilla} is never touched; "
+                f"no window to segment"
+            )
+        whole = WindowSet.whole(ActivityInterval(self._first, self._prev))
+        if not self._closed:
+            return whole
+        if not self._certifies(self._seg_start, self._prev):
+            # Tail does not certify: withdraw the decomposition (see
+            # restore_segments — an uncertified tail is not proven to
+            # restore a re-acquired value).
+            return whole
+        return WindowSet(
+            (*self._closed, ActivityInterval(self._seg_start, self._prev))
+        )
+
+    def _certifies(self, first: int, last: int) -> bool:
+        key = (first, last)
+        cached = self._certified.get(key)
+        if cached is None:
+            gates = list(self._gates[first : last + 1])
+            cached = _structural_identity(gates)
+            if not cached and self._segment_check is not None:
+                cached = self._segment_check(
+                    Circuit(self._num_qubits, gates), self._ancilla
+                )
+            self._certified[key] = cached
+        return cached
+
+
 def restore_segments(
     circuit: Circuit,
     ancilla: int,
@@ -324,32 +504,15 @@ def restore_segments(
         raise CircuitError(
             f"ancilla {ancilla} is never touched; no window to segment"
         )
-    whole = WindowSet.whole(ActivityInterval(touches[0], touches[-1]))
-
-    def certifies(first: int, last: int) -> bool:
-        gates = circuit.gates[first : last + 1]
-        if _structural_identity(gates):
-            return True
-        if segment_check is None:
-            return False
-        return segment_check(Circuit(circuit.num_qubits, gates), ancilla)
-
-    segments: List[ActivityInterval] = []
-    seg_start = prev = touches[0]
-    for t in touches[1:]:
-        if t > prev + 1 and certifies(seg_start, prev):
-            segments.append(ActivityInterval(seg_start, prev))
-            seg_start = t
-        prev = t
-    if not segments:
-        return whole  # no release point found
-    if not certifies(seg_start, prev):
-        # The tail never certifies, so no release point is sound: the
-        # owner may rewrite the wire during any gap, and an uncertified
-        # tail is not proven to restore an arbitrary re-acquired value.
-        return whole
-    segments.append(ActivityInterval(seg_start, prev))
-    return WindowSet(tuple(segments))
+    # Replay the streaming scan over the known touch list: one state
+    # machine implements both the offline and the incremental analysis,
+    # so the two answers agree by construction.
+    scan = RestoreScan(
+        circuit.num_qubits, circuit.gates, ancilla, segment_check
+    )
+    for t in touches:
+        scan.observe(t)
+    return scan.window()
 
 
 def solver_restore_checker(

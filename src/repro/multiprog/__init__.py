@@ -43,6 +43,16 @@ Module tour
     list through the online path and compacts it into one composite
     circuit — byte-for-byte the seed scheduler's result.
 
+    Two admission-cost knobs ride along: interval-conflict models are
+    **memoised** by ``(circuit fingerprint, request wires)``
+    (``memoise_models``, on by default — a queued job re-tried at every
+    release event builds its model once; hits/misses surface in
+    :meth:`~MultiProgrammer.stats`), and ``restore_check="solver"``
+    swaps the structural palindrome certifier for a shared memoised
+    :func:`~repro.circuits.intervals.solver_restore_checker`, so
+    segmented lending also splits windows at *semantic* (non-mirror)
+    identity blocks.
+
 :mod:`repro.multiprog.queueing`
     The pluggable queue-policy layer, a decorator registry mirroring
     the allocation strategies and verification backends:

@@ -56,13 +56,17 @@ it — byte-for-byte the seed scheduler's result.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.alloc import BorrowPlan, ConflictModel, allocate, build_model
 from repro.circuits.circuit import Circuit
 from repro.circuits.classical import is_classical_circuit
-from repro.circuits.intervals import WindowSet
+from repro.circuits.intervals import (
+    SegmentCheck,
+    WindowSet,
+    solver_restore_checker,
+)
 from repro.errors import CapacityError, CircuitError, VerificationError
 from repro.multiprog.packing import LeasePacker, make_packer
 from repro.multiprog.queueing import (
@@ -308,6 +312,22 @@ class MultiProgrammer:
         ``first-fit``, ``best-fit`` or ``earliest-gap``) or a
         :class:`LeasePacker` instance; overridable per admission via
         ``admit(job, packer=...)``.
+    restore_check:
+        How segmented lending certifies an ancilla's restore segments:
+        ``"structural"`` (default) accepts only the syntactic
+        ``C;C⁻¹`` palindromes; ``"solver"`` adds the semantic fallback
+        (:func:`~repro.circuits.intervals.solver_restore_checker`
+        sharing this scheduler's memoised verifier), so
+        semantically-identity blocks that are not palindromes still
+        split into lease segments.  Irrelevant outside
+        ``lending="segmented"``.
+    memoise_models:
+        Cache interval-conflict models by circuit fingerprint (the
+        lending mode and restore check are fixed per scheduler, so the
+        fingerprint plus the request wires identify the model).  Drain
+        passes and resubmissions then stop paying O(gates) per
+        re-attempted queue entry; hit/miss counts show in
+        :meth:`stats`.  Off only for differential testing.
     """
 
     def __init__(
@@ -321,6 +341,8 @@ class MultiProgrammer:
         queue_policy: Union[str, QueuePolicy] = "fifo",
         lending: str = "windowed",
         lease_packer: Union[str, LeasePacker] = "first-fit",
+        restore_check: str = "structural",
+        memoise_models: bool = True,
     ):
         if machine_size < 1:
             raise CircuitError("machine must have at least one qubit")
@@ -328,6 +350,11 @@ class MultiProgrammer:
             raise CircuitError(
                 f"lending must be one of {', '.join(LENDING_MODES)}, "
                 f"got {lending!r}"
+            )
+        if restore_check not in ("structural", "solver"):
+            raise CircuitError(
+                f"restore_check must be 'structural' or 'solver', "
+                f"got {restore_check!r}"
             )
         self.machine_size = machine_size
         self.backend = backend
@@ -342,6 +369,22 @@ class MultiProgrammer:
         self.verifier = verifier or BatchVerifier(
             backend=backend, max_workers=max_workers, cache_path=cache_path
         )
+        self.restore_check = restore_check
+        #: The segment certifier handed to every model build (None for
+        #: the structural default).  Shared with the invariant checker,
+        #: which must re-derive lease windows over the same analysis.
+        self.segment_check: Optional[SegmentCheck] = (
+            solver_restore_checker(verifier=self.verifier)
+            if restore_check == "solver"
+            else None
+        )
+        self.memoise_models = memoise_models
+        #: (circuit fingerprint, request wires) -> memoised model.
+        self._model_cache: Dict[
+            Tuple[str, Tuple[int, ...]], ConflictModel
+        ] = {}
+        self.model_cache_hits = 0
+        self.model_cache_misses = 0
         self._residents: Dict[str, Admission] = {}
         #: Machine wire -> resident names holding it (owner and guests).
         self._holders: Dict[int, Set[str]] = {}
@@ -459,10 +502,13 @@ class MultiProgrammer:
         data["policy"] = self.queue_policy.name
         data["lending"] = self.lending
         data["packer"] = self.lease_packer.name
+        data["restore_check"] = self.restore_check
         data["leases_granted"] = self.total_leases
         data["pending"] = len(self._queue)
         data["residents"] = len(self._residents)
         data["clock"] = self._clock
+        data["model_cache_hits"] = self.model_cache_hits
+        data["model_cache_misses"] = self.model_cache_misses
         return data
 
     def snapshot(self) -> str:
@@ -827,6 +873,8 @@ class MultiProgrammer:
             verifier=self.verifier,
             lending=self.lending,
             lease_packer=self.lease_packer,
+            restore_check=self.restore_check,
+            memoise_models=self.memoise_models,
         )
         admissions = [
             replay.admit(job, enforce_capacity=False, lazy_verify=False)
@@ -929,9 +977,12 @@ class MultiProgrammer:
         co-tenant wire — so they pay no solver time at all.  Returns
         the verdicts plus the interval model (built with this
         scheduler's lending mode: segmented windows under
-        ``lending="segmented"``), so the caller hands it on to
-        :func:`allocate` instead of rebuilding it — every admission
-        path plans over the same window sets the leases will cover.
+        ``lending="segmented"``, certified by ``restore_check``), so
+        the caller hands it on to :func:`allocate` instead of
+        rebuilding it — every admission path plans over the same
+        window sets the leases will cover.  The model itself comes
+        from the fingerprint-keyed cache (see :meth:`_job_model`), so
+        drain-pass re-attempts of a queued job cost a dict lookup.
         """
         requests = job.request_wires
         if not requests:
@@ -941,9 +992,7 @@ class MultiProgrammer:
                 f"job {job.name}: only classical circuits can be "
                 f"auto-verified for cross-program borrowing"
             )
-        model = build_model(
-            job.circuit, requests, segmented=self.lending == "segmented"
-        )
+        model = self._job_model(job)
         if lazy_verify:
             # Any live offer can potentially host a window under
             # windowed/segmented lending; whole-residency needs a
@@ -963,6 +1012,46 @@ class MultiProgrammer:
             return {}, model
         report = self.verifier.verify_circuit(job.circuit, to_verify)
         return {v.qubit: v.safe for v in report.verdicts}, model
+
+    def _job_model(self, job: QuantumJob) -> ConflictModel:
+        """The job's interval-conflict model, memoised.
+
+        Lending mode and restore check are fixed for the scheduler's
+        lifetime, so ``(circuit fingerprint, request wires)`` fully
+        identifies the model — a drain pass re-attempting a queued
+        entry, or a resubmission of an identical circuit, pays one
+        dict lookup instead of an O(gates) rebuild.  Because
+        :func:`repro.alloc.allocate` checks model/circuit *identity*,
+        a hit for an equal-but-distinct circuit object rebinds the
+        cached model onto the caller's circuit (same gates by
+        fingerprint, so every derived structure stays valid).
+        """
+        requests = job.request_wires
+        segmented = self.lending == "segmented"
+        if not self.memoise_models:
+            return build_model(
+                job.circuit,
+                requests,
+                segmented=segmented,
+                segment_check=self.segment_check,
+            )
+        key = (job.circuit.fingerprint(), requests)
+        model = self._model_cache.get(key)
+        if model is None:
+            self.model_cache_misses += 1
+            model = build_model(
+                job.circuit,
+                requests,
+                segmented=segmented,
+                segment_check=self.segment_check,
+            )
+            self._model_cache[key] = model
+        else:
+            self.model_cache_hits += 1
+            if model.circuit is not job.circuit:
+                model = replace(model, circuit=job.circuit)
+                self._model_cache[key] = model
+        return model
 
     def _take_free(
         self, name: str, count: int, enforce_capacity: bool

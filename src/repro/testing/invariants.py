@@ -154,10 +154,15 @@ class OccupancyInvariantChecker:
 
         def model_of(adm):
             if adm.name not in models:
+                # Re-derive with the scheduler's own segment certifier
+                # (solver-backed under restore_check="solver"): the
+                # lease windows being checked were cut by it, and the
+                # structural-only analysis would be stricter.
                 models[adm.name] = build_model(
                     adm.job.circuit,
                     adm.job.request_wires,
                     segmented=mp.lending == "segmented",
+                    segment_check=getattr(mp, "segment_check", None),
                 )
             return models[adm.name]
 

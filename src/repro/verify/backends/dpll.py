@@ -1,4 +1,13 @@
-"""The ablation-baseline backend: plain DPLL (DESIGN.md A2)."""
+"""The ablation-baseline backend: plain DPLL (DESIGN.md A2).
+
+Registered and unit-tested, but **retired from the default bench
+workload** (``benchmarks/run_paper_tables.py``): without clause
+learning the solver blows up ~30x per +2 adder qubits past n=8, so its
+row was pinned to an n=8/3s cap that only dragged the verify record
+while measuring nothing the cdcl row does not.  It remains available
+as an ablation baseline (``backend="dpll"``) for anyone studying what
+clause learning buys.
+"""
 
 from __future__ import annotations
 

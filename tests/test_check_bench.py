@@ -73,6 +73,55 @@ def alloc_record(
     segmented_admitted=45,
     wall=1.0,
     lazy_runs=0,
+    stream_speedup=50.0,
+    models_agree=True,
+    inf_width_match=True,
+    inf_plans_match=True,
+    segmented_match=True,
+    streaming=True,
+):
+    record = _alloc_record_base(
+        width, placed, admitted, windowed_admitted, segmented_admitted, wall, lazy_runs
+    )
+    if streaming:
+        record["streaming"] = {
+            "seed": 7,
+            "incremental_vs_rescan": [
+                {
+                    "workload": "generated-216",
+                    "speedup": stream_speedup,
+                    "models_agree": models_agree,
+                }
+            ],
+            "throughput": {
+                "lookahead": 8,
+                "gates": 216,
+                "gates_per_second": 50000.0,
+            },
+            "lookahead": [
+                {
+                    "lookahead": 0,
+                    "total_width": 128,
+                    "width_matches_offline": False,
+                    "plans_match_offline": False,
+                },
+                {
+                    "lookahead": "inf",
+                    "total_width": 120,
+                    "width_matches_offline": inf_width_match,
+                    "plans_match_offline": inf_plans_match,
+                },
+            ],
+            "segmented_parity": {
+                "circuits": 12,
+                "matches_offline": segmented_match,
+            },
+        }
+    return record
+
+
+def _alloc_record_base(
+    width, placed, admitted, windowed_admitted, segmented_admitted, wall, lazy_runs
 ):
     return {
         "workloads": {
@@ -304,6 +353,82 @@ class TestCompareAlloc:
         del base["lending"]
         comp = compare_alloc(base, alloc_record())
         assert not comp.regressions
+
+
+class TestStreamingGates:
+    """The ``streaming`` section floors: the incremental-engine win and
+    the lookahead=∞ differential contract are locked in."""
+
+    def test_identical_streaming_records_pass(self):
+        comp = compare_alloc(alloc_record(), alloc_record())
+        assert not comp.regressions
+
+    def test_speedup_below_2x_fails(self):
+        comp = compare_alloc(alloc_record(), alloc_record(stream_speedup=1.9))
+        assert (
+            "alloc.streaming.incremental_vs_rescan[generated-216].speedup"
+            in regressed(comp)
+        )
+
+    def test_model_disagreement_fails(self):
+        comp = compare_alloc(alloc_record(), alloc_record(models_agree=False))
+        metric = "alloc.streaming.incremental_vs_rescan[generated-216].models_agree"
+        assert metric in regressed(comp)
+
+    def test_inf_width_mismatch_fails(self):
+        comp = compare_alloc(alloc_record(), alloc_record(inf_width_match=False))
+        assert "alloc.streaming.lookahead[inf].width_matches_offline" in regressed(comp)
+
+    def test_inf_plan_mismatch_fails(self):
+        comp = compare_alloc(alloc_record(), alloc_record(inf_plans_match=False))
+        assert "alloc.streaming.lookahead[inf].plans_match_offline" in regressed(comp)
+
+    def test_segmented_parity_break_fails(self):
+        comp = compare_alloc(alloc_record(), alloc_record(segmented_match=False))
+        assert "alloc.streaming.segmented_parity.matches_offline" in regressed(comp)
+
+    def test_vanished_streaming_rows_fail(self):
+        fresh = alloc_record()
+        del fresh["streaming"]
+        comp = compare_alloc(alloc_record(), fresh)
+        metrics = regressed(comp)
+        assert "alloc.streaming.incremental_vs_rescan[generated-216]" in metrics
+        assert "alloc.streaming.lookahead[inf]" in metrics
+        assert "alloc.streaming.throughput" in metrics
+        assert "alloc.streaming.segmented_parity" in metrics
+
+    def test_streaming_absent_everywhere_is_fine(self):
+        """Pre-streaming baselines (and fresh records from older
+        branches) must not trip the gate."""
+        comp = compare_alloc(
+            alloc_record(streaming=False), alloc_record(streaming=False)
+        )
+        assert not comp.regressions
+
+    def test_fresh_floors_enforced_without_baseline_section(self):
+        """Fresh streaming floors hold even before the committed
+        baseline is regenerated with the new section."""
+        comp = compare_alloc(
+            alloc_record(streaming=False), alloc_record(stream_speedup=1.0)
+        )
+        assert (
+            "alloc.streaming.incremental_vs_rescan[generated-216].speedup"
+            in regressed(comp)
+        )
+
+    def test_committed_streaming_baseline_holds_the_floors(self):
+        """The committed record must itself satisfy every floor."""
+        repo = Path(__file__).resolve().parent.parent
+        payload = json.loads((repo / "BENCH_alloc.json").read_text())
+        streaming = payload["streaming"]
+        for row in streaming["incremental_vs_rescan"]:
+            assert row["speedup"] >= 2.0, row
+            assert row["models_agree"] is True, row
+        inf_rows = [r for r in streaming["lookahead"] if r["lookahead"] == "inf"]
+        assert len(inf_rows) == 1
+        assert inf_rows[0]["width_matches_offline"] is True
+        assert inf_rows[0]["plans_match_offline"] is True
+        assert streaming["segmented_parity"]["matches_offline"] is True
 
 
 class TestCli:
