@@ -30,6 +30,12 @@ The gate fails (exit 1) on:
   segmented lending failing to admit *strictly more* than windowed
   under at least one policy (the restore-point analysis must keep
   paying for itself on the pinned trace);
+* the **fleet floor** — within the fresh record's ``fleet`` section:
+  under every registered placement policy, the 2x11 fleet must admit
+  at least as many jobs from the pinned trace as one 11-qubit machine
+  alone (a fleet that loses to one of its own shards wasted a whole
+  machine), on top of the usual presence/throughput/wall diffs
+  against the baseline rows;
 * the **streaming floors** — within the fresh record's ``streaming``
   section: the incremental model engine must stay at least 2x over
   the per-gate rescan path on every workload (with both paths
@@ -382,6 +388,45 @@ def compare_alloc(baseline: dict, fresh: dict) -> Comparator:
                 "segmented must out-admit windowed under >= 1 policy",
             )
         )
+    fresh_fleet = _by(fresh.get("fleet", {}).get("rows"), "label")
+    for key, base_row in _by(baseline.get("fleet", {}).get("rows"), "label").items():
+        name = f"alloc.fleet[{key[0]}]"
+        fresh_row = fresh_fleet.get(key)
+        if not comp.present(name, fresh_row):
+            continue
+        comp.at_least(
+            f"{name}.admitted",
+            base_row.get("admitted"),
+            fresh_row.get("admitted"),
+            "admitted jobs must not drop",
+        )
+        comp.wall(
+            f"{name}.wall_seconds",
+            base_row.get("wall_seconds"),
+            fresh_row.get("wall_seconds"),
+        )
+    # The fleet-vs-single invariant inside the fresh record itself:
+    # under every placement policy, the fleet must admit at least what
+    # one machine of its own shard size does alone (the smallest
+    # ``single*`` row, ``single11`` in the shipped record) — anything
+    # less means the router wasted a whole machine.
+    singles = [
+        row
+        for (label,), row in sorted(fresh_fleet.items())
+        if str(label).startswith("single")
+    ]
+    single = singles[0] if singles else None
+    if single is not None:
+        for (label,), fresh_row in sorted(fresh_fleet.items()):
+            if not str(label).startswith("fleet"):
+                continue
+            comp.at_least(
+                f"alloc.fleet[{label}]_vs_{single['label']}",
+                single.get("admitted"),
+                fresh_row.get("admitted"),
+                "a fleet must never admit less than one of its "
+                "shards alone",
+            )
     _compare_streaming(
         comp, baseline.get("streaming") or {}, fresh.get("streaming") or {}
     )

@@ -18,8 +18,10 @@ can track the trajectory:
   multi-programming workload per strategy, the seeded 50-job queueing
   trace per queue policy (fifo / backfill / sjf / priority), and the
   seeded 50-job *lending* trace per (policy, lending-mode) pair —
-  whole vs. windowed vs. segmented admitted counts, the numbers the
-  bench-regression gate guards.
+  whole vs. windowed vs. segmented admitted counts — and the seeded
+  50-job *fleet* trace routed through single-machine baselines and a
+  2x11 :class:`FleetRouter` under every placement policy; together
+  the numbers the bench-regression gate guards.
 
 The *sequential loop* baseline is the pre-batch caller pattern (one
 :func:`verify_circuit` call per dirty qubit, re-tracking and re-encoding
@@ -56,12 +58,15 @@ from repro.lang.surface.sources import adder_qbr_source, mcx_qbr_source
 from repro.mcx import cccnot_with_dirty_ancilla
 from repro.multiprog import (
     BorrowRequest,
+    FleetRouter,
     MultiProgrammer,
     QuantumJob,
+    available_placements,
     available_policies,
 )
 from repro.testing import (
     random_arrival_trace,
+    random_fleet_trace,
     random_lending_trace,
     random_reversible_circuit,
     replay_trace,
@@ -700,6 +705,79 @@ def _lending_workload(policy: str, lending: str) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Fleet routing (repro.multiprog.fleet)
+# --------------------------------------------------------------------- #
+
+#: The fleet record's fixed workload: one seeded 50-job fleet trace
+#: (recurring circuit families included — the signal family-affinity
+#: placement routes on), replayed through a single 11-qubit machine
+#: (the baseline a half-fleet must never lose to), one monolithic
+#: 22-qubit router, and a 2x11 fleet under every registered placement
+#: policy.  The CI gate binds fleet(2x11) admitted >= single(11)
+#: admitted for each policy.
+FLEET_TRACE_SEED = 1
+FLEET_TRACE_JOBS = 50
+FLEET_SHARD = 11
+
+
+def _fleet_trace() -> list:
+    return random_fleet_trace(FLEET_TRACE_SEED, num_jobs=FLEET_TRACE_JOBS)
+
+
+def _fleet_row(label: str, shards: list, placement: str) -> dict:
+    """Replay the fixed fleet trace through one router configuration.
+
+    The trace is regenerated from the seed per row, so every
+    configuration sees byte-identical jobs; no verifier sharing across
+    rows, so each wall time is honest."""
+    trace = _fleet_trace()
+    router = FleetRouter(shards, placement=placement, max_workers=1)
+    start = time.perf_counter()
+    log = replay_trace(router, trace)
+    wall = time.perf_counter() - start
+    stats = log.stats
+    row = {
+        "label": label,
+        "shards": list(shards),
+        "placement": placement,
+        "jobs": FLEET_TRACE_JOBS,
+        "admitted": stats["admitted"],
+        "admitted_from_queue": stats["admitted_from_queue"],
+        "migrations": stats["migrations"],
+        "rejected": stats["rejected"],
+        "wall_seconds": round(wall, 4),
+    }
+    print(
+        f"  fleet      {label:<22} admitted={stats['admitted']:<3} "
+        f"(queue {stats['admitted_from_queue']}, "
+        f"migrations {stats['migrations']}) wall={wall:>8.4f}s"
+    )
+    return row
+
+
+def _fleet_section() -> dict:
+    """The ``fleet`` record: single-shard baselines plus a 2x11 fleet
+    per placement policy, all on one pinned trace."""
+    rows = [
+        _fleet_row(f"single{FLEET_SHARD}", [FLEET_SHARD], "least-loaded"),
+        _fleet_row(
+            f"single{2 * FLEET_SHARD}",
+            [2 * FLEET_SHARD],
+            "least-loaded",
+        ),
+    ]
+    rows.extend(
+        _fleet_row(
+            f"fleet2x{FLEET_SHARD}[{placement}]",
+            [FLEET_SHARD, FLEET_SHARD],
+            placement,
+        )
+        for placement in available_placements()
+    )
+    return {"seed": FLEET_TRACE_SEED, "rows": rows}
+
+
+# --------------------------------------------------------------------- #
 # Streaming allocation (repro.alloc.streaming)
 # --------------------------------------------------------------------- #
 
@@ -937,7 +1015,8 @@ def bench_alloc(path: str) -> None:
         f"({len(adder.dirty_wires)} dirty) + "
         f"{len(_online_jobs())}-job online workload + "
         f"{QUEUE_TRACE_JOBS}-job queueing trace + "
-        f"{LENDING_TRACE_JOBS}-job lending trace ===",
+        f"{LENDING_TRACE_JOBS}-job lending trace + "
+        f"{FLEET_TRACE_JOBS}-job fleet trace ===",
         flush=True,
     )
     payload = {
@@ -972,6 +1051,7 @@ def bench_alloc(path: str) -> None:
                 for lending in LENDING_MODES
             ],
         },
+        "fleet": _fleet_section(),
         "streaming": _streaming_section(),
     }
     with open(path, "w") as handle:

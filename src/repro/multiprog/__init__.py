@@ -69,6 +69,28 @@ Module tour
     ``first-fit`` (smallest index), ``best-fit`` (most-loaded wire)
     or ``earliest-gap`` (tightest fit after the preceding lease).
 
+:mod:`repro.multiprog.fleet`
+    The fleet tier: a :class:`FleetRouter` owns N
+    :class:`MultiProgrammer` shards (heterogeneous sizes and knobs via
+    :class:`ShardSpec`, one shared verifier as the cross-shard memo
+    tier) behind one ``submit()``/``release()`` front door.  A
+    registered :class:`PlacementPolicy` (``least-loaded`` /
+    ``best-fit-width`` / ``family-affinity`` by circuit-fingerprint
+    prefix) ranks the shards per job; jobs that cannot run now queue
+    on their best shard, *migrate* to whichever shard frees capacity
+    first, or wait in a fleet-level overflow queue.  Wall-clock
+    ``deadline_s`` expiry (injectable monotonic clock, evaluated
+    lazily per event) layers over the authoritative logical clocks;
+    ``fleet_stats()`` / ``shard_tables()`` mirror the single-machine
+    introspection at fleet scale.
+
+:mod:`repro.multiprog.service`
+    The burst boundary: :class:`FleetService` buffers ``enqueue()``
+    bursts and routes them through the fleet in arrival order on
+    ``flush()`` (optionally auto-flushing at ``batch_size``), turning
+    per-job failures into recorded results instead of burst-shedding
+    exceptions — the seam where a future async/RPC front end plugs in.
+
 Safety is non-negotiable throughout: a job's dirty ancilla may borrow
 an idle qubit *from another job* only when it is verified safely
 uncomputed (Definition 3.1 via the Section 6 pipeline) — an unverified
@@ -79,6 +101,17 @@ submit/release/backfill and asserts the global occupancy contract
 after every event.
 """
 
+from repro.multiprog.fleet import (
+    FleetRouter,
+    FleetStats,
+    FleetSubmitOutcome,
+    PlacementPolicy,
+    ShardSpec,
+    available_placements,
+    make_placement,
+    placement_class,
+    register_placement,
+)
 from repro.multiprog.packing import (
     BestFitPacker,
     EarliestGapPacker,
@@ -111,6 +144,7 @@ from repro.multiprog.scheduler import (
     QuantumJob,
     ScheduleResult,
 )
+from repro.multiprog.service import FleetService, ServiceResult
 
 __all__ = [
     "Admission",
@@ -120,23 +154,34 @@ __all__ = [
     "EarliestGapPacker",
     "FifoPolicy",
     "FirstFitPacker",
+    "FleetRouter",
+    "FleetService",
+    "FleetStats",
+    "FleetSubmitOutcome",
     "Lease",
     "LeasePacker",
     "MultiProgrammer",
+    "PlacementPolicy",
     "PriorityPolicy",
     "QuantumJob",
     "QueueEntry",
     "QueuePolicy",
     "QueueStats",
     "ScheduleResult",
+    "ServiceResult",
+    "ShardSpec",
     "ShortestJobFirstPolicy",
     "SubmitOutcome",
     "available_packers",
+    "available_placements",
     "available_policies",
     "make_packer",
+    "make_placement",
     "make_policy",
     "packer_class",
+    "placement_class",
     "policy_class",
     "register_packer",
+    "register_placement",
     "register_policy",
 ]

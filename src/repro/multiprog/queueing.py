@@ -106,6 +106,10 @@ class QueueStats:
 
     Wait times are measured in logical-clock events (one tick per
     submit/release), the same unit timeouts are expressed in.
+    ``total_wait`` accumulates over every entry that *left* the queue
+    with a measurable wait — admitted-from-queue and expired alike —
+    so ``mean_wait`` reflects congestion rather than just the lucky
+    survivors.
     """
 
     submitted: int = 0
@@ -123,10 +127,15 @@ class QueueStats:
         return self.admitted_immediately + self.admitted_from_queue
 
     @property
+    def waited(self) -> int:
+        """Entries whose wait contributed to ``total_wait``."""
+        return self.admitted_from_queue + self.expired
+
+    @property
     def mean_wait(self) -> float:
-        if not self.admitted_from_queue:
+        if not self.waited:
             return 0.0
-        return self.total_wait / self.admitted_from_queue
+        return self.total_wait / self.waited
 
     def as_dict(self) -> Dict[str, object]:
         return {

@@ -403,6 +403,12 @@ class MultiProgrammer:
         #: deterministic and replayable.
         self._clock = 0
         self._queue_seq = 0
+        #: Names the most recent event's backfill pass admitted from
+        #: the queue (reset at the start of every submit/release).
+        #: ``submit`` also returns them in its outcome; ``release``
+        #: cannot without breaking the freed-wires contract, so this
+        #: attribute (mirrored in ``stats()``) carries the provenance.
+        self.last_backfilled: Tuple[str, ...] = ()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -507,6 +513,7 @@ class MultiProgrammer:
         data["pending"] = len(self._queue)
         data["residents"] = len(self._residents)
         data["clock"] = self._clock
+        data["last_backfilled"] = list(self.last_backfilled)
         data["model_cache_hits"] = self.model_cache_hits
         data["model_cache_misses"] = self.model_cache_misses
         return data
@@ -692,27 +699,32 @@ class MultiProgrammer:
             raise CircuitError(f"job {job.name!r} is already resident")
         if any(entry.name == job.name for entry in self._queue):
             raise CircuitError(f"job {job.name!r} is already queued")
+        # Every submission is one logical event, rejections included:
+        # the clock ticks and overdue entries expire before any outcome
+        # is decided, so a trace containing fail-fast rejects advances
+        # queued timeouts exactly like one made of admissible jobs.
+        self._clock += 1
+        self._expire()
+        self._queue_stats.submitted += 1
+        self.last_backfilled = ()
         # Fail-fast checks that do not depend on machine state — they
         # must run even when the policy skips the immediate admit
         # attempt (fifo with a non-empty queue), or an unadmittable
         # job would silently head-block the queue.
         if job.request_wires and not is_classical_circuit(job.circuit):
+            self._queue_stats.rejected += 1
             raise VerificationError(
                 f"job {job.name}: only classical circuits can be "
                 f"auto-verified for cross-program borrowing"
             )
         min_fresh = job.reduced_width
         if min_fresh > self.machine_size:
-            self._queue_stats.submitted += 1
             self._queue_stats.rejected += 1
             raise CapacityError(
                 f"job {job.name!r} needs at least {min_fresh} free "
                 f"qubits but the machine has {self.machine_size} in "
                 f"total"
             )
-        self._clock += 1
-        self._expire()
-        self._queue_stats.submitted += 1
         if not self._queue or self.queue_policy.allows_overtaking:
             try:
                 admission = self.admit(job, strategy=strategy)
@@ -743,12 +755,23 @@ class MultiProgrammer:
         return SubmitOutcome("queued", position=len(self._queue) - 1)
 
     def cancel(self, name: str) -> QuantumJob:
-        """Withdraw a queued (not yet admitted) job; returns it."""
+        """Withdraw a queued (not yet admitted) job; returns it.
+
+        A *resident* job cannot be cancelled — it already holds wires
+        and must run to completion via :meth:`release`; the error
+        distinguishes that case from a name the scheduler has never
+        heard of.
+        """
         for entry in self._queue:
             if entry.name == name:
                 self._queue.remove(entry)
                 self._queue_stats.cancelled += 1
                 return entry.job
+        if name in self._residents:
+            raise CircuitError(
+                f"job {name!r} is resident, not queued — it already "
+                f"holds machine wires; use release() to complete it"
+            )
         raise CircuitError(f"no queued job named {name!r}")
 
     def _expire(self) -> Tuple[str, ...]:
@@ -762,6 +785,10 @@ class MultiProgrammer:
             self._queue.remove(entry)
             self._queue_stats.expired += 1
             self._queue_stats.expired_names.append(entry.name)
+            # An expired job waited from enqueue to now; mean wait
+            # must cover these, not just the lucky admitted-from-queue
+            # entries, or it underreports congestion.
+            self._queue_stats.total_wait += self._clock - entry.enqueued_at
         return tuple(entry.name for entry in expired)
 
     def _drain(self) -> Tuple[str, ...]:
@@ -803,7 +830,36 @@ class MultiProgrammer:
                     self._queue_stats.rejected += 1
             if not admitted and not impossible:
                 break
+        self.last_backfilled = tuple(admitted_names)
         return tuple(admitted_names)
+
+    def drain(self) -> Tuple[str, ...]:
+        """Run queue-policy drain passes right now; returns admitted names.
+
+        Normally drains run automatically on every :meth:`release` (and
+        after an admission that frees lendable capacity), but a caller
+        that changes what this machine can observe *indirectly* — the
+        fleet router, after admitting a co-tenant via :meth:`admit` —
+        can trigger one explicitly.  Does not tick the logical clock:
+        a drain is part of the event that caused it, not an event of
+        its own.
+        """
+        if not self._queue:
+            self.last_backfilled = ()
+            return ()
+        return self._drain()
+
+    def queue_entry(self, name: str) -> QueueEntry:
+        """The live :class:`QueueEntry` for a queued job (by name).
+
+        Read-only introspection for callers that need the original
+        submission context — job, strategy, priority — e.g. the fleet
+        router deciding whether the entry would fit another shard.
+        """
+        for entry in self._queue:
+            if entry.name == name:
+                return entry
+        raise CircuitError(f"no queued job named {name!r}")
 
     def release(self, name: str) -> Tuple[int, ...]:
         """Complete a resident job; returns the machine wires freed.
@@ -814,13 +870,23 @@ class MultiProgrammer:
         releases.  Releasing also ticks the logical clock, expires
         overdue queued jobs, and runs a backfill pass admitting any
         queued job that now fits under the scheduler's
-        :class:`QueuePolicy`.
+        :class:`QueuePolicy`.  The return value stays the freed wires
+        (the historical contract); the names the backfill pass admitted
+        are recorded in :attr:`last_backfilled` and
+        ``stats()["last_backfilled"]`` so callers can attribute queue
+        admissions to the release that caused them.
         """
         admission = self._residents.pop(name, None)
         if admission is None:
+            if any(entry.name == name for entry in self._queue):
+                raise CircuitError(
+                    f"job {name!r} is queued, not resident — it holds "
+                    f"no wires yet; use cancel() to withdraw it"
+                )
             raise CircuitError(f"no resident job named {name!r}")
         self._clock += 1
         self._expire()
+        self.last_backfilled = ()
         self._retire_leases(admission.leases.values())
         freed: List[int] = []
         for wire in set(admission.wires):

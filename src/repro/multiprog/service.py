@@ -1,0 +1,174 @@
+"""A batching service front end over the fleet router.
+
+A live service does not see one call at a time — it sees *bursts*.
+:class:`FleetService` is the thin ingestion layer the ROADMAP's
+scheduler-service item asks for: callers ``enqueue()`` jobs without
+blocking on placement, and a ``flush()`` routes the whole burst through
+the underlying :class:`~repro.multiprog.fleet.FleetRouter` in arrival
+order, mapping per-job failures to recorded outcomes instead of
+exceptions (one poisoned job in a burst must not lose the rest).
+``batch_size`` turns on auto-flush; ``submit()``/``release()`` remain
+available as synchronous pass-throughs that first flush anything
+buffered, so interleaving batched and direct calls preserves arrival
+order.  ``status()`` is the JSON-friendly operator view (fleet stats,
+per-shard tables, buffered count).
+
+The service deliberately holds no scheduling intelligence: placement,
+migration, deadlines and invariants all live in the router.  This
+layer is only the burst boundary — the natural seam for a future
+async/event-loop or RPC front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CapacityError, CircuitError, VerificationError
+from repro.multiprog.fleet import FleetRouter, FleetSubmitOutcome
+from repro.multiprog.scheduler import QuantumJob
+
+
+@dataclass
+class ServiceResult:
+    """What the service did with one enqueued job at flush time."""
+
+    name: str
+    #: ``"admitted"``, ``"queued"``, or ``"rejected"``.
+    status: str
+    #: The router outcome (absent for rejections).
+    outcome: Optional[FleetSubmitOutcome] = None
+    #: The rejection message (absent otherwise).
+    error: Optional[str] = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.status == "admitted"
+
+
+class FleetService:
+    """Burst-oriented front door over a :class:`FleetRouter`.
+
+    Construct over an existing router, or let the service build one:
+    ``FleetService(shards=[11, 11], placement="best-fit-width")``.
+    """
+
+    def __init__(
+        self,
+        router: Optional[FleetRouter] = None,
+        *,
+        shards=None,
+        batch_size: Optional[int] = None,
+        **router_options,
+    ):
+        if router is None:
+            if shards is None:
+                raise CircuitError(
+                    "FleetService needs a router or shards to build one"
+                )
+            router = FleetRouter(shards, **router_options)
+        elif shards is not None or router_options:
+            raise CircuitError(
+                "pass either a prebuilt router or its construction "
+                "options, not both"
+            )
+        if batch_size is not None and batch_size < 1:
+            raise CircuitError("batch_size must be at least 1")
+        self.router = router
+        self.batch_size = batch_size
+        #: (job, submit options) in arrival order, awaiting a flush.
+        self._buffer: List[Tuple[QuantumJob, Dict[str, object]]] = []
+        #: Every flush's results, newest last (bounded by caller use).
+        self.results: List[ServiceResult] = []
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def enqueue(
+        self,
+        job: QuantumJob,
+        strategy: Optional[str] = None,
+        timeout: Optional[int] = None,
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
+    ) -> int:
+        """Buffer a job for the next flush; returns its burst position.
+
+        With ``batch_size`` set, reaching it triggers an auto-flush.
+        """
+        if any(queued.name == job.name for queued, _ in self._buffer):
+            raise CircuitError(f"job {job.name!r} is already buffered")
+        self._buffer.append(
+            (
+                job,
+                {
+                    "strategy": strategy,
+                    "timeout": timeout,
+                    "priority": priority,
+                    "deadline_s": deadline_s,
+                },
+            )
+        )
+        position = len(self._buffer) - 1
+        if self.batch_size is not None and len(self._buffer) >= self.batch_size:
+            self.flush()
+        return position
+
+    def flush(self) -> List[ServiceResult]:
+        """Route every buffered job, in arrival order; returns results.
+
+        Rejections (static width, unverifiable circuit, bad options)
+        become ``"rejected"`` results rather than exceptions, so one
+        bad job cannot shed the rest of its burst.
+        """
+        burst, self._buffer = self._buffer, []
+        flushed: List[ServiceResult] = []
+        for job, options in burst:
+            try:
+                outcome = self.router.submit(job, **options)
+            except (CapacityError, VerificationError, CircuitError) as exc:
+                flushed.append(
+                    ServiceResult(job.name, "rejected", error=str(exc))
+                )
+            else:
+                flushed.append(
+                    ServiceResult(job.name, outcome.status, outcome=outcome)
+                )
+        self.results.extend(flushed)
+        return flushed
+
+    def submit(self, job: QuantumJob, **options) -> FleetSubmitOutcome:
+        """Synchronous pass-through; flushes the buffer first so this
+        job cannot overtake an earlier enqueued burst."""
+        self.flush()
+        return self.router.submit(job, **options)
+
+    def release(self, name: str) -> Tuple[int, ...]:
+        """Complete a resident job (buffer flushed first: the job may
+        still be sitting in it)."""
+        self.flush()
+        return self.router.release(name)
+
+    def cancel(self, name: str) -> QuantumJob:
+        """Withdraw a job from the buffer (pre-flush) or the fleet."""
+        for pair in self._buffer:
+            if pair[0].name == name:
+                self._buffer.remove(pair)
+                return pair[0]
+        return self.router.cancel(name)
+
+    def status(self) -> Dict[str, object]:
+        """JSON-friendly operator view of the whole stack."""
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result.status] = counts.get(result.status, 0) + 1
+        return {
+            "buffered": self.buffered,
+            "batch_size": self.batch_size,
+            "flushed_results": counts,
+            "fleet": self.router.fleet_stats(),
+        }
+
+
+__all__ = ["FleetService", "ServiceResult"]

@@ -375,10 +375,68 @@ def random_arrival_trace(
     return events
 
 
+def random_fleet_trace(
+    seed: SeedLike,
+    num_jobs: int = 50,
+    repeat_probability: float = 0.35,
+    release_probability: float = 0.35,
+    timeout_probability: float = 0.3,
+    max_timeout: int = 6,
+    spoil_probability: float = 0.15,
+    max_data: int = 6,
+    max_ancillas: int = 2,
+    drain: bool = True,
+) -> List[TraceEvent]:
+    """A seeded arrival trace shaped for multi-shard routing.
+
+    Same submit/release skeleton as :func:`random_arrival_trace`, with
+    one fleet-relevant twist: with ``repeat_probability`` a submission
+    *reuses an earlier job's circuit* under a fresh name, so the trace
+    contains recurring circuit families — the signal the
+    ``family-affinity`` placement policy routes on and the
+    model/verdict memoisation pays off for.  Deferred release picks
+    (``pick % len(residents)`` at replay time) keep one trace
+    replayable across shard layouts and placement policies alike.
+    """
+    rng = _rng(seed)
+    events: List[TraceEvent] = []
+    families: List[QuantumJob] = []
+    for index in range(num_jobs):
+        if families and rng.random() < repeat_probability:
+            template = families[rng.randrange(len(families))]
+            job = QuantumJob(
+                f"f{index}",
+                template.circuit,
+                [BorrowRequest(wire) for wire in template.request_wires],
+            )
+        else:
+            job = random_job(
+                rng,
+                name=f"f{index}",
+                max_data=max_data,
+                max_ancillas=max_ancillas,
+                spoil_probability=spoil_probability,
+            )
+            families.append(job)
+        timeout = (
+            rng.randint(1, max_timeout)
+            if rng.random() < timeout_probability
+            else None
+        )
+        events.append(TraceEvent("submit", job=job, timeout=timeout))
+        while rng.random() < release_probability:
+            events.append(TraceEvent("release", pick=rng.randrange(1 << 16)))
+    if drain:
+        for _ in range(2 * num_jobs):
+            events.append(TraceEvent("release", pick=rng.randrange(1 << 16)))
+    return events
+
+
 __all__ = [
     "TraceEvent",
     "lender_job",
     "random_arrival_trace",
+    "random_fleet_trace",
     "random_job",
     "random_lending_trace",
     "random_reversible_circuit",

@@ -35,6 +35,11 @@ class TraceLog:
     rejected: List[str] = field(default_factory=list)
     #: One human-readable line per event.
     events: List[str] = field(default_factory=list)
+    #: Backfill provenance: ``(event line, admitted names)`` for every
+    #: event whose drain admitted queued jobs — submit events report
+    #: the outcome's ``backfilled``, release events the scheduler's
+    #: ``last_backfilled`` record.
+    backfills: List[tuple] = field(default_factory=list)
     #: ``programmer.stats()`` at the end of the replay.
     stats: Dict[str, object] = field(default_factory=dict)
 
@@ -42,6 +47,15 @@ class TraceLog:
     def admitted_jobs(self) -> List[object]:
         """The admitted jobs themselves, in admission order."""
         return [self.jobs[name] for name in self.admitted]
+
+    @property
+    def backfilled_by(self) -> Dict[str, str]:
+        """Backfilled job name -> the event line that admitted it."""
+        return {
+            name: event
+            for event, names in self.backfills
+            for name in names
+        }
 
 
 def replay_trace(
@@ -74,12 +88,18 @@ def replay_trace(
                 log.events.append(f"submit {job.name}: rejected")
             else:
                 log.events.append(f"submit {job.name}: {outcome.status}")
+                backfilled = getattr(outcome, "backfilled", ())
+                if backfilled:
+                    log.backfills.append((log.events[-1], tuple(backfilled)))
         elif event.kind == "release":
             residents = programmer.residents
             if residents:
                 name = residents[event.pick % len(residents)]
                 programmer.release(name)
                 log.events.append(f"release {name}")
+                backfilled = getattr(programmer, "last_backfilled", ())
+                if backfilled:
+                    log.backfills.append((log.events[-1], tuple(backfilled)))
             else:
                 log.events.append("release (machine empty, skipped)")
         else:

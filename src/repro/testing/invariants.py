@@ -263,4 +263,90 @@ class OccupancyInvariantChecker:
         self.checks += 1
 
 
-__all__ = ["OccupancyInvariantChecker"]
+class FleetInvariantChecker:
+    """The fleet-tier contract: every shard's occupancy contract plus
+    the router's own routing consistency.
+
+    Wraps one :class:`OccupancyInvariantChecker` per shard (the full
+    per-machine re-derivation, rule by rule) and then asserts, from the
+    router's public surface, that the fleet bookkeeping agrees with
+    shard reality:
+
+    1. no job is resident on two shards, and the router's
+       ``resident_shards()`` map matches the union of shard residents
+       exactly (right jobs, right shards);
+    2. every entry of ``queued_shards()`` mapped to a shard really sits
+       in that shard's queue — and shard queues hold no job the router
+       has forgotten;
+    3. residents, shard queues and the overflow queue are pairwise
+       disjoint fleet-wide (a job lives in exactly one place);
+    4. aggregate occupancy equals the sum over shards.
+
+    Callable, like the per-machine checker, so :func:`replay_trace`
+    drives either through the same ``checker=`` hook.
+    """
+
+    def __init__(self, router, check_placements: bool = True):
+        self.router = router
+        self.shard_checkers = {
+            name: OccupancyInvariantChecker(shard, check_placements)
+            for name, shard in router.shards.items()
+        }
+        #: Number of successful :meth:`check` calls (test bookkeeping).
+        self.checks = 0
+
+    def __call__(self) -> None:
+        self.check()
+
+    def _fail(self, message: str) -> None:
+        raise InvariantViolation(
+            f"fleet invariant violated: {message}\n{self.router.snapshot()}"
+        )
+
+    def check(self) -> None:
+        for checker in self.shard_checkers.values():
+            checker.check()
+        router = self.router
+        derived: Dict[str, str] = {}
+        for shard_name, shard in router.shards.items():
+            for resident in shard.residents:
+                if resident in derived:
+                    self._fail(
+                        f"job {resident!r} resident on both "
+                        f"{derived[resident]!r} and {shard_name!r}"
+                    )
+                derived[resident] = shard_name
+        recorded = router.resident_shards()
+        if recorded != derived:
+            self._fail(
+                f"resident map {recorded} disagrees with shard "
+                f"residents {derived}"
+            )
+        queued = router.queued_shards()
+        for name, shard_name in queued.items():
+            if name in derived:
+                self._fail(f"job {name!r} both queued and resident")
+            if shard_name is not None and name not in router.shards[
+                shard_name
+            ].pending():
+                self._fail(
+                    f"job {name!r} recorded queued on {shard_name!r} "
+                    f"but absent from its queue"
+                )
+        for shard_name, shard in router.shards.items():
+            for name in shard.pending():
+                if queued.get(name) != shard_name:
+                    self._fail(
+                        f"shard {shard_name!r} queues {name!r} but the "
+                        f"router does not know it"
+                    )
+        total = sum(shard.occupancy for shard in router.shards.values())
+        if router.occupancy != total:
+            self._fail(
+                f"aggregate occupancy {router.occupancy} != shard sum "
+                f"{total}"
+            )
+        self.checks += 1
+
+
+__all__ = ["FleetInvariantChecker", "OccupancyInvariantChecker"]

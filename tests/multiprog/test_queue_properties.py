@@ -30,8 +30,11 @@ from repro.multiprog import (
 )
 from repro.testing import (
     OccupancyInvariantChecker,
+    TraceEvent,
+    lender_job,
     random_arrival_trace,
     replay_trace,
+    windowed_guest_job,
 )
 from repro.verify import BatchVerifier
 
@@ -385,12 +388,23 @@ class TestTimeoutsAndCancel:
         assert mp.stats()["cancelled"] == 1
 
     def test_cancel_unknown_rejected(self):
+        """The two failure modes are distinguishable: a resident job
+        points the caller at release(), an unknown name says so."""
         mp = make_programmer(machine=2)
         mp.submit(busy_job("a", 2))  # resident, not queued
-        with pytest.raises(CircuitError, match="queued"):
+        with pytest.raises(CircuitError, match="resident.*release"):
             mp.cancel("a")
-        with pytest.raises(CircuitError, match="queued"):
+        with pytest.raises(CircuitError, match="no queued job"):
             mp.cancel("ghost")
+
+    def test_release_of_queued_job_distinguished(self):
+        mp = make_programmer(machine=2)
+        mp.submit(busy_job("a", 2))
+        mp.submit(busy_job("b", 2))  # queued behind a
+        with pytest.raises(CircuitError, match="queued.*cancel"):
+            mp.release("b")
+        with pytest.raises(CircuitError, match="no resident job"):
+            mp.release("ghost")
 
 
 class TestStats:
@@ -403,6 +417,37 @@ class TestStats:
         assert stats["admitted_from_queue"] == 1
         assert stats["mean_wait_events"] == 1.0
         assert stats["clock"] == 3
+
+    def test_expired_jobs_count_toward_mean_wait(self):
+        """An entry that times out waited too — mean wait covers it,
+        not just the admitted-from-queue survivors."""
+        mp = make_programmer(machine=2)
+        mp.submit(busy_job("a", 2))  # clock 1
+        mp.submit(busy_job("b", 2), timeout=2)  # clock 2, queued
+        mp.submit(busy_job("c", 1))  # clock 3, queued (fifo blocks)
+        mp.submit(busy_job("d", 1))  # clock 4: b expires, waited 2
+        stats = mp.stats()
+        assert stats["expired"] == 1
+        assert stats["admitted_from_queue"] == 0
+        assert stats["total_wait_events"] == 2
+        assert stats["mean_wait_events"] == 2.0
+
+    def test_release_records_backfilled_names(self):
+        """release() keeps returning freed wires, but the names its
+        drain admitted are recorded instead of silently dropped."""
+        mp = make_programmer(machine=4, policy="fifo")
+        mp.submit(busy_job("a", 4))
+        mp.submit(busy_job("b", 2))
+        mp.submit(busy_job("c", 2))
+        freed = mp.release("a")
+        assert freed == (0, 1, 2, 3)
+        assert mp.last_backfilled == ("b", "c")
+        assert mp.stats()["last_backfilled"] == ["b", "c"]
+        # The record is per event: a release that backfills nothing
+        # clears it rather than leaving the stale provenance around.
+        mp.release("b")
+        assert mp.last_backfilled == ()
+        assert mp.stats()["last_backfilled"] == []
 
     def test_counters_conserve_jobs(self):
         mp = make_programmer(machine=4, policy="backfill")
@@ -433,6 +478,146 @@ class TestStats:
         mp.submit(busy_job("b", 1), timeout=3)
         text = mp.snapshot()
         assert "queued" in text and "b" in text and "expires" in text
+
+
+class TestClockConsistency:
+    """Every submission is one logical event — rejections included.
+
+    The historical bug: the static fail-fast paths (oversized width,
+    non-classical circuit) raised *before* ticking the clock or
+    running the expiry pass, so a queued timeout counted rejected
+    submissions as zero events while counting every other submission
+    as one.  These pin the uniform-tick semantics.
+    """
+
+    def test_oversized_reject_ticks_the_clock(self):
+        mp = make_programmer(machine=2)
+        mp.submit(busy_job("a", 2))  # clock 1
+        mp.submit(busy_job("b", 1), timeout=2)  # clock 2, expires at 4
+        with pytest.raises(CapacityError):
+            mp.submit(busy_job("wide", 3))  # clock 3: a rejection event
+        mp.submit(busy_job("c", 1))  # clock 4: b expires *here*
+        stats = mp.stats()
+        assert stats["clock"] == 4
+        assert stats["expired"] == 1
+        assert mp.pending() == ("c",)
+
+    def test_nonclassical_reject_ticks_and_counts(self):
+        mp = make_programmer(machine=4)
+        mp.submit(busy_job("a", 4))  # clock 1
+        mp.submit(busy_job("b", 1), timeout=2)  # clock 2, expires at 4
+        rogue = QuantumJob(
+            "rogue",
+            Circuit(2).extend([hadamard(0), cnot(0, 1)]),
+            [BorrowRequest(1)],
+        )
+        with pytest.raises(VerificationError):
+            mp.submit(rogue)  # clock 3
+        with pytest.raises(CapacityError):
+            mp.submit(busy_job("wide", 9))  # clock 4: b expires
+        stats = mp.stats()
+        assert stats["clock"] == 4
+        assert stats["expired"] == 1
+        assert stats["submitted"] == 4
+        assert stats["rejected"] == 2
+        # Conservation holds across every rejection flavour.
+        assert (
+            stats["admitted"]
+            + stats["expired"]
+            + stats["cancelled"]
+            + stats["rejected"]
+            + stats["pending"]
+            == stats["submitted"]
+        )
+
+    @pytest.mark.parametrize("seed", range(0, 60, 3))
+    @pytest.mark.parametrize("policy", ["fifo", "backfill"])
+    def test_front_loaded_reject_is_outcome_invariant(self, seed, policy):
+        """Differential replay: the same trace with an oversized reject
+        prepended (while no timed job is queued yet, so every later
+        deadline shifts uniformly with the clock) must admit and expire
+        exactly the same jobs at the same relative schedule."""
+        trace = random_arrival_trace(seed, num_jobs=TRACE_JOBS)
+        spiked = [
+            TraceEvent("submit", job=busy_job("oversized", 13))
+        ] + list(trace)
+
+        plain = replay_trace(make_programmer(policy=policy), trace)
+        with_reject = replay_trace(make_programmer(policy=policy), spiked)
+
+        assert with_reject.rejected == ["oversized"]
+        assert with_reject.admitted == plain.admitted, (
+            f"seed {seed}: a front-loaded reject changed admissions"
+        )
+        for key in ("admitted", "expired", "cancelled", "pending"):
+            assert with_reject.stats[key] == plain.stats[key], (
+                f"seed {seed}: {key} drifted across the reject"
+            )
+        assert with_reject.stats["submitted"] == plain.stats["submitted"] + 1
+        assert with_reject.stats["rejected"] == plain.stats["rejected"] + 1
+        assert with_reject.stats["clock"] == plain.stats["clock"] + 1
+
+
+class TestBackfillProvenance:
+    """replay_trace attributes every queue admission to its event."""
+
+    def test_release_backfills_are_attributed(self):
+        mp = make_programmer(machine=4, policy="fifo")
+        log = replay_trace(
+            mp,
+            [
+                TraceEvent("submit", job=busy_job("a", 4)),
+                TraceEvent("submit", job=busy_job("b", 2)),
+                TraceEvent("submit", job=busy_job("c", 2)),
+                TraceEvent("release", pick=0),
+            ],
+        )
+        assert log.backfills == [("release a", ("b", "c"))]
+        assert log.backfilled_by == {"b": "release a", "c": "release a"}
+
+    def test_submit_backfills_are_attributed(self):
+        mp = make_programmer(machine=6, policy="backfill")
+        log = replay_trace(
+            mp,
+            [
+                TraceEvent("submit", job=lender_job("host", 5, touched=3)),
+                TraceEvent(
+                    "submit", job=windowed_guest_job("guest", span=2)
+                ),
+                TraceEvent("release", pick=0),
+            ],
+        )
+        # Whatever the admission route, every backfilled name must be
+        # attributed to exactly the event whose drain admitted it.
+        for event, names in log.backfills:
+            for name in names:
+                assert log.backfilled_by[name] == event
+                assert name in log.admitted
+
+    @pytest.mark.parametrize("seed", range(0, 40, 4))
+    def test_provenance_covers_exactly_the_queue_admissions(self, seed):
+        """Fleet-wide accounting identity on seeded traces: the names
+        attributed across all backfill events are exactly the admitted
+        jobs that were not admitted immediately at submission."""
+        trace = random_arrival_trace(seed, num_jobs=TRACE_JOBS)
+        mp = make_programmer(policy="fifo")
+        log = replay_trace(mp, trace)
+        attributed = [
+            name for _, names in log.backfills for name in names
+        ]
+        assert len(attributed) == len(set(attributed)), (
+            f"seed {seed}: a job was backfilled twice"
+        )
+        immediate = {
+            line.split()[1].rstrip(":")
+            for line in log.events
+            if line.startswith("submit") and line.endswith("admitted")
+        }
+        assert set(attributed) == set(log.admitted) - immediate, (
+            f"seed {seed}: backfill provenance does not cover the "
+            f"queue admissions"
+        )
+        assert log.stats["admitted_from_queue"] == len(attributed)
 
 
 class TestRandomTraceInvariants:

@@ -79,10 +79,43 @@ def alloc_record(
     inf_plans_match=True,
     segmented_match=True,
     streaming=True,
+    fleet=True,
+    fleet_admitted=32,
+    single_admitted=30,
 ):
     record = _alloc_record_base(
         width, placed, admitted, windowed_admitted, segmented_admitted, wall, lazy_runs
     )
+    if fleet:
+        record["fleet"] = {
+            "seed": 1,
+            "rows": [
+                {
+                    "label": "single11",
+                    "shards": [11],
+                    "placement": "least-loaded",
+                    "admitted": single_admitted,
+                    "migrations": 0,
+                    "wall_seconds": wall,
+                },
+                {
+                    "label": "single22",
+                    "shards": [22],
+                    "placement": "least-loaded",
+                    "admitted": single_admitted + 5,
+                    "migrations": 0,
+                    "wall_seconds": wall,
+                },
+                {
+                    "label": "fleet2x11[least-loaded]",
+                    "shards": [11, 11],
+                    "placement": "least-loaded",
+                    "admitted": fleet_admitted,
+                    "migrations": 3,
+                    "wall_seconds": wall,
+                },
+            ],
+        }
     if streaming:
         record["streaming"] = {
             "seed": 7,
@@ -353,6 +386,68 @@ class TestCompareAlloc:
         del base["lending"]
         comp = compare_alloc(base, alloc_record())
         assert not comp.regressions
+
+
+class TestFleetGate:
+    """The ``fleet`` section: baseline diffs plus the fleet-vs-single
+    floor inside the fresh record."""
+
+    def test_identical_fleet_records_pass(self):
+        comp = compare_alloc(alloc_record(), alloc_record())
+        assert not comp.regressions
+
+    def test_fleet_admitted_drop_fails(self):
+        comp = compare_alloc(alloc_record(), alloc_record(fleet_admitted=31))
+        assert "alloc.fleet[fleet2x11[least-loaded]].admitted" in (
+            regressed(comp)
+        )
+
+    def test_fleet_below_single_shard_fails_within_fresh(self):
+        """A 2x11 fleet admitting less than one 11-qubit machine alone
+        wasted a whole machine — the floor binds even when the baseline
+        row agrees."""
+        fresh = alloc_record(fleet_admitted=29, single_admitted=30)
+        comp = compare_alloc(
+            alloc_record(fleet_admitted=29, single_admitted=30), fresh
+        )
+        assert "alloc.fleet[fleet2x11[least-loaded]]_vs_single11" in (
+            regressed(comp)
+        )
+
+    def test_vanished_fleet_row_fails(self):
+        fresh = alloc_record()
+        fresh["fleet"]["rows"] = [
+            r for r in fresh["fleet"]["rows"] if "fleet" not in r["label"]
+        ]
+        comp = compare_alloc(alloc_record(), fresh)
+        assert "alloc.fleet[fleet2x11[least-loaded]]" in regressed(comp)
+
+    def test_fleet_absent_everywhere_is_fine(self):
+        comp = compare_alloc(alloc_record(fleet=False), alloc_record(fleet=False))
+        assert not comp.regressions
+
+    def test_fresh_floor_enforced_without_baseline_section(self):
+        """The fleet floor holds even before the committed baseline is
+        regenerated with the new section."""
+        comp = compare_alloc(
+            alloc_record(fleet=False),
+            alloc_record(fleet_admitted=20, single_admitted=30),
+        )
+        assert "alloc.fleet[fleet2x11[least-loaded]]_vs_single11" in (
+            regressed(comp)
+        )
+
+    def test_committed_fleet_baseline_holds_the_floor(self):
+        """The committed record must itself satisfy the fleet floor
+        under every placement policy."""
+        repo = Path(__file__).resolve().parent.parent
+        payload = json.loads((repo / "BENCH_alloc.json").read_text())
+        rows = {row["label"]: row for row in payload["fleet"]["rows"]}
+        single = rows["single11"]["admitted"]
+        fleet_rows = [r for label, r in rows.items() if label.startswith("fleet")]
+        assert len(fleet_rows) == 3  # one per registered placement
+        for row in fleet_rows:
+            assert row["admitted"] >= single, row
 
 
 class TestStreamingGates:
