@@ -12,6 +12,12 @@ Walks the paper's introduction:
    with a concrete counterexample.
 
 Run:  python examples/quickstart.py
+
+Where to next: ``docs/architecture.md`` maps the subsystems,
+``docs/language.md`` documents the ``.qbr`` surface language (the same
+Figure 1.3 circuit as a checked ``borrow { within/apply }`` block),
+and ``examples/borrow_checking.py`` shows the static checker proving
+this construction without a solver call.
 """
 
 from repro.circuits import Circuit, cnot, toffoli

@@ -17,7 +17,7 @@ pipeline itself.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, FrozenSet, Iterable, Optional
 
 from repro.alloc.base import AllocationStrategy
 from repro.alloc.model import ConflictModel, Placement
@@ -40,6 +40,12 @@ class VerifiedStrategy(AllocationStrategy):
         repeated plans on the same circuit).
     backend:
         Backend name for the private verifier when none is supplied.
+    precertified:
+        Ancilla wires whose safety was already proven *statically* —
+        typically the surface language's borrow checker
+        (``ElaboratedProgram.proven_wires``).  They are treated as safe
+        without a solver obligation; every skip of an otherwise-due
+        verification bumps :attr:`static_discharged`.
     """
 
     def __init__(
@@ -47,6 +53,7 @@ class VerifiedStrategy(AllocationStrategy):
         inner: str = "greedy",
         verifier: Optional[object] = None,
         backend: str = "bdd",
+        precertified: Optional[Iterable[int]] = None,
     ):
         if inner == "verified":
             raise CircuitError("verified strategy cannot wrap itself")
@@ -59,15 +66,32 @@ class VerifiedStrategy(AllocationStrategy):
 
             verifier = BatchVerifier(backend=backend)
         self.verifier = verifier
+        #: Wires proven safe before planning (no solver run needed).
+        self.precertified: FrozenSet[int] = frozenset(precertified or ())
+        #: Lifetime count of solver obligations skipped because the
+        #: ancilla arrived pre-certified.
+        self.static_discharged = 0
         #: Ancilla wire -> verdict of the last :meth:`plan` call;
         #: ancillas skipped as host-less never appear (never verified).
         self.last_safety: Dict[int, bool] = {}
 
     def plan(self, model: ConflictModel) -> Placement:
         hostless = [a for a in model.ancillas if not model.candidates[a]]
-        to_verify = [a for a in model.ancillas if model.candidates[a]]
+        to_verify = [
+            a
+            for a in model.ancillas
+            if model.candidates[a] and a not in self.precertified
+        ]
+        certified = [
+            a
+            for a in model.ancillas
+            if model.candidates[a] and a in self.precertified
+        ]
 
         self.last_safety = {}
+        for a in certified:
+            self.last_safety[a] = True
+        self.static_discharged += len(certified)
         unsafe = []
         if to_verify:
             from repro.circuits.classical import is_classical_circuit
@@ -83,7 +107,10 @@ class VerifiedStrategy(AllocationStrategy):
                 if not verdict.safe:
                     unsafe.append(verdict.qubit)
 
-        safe = [a for a in to_verify if a not in unsafe]
+        # Keep the model's ancilla order (certified and verified alike).
+        admitted = set(certified)
+        admitted.update(a for a in to_verify if a not in unsafe)
+        safe = [a for a in model.ancillas if a in admitted]
         placement = self.inner.plan(model.restrict(safe))
         for a in hostless:
             placement.unplaced.append(a)

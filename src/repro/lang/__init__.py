@@ -1,11 +1,26 @@
 """The QBorrow language — system S5.
 
-:mod:`repro.lang.ast` defines the abstract syntax of Figure 4.1 (QWhile
-plus ``borrow a; S; release a``), the idle-qubit analysis of Figure 4.2,
-substitution of concrete qubits for placeholders, and well-formedness
-checks.  :mod:`repro.lang.programs` builds the paper's example programs.
-:mod:`repro.lang.surface` is the concrete ``.qbr`` front end from the
-artifact appendix.
+Module tour (abstract to concrete):
+
+* :mod:`repro.lang.ast` — abstract syntax of Figure 4.1 (QWhile plus
+  ``borrow a; S; release a``), the idle-qubit analysis of Figure 4.2,
+  substitution of concrete qubits for placeholders, and
+  well-formedness checks.
+* :mod:`repro.lang.dsl` — a fluent Python builder over that AST.
+* :mod:`repro.lang.programs` — the paper's example programs.
+* :mod:`repro.lang.surface` — the concrete ``.qbr`` front end from the
+  artifact appendix: lexer, parser, and the elaborator that lowers
+  surface programs to flat circuits with qubit roles.
+* :mod:`repro.lang.borrowck` — the static borrow checker: ownership
+  states (owned / lent / borrowed / released / consumed) and the taint
+  lattice that proves scoped ``borrow ... { within {...} apply {...} }``
+  blocks safe without a solver.
+* :mod:`repro.lang.diagnostics` — source-located, caret-span
+  diagnostics (``BQ001``...) the checker reports through.
+
+The full surface-language reference, including the ownership
+constructs and the diagnostics catalogue, lives in
+``docs/language.md``.
 """
 
 from repro.lang.ast import (
@@ -32,19 +47,32 @@ from repro.lang.ast import (
     unitary,
     unitary_matrix,
 )
+from repro.lang.borrowck import check_program, check_qbr
+from repro.lang.diagnostics import (
+    BorrowCheckError,
+    Diagnostic,
+    DiagnosticReport,
+    Span,
+)
 
 __all__ = [
     "Borrow",
+    "BorrowCheckError",
+    "Diagnostic",
+    "DiagnosticReport",
     "If",
     "Init",
     "Measurement",
     "Seq",
     "Skip",
+    "Span",
     "Statement",
     "UnitaryStmt",
     "While",
     "basis_measurement_on",
     "borrow",
+    "check_program",
+    "check_qbr",
     "check_well_formed",
     "idle",
     "init",

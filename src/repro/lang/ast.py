@@ -73,6 +73,7 @@ class Measurement:
             )
 
     def rename(self, mapping: Dict[str, str]) -> "Measurement":
+        """Return a copy with qubit names substituted per ``mapping``."""
         qubits = tuple(mapping.get(q, q) for q in self.qubits)
         return Measurement(self.name, qubits, self.m_true, self.m_false)
 

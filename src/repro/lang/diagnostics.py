@@ -1,0 +1,156 @@
+"""Source-located diagnostics for the QBorrow surface language.
+
+The borrow checker (:mod:`repro.lang.borrowck`) reports ownership
+violations through the small engine in this module rather than raising
+bare exceptions.  Each :class:`Diagnostic` carries a stable error code
+(``BQ001``...), a primary :class:`Span` into the original source text, an
+optional caret label, and machine-checkable ``notes`` / ``hints`` lines.
+:meth:`Diagnostic.render` produces the rustc-style block that the docs
+catalogue (``docs/language.md``) and the snapshot tests pin::
+
+    error[BQ001]: register 'q' used after release
+     --> <qbr>:1:21
+      |
+    1 | borrow q; release q; X[q];
+      |                        ^ 'q' is no longer live here
+      |
+      = note: 'q' was released on line 1
+      = help: move this use before the release, or drop the release
+
+Two consumption modes are supported.  *Strict* mode (the default inside
+:func:`repro.lang.surface.elaborate.elaborate`) raises
+:class:`BorrowCheckError` at the first diagnostic; because that exception
+subclasses :class:`~repro.errors.ParseError`, existing callers that catch
+parse failures keep working unchanged.  *Collect* mode
+(:func:`repro.lang.borrowck.check_program`) accumulates every diagnostic
+into a :class:`DiagnosticReport` so a single run surfaces all errors in a
+file, the way a real compiler front end would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.errors import ParseError
+
+#: Catalogue of borrow-checker error codes.  ``docs/language.md`` documents
+#: each one with a minimal failing program; ``tests/lang/test_borrowck.py``
+#: snapshot-tests every entry.
+CODES = {
+    "BQ001": "use after release",
+    "BQ002": "redeclaration of a live register",
+    "BQ003": "use of a scoped borrow after its block ended",
+    "BQ004": "apply-section write to a frozen wire",
+    "BQ005": "use of a register while it is lent out",
+    "BQ006": "invalid lend",
+    "BQ007": "aliased gate operands",
+    "BQ008": "invalid release",
+    "BQ009": "release of a register that is not currently owned",
+    "BQ010": "dirty read in an apply-section",
+    "BQ011": "apply-section reads a wire it also writes",
+    "BQ012": "apply-section gate cancels with its mirror (warning)",
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """A 1-based source location with a caret length."""
+
+    line: int
+    column: int
+    length: int = 1
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One borrow-checker finding, renderable as a caret-span block."""
+
+    code: str
+    message: str
+    span: Span
+    label: str = ""
+    notes: Tuple[str, ...] = ()
+    hints: Tuple[str, ...] = ()
+    severity: str = "error"
+
+    def render(self, source: str, filename: str = "<qbr>") -> str:
+        """Render the rustc-style block for this diagnostic."""
+        span = self.span
+        gutter = " " * len(str(span.line))
+        lines = source.splitlines()
+        snippet = lines[span.line - 1] if 0 < span.line <= len(lines) else ""
+        caret = " " * max(0, span.column - 1) + "^" * max(1, span.length)
+        if self.label:
+            caret = f"{caret} {self.label}"
+        out = [
+            f"{self.severity}[{self.code}]: {self.message}",
+            f"{gutter}--> {filename}:{span.line}:{span.column}",
+            f"{gutter} |",
+            f"{span.line} | {snippet}",
+            f"{gutter} | {caret}",
+        ]
+        if self.notes or self.hints:
+            out.append(f"{gutter} |")
+        for note in self.notes:
+            out.append(f"{gutter} = note: {note}")
+        for hint in self.hints:
+            out.append(f"{gutter} = help: {hint}")
+        return "\n".join(out)
+
+
+@dataclass
+class DiagnosticReport:
+    """Every diagnostic collected from one borrow-check run."""
+
+    source: str
+    filename: str = "<qbr>"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was collected."""
+        return not any(d.severity == "error" for d in self.diagnostics)
+
+    def codes(self) -> List[str]:
+        """Error codes in emission order (duplicates preserved)."""
+        return [d.code for d in self.diagnostics]
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Append one finding."""
+        self.diagnostics.append(diagnostic)
+
+    def render(self) -> str:
+        """Render every diagnostic, blocks separated by blank lines."""
+        blocks = [
+            d.render(self.source, self.filename) for d in self.diagnostics
+        ]
+        return "\n\n".join(blocks)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        """A report is truthy when it holds at least one diagnostic."""
+        return bool(self.diagnostics)
+
+
+class BorrowCheckError(ParseError):
+    """Raised in strict mode at the first ownership violation.
+
+    Subclasses :class:`~repro.errors.ParseError` so callers that guard
+    elaboration with ``except ParseError`` keep working; ``str(err)`` is
+    the fully rendered caret-span block and ``err.report`` carries the
+    structured :class:`DiagnosticReport`.
+    """
+
+    def __init__(self, report: DiagnosticReport):
+        self.report = report
+        first = report.diagnostics[0]
+        super().__init__(report.render(), 0, 0)
+        self.line = first.span.line
+        self.column = first.span.column
+        self.code = first.code

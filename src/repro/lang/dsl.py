@@ -71,15 +71,19 @@ class ProgramBuilder:
         return self._emit(unitary(name, *qubits))
 
     def x(self, qubit: str) -> "ProgramBuilder":
+        """Apply a NOT."""
         return self.gate("X", qubit)
 
     def cx(self, control: str, target: str) -> "ProgramBuilder":
+        """Apply a controlled NOT."""
         return self.gate("CX", control, target)
 
     def ccx(self, c1: str, c2: str, target: str) -> "ProgramBuilder":
+        """Apply a Toffoli."""
         return self.gate("CCX", c1, c2, target)
 
     def h(self, qubit: str) -> "ProgramBuilder":
+        """Apply a Hadamard."""
         return self.gate("H", qubit)
 
     def apply(self, matrix: np.ndarray, name: str, *qubits: str):

@@ -1,14 +1,25 @@
 """Elaboration of ``.qbr`` surface programs to circuits with qubit roles.
 
 Evaluates ``let`` bindings and loop variables, allocates register wires
-in declaration order, enforces lifetimes (no gate on a released
-register), and produces an :class:`ElaboratedProgram`:
+in declaration order, drives the static borrow checker
+(:mod:`repro.lang.borrowck`) over every statement, and produces an
+:class:`ElaboratedProgram`:
 
 * the flat classical :class:`~repro.circuits.Circuit`;
-* ``dirty_wires`` — qubits declared with ``borrow`` (verified);
+* ``dirty_wires`` — qubits declared with ``borrow`` (verified) or by a
+  scoped ``borrow ... { within {...} apply {...} }`` block;
 * ``input_wires`` — qubits declared with ``borrow@`` (assumption-free
   inputs whose verification the paper's benchmarks skip);
-* ``clean_wires`` — qubits declared with ``alloc``.
+* ``clean_wires`` — qubits declared with ``alloc``;
+* ``proven_wires`` — the subset of ``dirty_wires`` whose safety the
+  borrow checker proved statically (scoped blocks that checked clean);
+* ``lend_windows`` — gate-index ranges of each ``lend x {...}`` block.
+
+A scoped borrow block elaborates to the double conjugation
+``C; D; reverse(C); D`` (every surface gate is self-inverse, so
+``reverse(C)`` is its own inverse emission); see
+:mod:`repro.lang.borrowck` for why the checker's rules make that
+emission satisfy the paper's (6.1)/(6.2) contract by construction.
 
 ``for A to B`` iterates from A to B *inclusive, in either direction* —
 the descending loops of ``adder.qbr``/``mcx.qbr`` rely on this.
@@ -18,17 +29,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.gates import Gate, gate_from_name
 from repro.errors import ParseError
+from repro.lang.borrowck import BorrowChecker, GateOperand
+from repro.lang.diagnostics import DiagnosticReport, Span
 from repro.lang.surface.parser import (
     BinOp,
+    BorrowBlock,
     DeclStmt,
     ExprNode,
     ForStmt,
     GateStmt,
+    LendBlock,
     LetStmt,
     Name,
     Neg,
@@ -43,8 +58,10 @@ from repro.verify.pipeline import VerificationReport, verify_circuit
 
 @dataclass
 class _Register:
+    """Wire layout of one declared register (ownership lives in the checker)."""
+
     name: str
-    kind: str  # 'borrow' | 'borrow_skip' | 'alloc'
+    kind: str  # 'borrow' | 'borrow_skip' | 'alloc' | 'borrow_scoped'
     wires: List[int]
     scalar: bool
     released: bool = False
@@ -60,6 +77,16 @@ class ElaboratedProgram:
     clean_wires: List[int] = field(default_factory=list)
     registers: Dict[str, "_Register"] = field(default_factory=dict)
     bindings: Dict[str, int] = field(default_factory=dict)
+    #: Dirty wires whose (6.1)/(6.2) safety the borrow checker proved.
+    proven_wires: List[int] = field(default_factory=list)
+    #: Register name -> gate-index ranges of its ``lend`` blocks (first
+    #: emission; mirror copies of gates inside a borrow block are not
+    #: re-counted).
+    lend_windows: Dict[str, List[Tuple[int, int]]] = field(
+        default_factory=dict
+    )
+    #: The borrow-check report this elaboration produced.
+    diagnostics: Optional[DiagnosticReport] = None
 
     def wires_of(self, register: str) -> List[int]:
         """Wire indices of a declared register."""
@@ -68,23 +95,34 @@ class ElaboratedProgram:
         return list(self.registers[register].wires)
 
     def summary(self) -> str:
+        """One-line census of qubits, gates and roles."""
         return (
             f"{self.circuit.num_qubits} qubits, {len(self.circuit.gates)} "
             f"gates; dirty={len(self.dirty_wires)} "
-            f"inputs={len(self.input_wires)} clean={len(self.clean_wires)}"
+            f"inputs={len(self.input_wires)} clean={len(self.clean_wires)} "
+            f"proven={len(self.proven_wires)}"
         )
 
 
 class _Elaborator:
-    def __init__(self):
+    """One elaboration pass; drives ``checker`` over every statement."""
+
+    def __init__(self, checker: BorrowChecker):
+        self.checker = checker
         self.env: Dict[str, int] = {}
         self.registers: Dict[str, _Register] = {}
         self.wire_labels: List[str] = []
         self.gates: List[Gate] = []
+        # Parallel to `gates`: the checker operands and span of each
+        # emitted gate, so borrow-block mirrors can replay them.
+        self.gate_meta: List[Tuple[Tuple[GateOperand, ...], Span]] = []
+        self.proven: List[int] = []
+        self.lend_windows: Dict[str, List[Tuple[int, int]]] = {}
 
     # Expressions ---------------------------------------------------------- #
 
     def eval_expr(self, node: ExprNode) -> int:
+        """Evaluate a compile-time integer expression."""
         if isinstance(node, Num):
             return node.value
         if isinstance(node, Name):
@@ -105,17 +143,25 @@ class _Elaborator:
             return left * right
         raise ParseError(f"unknown expression node {node!r}")
 
+    # Spans ----------------------------------------------------------------- #
+
+    @staticmethod
+    def _ref_span(ref: RegRef) -> Span:
+        end = ref.end_column or (ref.column + len(ref.name))
+        return Span(ref.line, ref.column, max(1, end - ref.column))
+
     # Declarations ---------------------------------------------------------- #
 
     def declare(self, stmt: DeclStmt) -> None:
-        ref = stmt.reg
-        if ref.name in self.registers and not self.registers[ref.name].released:
-            raise ParseError(
-                f"register {ref.name!r} already declared", stmt.line, 0
-            )
+        """Elaborate a ``borrow``/``borrow@``/``alloc`` declaration."""
+        self._declare_register(stmt.reg, stmt.kind, stmt.line)
+
+    def _declare_register(
+        self, ref: RegRef, kind: str, line: int
+    ) -> Optional[_Register]:
         if ref.name in self.env:
             raise ParseError(
-                f"register {ref.name!r} collides with a variable", stmt.line, 0
+                f"register {ref.name!r} collides with a variable", line, 0
             )
         if ref.index is None:
             size, scalar = 1, True
@@ -125,43 +171,43 @@ class _Elaborator:
             if size < 1:
                 raise ParseError(
                     f"register {ref.name!r} has non-positive size {size}",
-                    stmt.line,
+                    line,
                     0,
                 )
         first = len(self.wire_labels)
+        wires = list(range(first, first + size))
+        if not self.checker.declare(ref.name, wires, kind, self._ref_span(ref)):
+            return None  # BQ002: keep the original declaration
         for i in range(size):
             label = ref.name if scalar else f"{ref.name}[{i + 1}]"
             self.wire_labels.append(label)
-        self.registers[ref.name] = _Register(
-            name=ref.name,
-            kind=stmt.kind,
-            wires=list(range(first, first + size)),
-            scalar=scalar,
+        register = _Register(
+            name=ref.name, kind=kind, wires=wires, scalar=scalar
         )
+        self.registers[ref.name] = register
+        return register
 
     def release(self, stmt: ReleaseStmt) -> None:
-        register = self.registers.get(stmt.name)
-        if register is None:
-            raise ParseError(
-                f"release of undeclared register {stmt.name!r}", stmt.line, 0
-            )
-        if register.released:
-            raise ParseError(
-                f"register {stmt.name!r} released twice", stmt.line, 0
-            )
-        register.released = True
+        """Elaborate ``release x;`` (BQ003/BQ008/BQ009 on misuse)."""
+        span = Span(
+            stmt.line, stmt.column or 1, max(1, len(stmt.name))
+        )
+        if self.checker.release(stmt.name, span):
+            self.registers[stmt.name].released = True
 
     # References ------------------------------------------------------------ #
 
     def resolve(self, ref: RegRef) -> int:
+        """Resolve a register reference to a concrete wire index.
+
+        Shape errors (unknown name, missing/extra index, out-of-range
+        index) stay plain :class:`ParseError`; *lifetime* errors are the
+        borrow checker's job and are reported when the wire is used.
+        """
         register = self.registers.get(ref.name)
         if register is None:
             raise ParseError(
                 f"undeclared register {ref.name!r}", ref.line, ref.column
-            )
-        if register.released:
-            raise ParseError(
-                f"register {ref.name!r} used after release", ref.line, ref.column
             )
         if ref.index is None:
             if not register.scalar:
@@ -189,6 +235,7 @@ class _Elaborator:
     # Statements ------------------------------------------------------------- #
 
     def run(self, statements) -> None:
+        """Elaborate a statement sequence."""
         for stmt in statements:
             if isinstance(stmt, LetStmt):
                 if stmt.name in self.registers:
@@ -203,14 +250,40 @@ class _Elaborator:
             elif isinstance(stmt, ReleaseStmt):
                 self.release(stmt)
             elif isinstance(stmt, GateStmt):
-                wires = [self.resolve(ref) for ref in stmt.operands]
-                self.gates.append(gate_from_name(stmt.gate, wires))
+                self.run_gate(stmt)
             elif isinstance(stmt, ForStmt):
                 self.run_for(stmt)
+            elif isinstance(stmt, BorrowBlock):
+                self.run_borrow_block(stmt)
+            elif isinstance(stmt, LendBlock):
+                self.run_lend_block(stmt)
             else:  # pragma: no cover - exhaustive over statement kinds
                 raise ParseError(f"unknown statement {stmt!r}")
 
+    def run_gate(self, stmt: GateStmt) -> None:
+        """Elaborate one gate application through the borrow checker."""
+        operands = []
+        for ref in stmt.operands:
+            wire = self.resolve(ref)
+            if ref.index is None:
+                text = ref.name
+            else:
+                text = f"{ref.name}[{self.eval_expr(ref.index)}]"
+            operands.append(
+                GateOperand(ref.name, wire, self._ref_span(ref), text)
+            )
+        column = stmt.column or 1
+        span = Span(
+            stmt.line, column, max(1, (stmt.end_column or column) - column)
+        )
+        ops = tuple(operands)
+        if self.checker.gate(ops, span):
+            gate = gate_from_name(stmt.gate, [op.wire for op in ops])
+            self.gates.append(gate)
+            self.gate_meta.append((ops, span))
+
     def run_for(self, stmt: ForStmt) -> None:
+        """Unroll a ``for`` loop (inclusive bounds, either direction)."""
         start = self.eval_expr(stmt.start)
         end = self.eval_expr(stmt.end)
         step = 1 if end >= start else -1
@@ -224,11 +297,86 @@ class _Elaborator:
         else:
             self.env.pop(stmt.var, None)
 
+    # Ownership blocks -------------------------------------------------------- #
 
-def elaborate(source: Union[str, Program]) -> ElaboratedProgram:
-    """Elaborate ``.qbr`` source (or a parsed :class:`Program`)."""
+    def run_borrow_block(self, stmt: BorrowBlock) -> None:
+        """Elaborate ``borrow b { within { C } apply { D } }``.
+
+        Emits ``C; D; reverse(C); D``.  The mirror phases replay the
+        already-emitted gates (never the statements — loop bounds and
+        lets must not re-evaluate) and feed them back through the
+        checker so taint bookkeeping covers the full emission.
+        """
+        register = self._declare_register(stmt.reg, "borrow_scoped", stmt.line)
+        if register is None:
+            return  # BQ002: recovery skips the whole block
+        frame = self.checker.enter_borrow(
+            register.name, register.wires, self._ref_span(stmt.reg)
+        )
+        w_start = len(self.gates)
+        self.run(stmt.within)
+        w_stop = len(self.gates)
+        self.checker.begin_apply(frame)
+        self.run(stmt.apply)
+        a_stop = len(self.gates)
+        self.checker.begin_mirror(frame)
+        self._replay(range(w_stop - 1, w_start - 1, -1), stmt.line)
+        self._replay(range(w_stop, a_stop), stmt.line)
+        proven = self.checker.end_borrow(frame)
+        register.released = True  # consumed: the qubit went back
+        if proven:
+            self.proven.extend(register.wires)
+
+    def _replay(self, indices, block_line: int) -> None:
+        """Re-emit already-emitted gates for a borrow block's mirror."""
+        for idx in indices:
+            gate = self.gates[idx]
+            ops, span = self.gate_meta[idx]
+            self.checker.gate(ops, span, mirrored_from=block_line)
+            self.gates.append(gate)
+            self.gate_meta.append((ops, span))
+
+    def run_lend_block(self, stmt: LendBlock) -> None:
+        """Elaborate ``lend x { ... }`` and record its gate-index window."""
+        span = Span(
+            stmt.line,
+            stmt.name_column or stmt.column or 1,
+            max(1, len(stmt.name)),
+        )
+        ok = self.checker.enter_lend(stmt.name, span)
+        start = len(self.gates)
+        self.run(stmt.body)
+        if ok:
+            self.checker.exit_lend(stmt.name)
+            self.lend_windows.setdefault(stmt.name, []).append(
+                (start, len(self.gates))
+            )
+
+
+def elaborate(
+    source: Union[str, Program],
+    *,
+    strict: bool = True,
+    report: Optional[DiagnosticReport] = None,
+    filename: str = "<qbr>",
+) -> ElaboratedProgram:
+    """Elaborate ``.qbr`` source (or a parsed :class:`Program`).
+
+    The static borrow checker runs as part of elaboration.  In strict
+    mode (the default) the first ownership violation raises
+    :class:`~repro.lang.diagnostics.BorrowCheckError` — a
+    :class:`ParseError` subclass, so existing error handling keeps
+    working.  With ``strict=False`` every violation is collected into
+    ``report`` (see :func:`repro.lang.borrowck.check_program`) and
+    elaboration recovers and continues.
+    """
     program = parse(source) if isinstance(source, str) else source
-    ela = _Elaborator()
+    if report is None:
+        report = DiagnosticReport(
+            source=source if isinstance(source, str) else "",
+            filename=filename,
+        )
+    ela = _Elaborator(BorrowChecker(report, strict=strict))
     ela.run(program.statements)
     circuit = Circuit(len(ela.wire_labels), labels=ela.wire_labels)
     for gate in ela.gates:
@@ -237,14 +385,19 @@ def elaborate(source: Union[str, Program]) -> ElaboratedProgram:
         circuit=circuit,
         registers=ela.registers,
         bindings=dict(ela.env),
+        lend_windows={k: list(v) for k, v in ela.lend_windows.items()},
+        diagnostics=report,
     )
     for register in ela.registers.values():
         bucket = {
             "borrow": result.dirty_wires,
+            "borrow_scoped": result.dirty_wires,
             "borrow_skip": result.input_wires,
             "alloc": result.clean_wires,
         }[register.kind]
         bucket.extend(register.wires)
+    dirty = set(result.dirty_wires)
+    result.proven_wires = [w for w in ela.proven if w in dirty]
     return result
 
 
@@ -253,11 +406,25 @@ def elaborate_file(path: Union[str, Path]) -> ElaboratedProgram:
     return elaborate(Path(path).read_text())
 
 
+def _as_program(
+    source: Union[str, Path, ElaboratedProgram],
+) -> ElaboratedProgram:
+    """Resolve text / path / elaborated-program into a program."""
+    if isinstance(source, ElaboratedProgram):
+        return source
+    if isinstance(source, Path) or (
+        isinstance(source, str) and source.strip().endswith(".qbr")
+    ):
+        return elaborate_file(source)
+    return elaborate(source)
+
+
 def verify_qbr(
     source: Union[str, Path, ElaboratedProgram],
     backend: str = "cdcl",
     simplify_xor: bool = True,
     include_clean: bool = False,
+    trust_checker: bool = False,
 ) -> VerificationReport:
     """End-to-end: parse, elaborate, and verify every ``borrow`` qubit.
 
@@ -266,19 +433,19 @@ def verify_qbr(
     the paper's benchmarks.  With ``include_clean=True``, every ``alloc``
     register is additionally checked against the weaker clean-qubit
     contract (|0> in, |0> out — formula (6.1) only) and its verdicts are
-    appended to the report.
+    appended to the report.  With ``trust_checker=True`` the wires the
+    static borrow checker already proved (``proven_wires``) are omitted
+    from the solver run — the obligations the type system discharged are
+    not re-paid.
     """
-    if isinstance(source, ElaboratedProgram):
-        program = source
-    elif isinstance(source, Path) or (
-        isinstance(source, str) and source.strip().endswith(".qbr")
-    ):
-        program = elaborate_file(source)
-    else:
-        program = elaborate(source)
+    program = _as_program(source)
+    to_check = program.dirty_wires
+    if trust_checker and program.proven_wires:
+        proven = set(program.proven_wires)
+        to_check = [w for w in to_check if w not in proven]
     report = verify_circuit(
         program.circuit,
-        program.dirty_wires,
+        to_check,
         backend=backend,
         simplify_xor=simplify_xor,
     )
@@ -291,3 +458,32 @@ def verify_qbr(
         report.verdicts.extend(clean_report.verdicts)
         report.total_seconds += clean_report.total_seconds
     return report
+
+
+def job_from_qbr(
+    name: str,
+    source: Union[str, Path, ElaboratedProgram],
+    trust_checker: bool = True,
+) -> "object":
+    """Build a :class:`~repro.multiprog.scheduler.QuantumJob` from ``.qbr``.
+
+    Every dirty wire becomes a
+    :class:`~repro.multiprog.scheduler.BorrowRequest`; the ones the
+    borrow checker proved safe are marked ``certified`` (unless
+    ``trust_checker=False``), so
+    :meth:`~repro.multiprog.scheduler.MultiProgrammer.admit` skips their
+    solver obligations and counts them in ``stats()['static_discharged']``.
+    """
+    program = _as_program(source)
+    # Imported here so the language layer stays importable without the
+    # scheduler stack (multiprog imports alloc imports verify).
+    from repro.multiprog.scheduler import BorrowRequest, QuantumJob
+
+    proven = set(program.proven_wires) if trust_checker else set()
+    requests = [
+        BorrowRequest(wire, certified=wire in proven)
+        for wire in program.dirty_wires
+    ]
+    return QuantumJob(
+        name=name, circuit=program.circuit, ancilla_requests=requests
+    )

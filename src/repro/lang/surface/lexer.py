@@ -4,6 +4,12 @@ Follows the artifact grammar: identifiers, numbers, the punctuation set
 ``= ; , [ ] { } ( ) + - *``, the ``borrow@`` marker, ``//`` line comments
 and ``/* */`` block comments.  Keywords are classified here so the parser
 can match on token kinds.
+
+Beyond the published grammar this repository adds the ownership
+keywords ``lend``, ``within`` and ``apply`` for the scoped
+``borrow ... { within {...} apply {...} }`` and ``lend x {...}``
+constructs checked by :mod:`repro.lang.borrowck` (see
+``docs/language.md``).
 """
 
 from __future__ import annotations
@@ -14,7 +20,17 @@ from typing import Iterator, List
 from repro.errors import ParseError
 
 KEYWORDS = frozenset(
-    {"let", "borrow", "alloc", "release", "for", "to"}
+    {
+        "let",
+        "borrow",
+        "alloc",
+        "release",
+        "for",
+        "to",
+        "lend",
+        "within",
+        "apply",
+    }
 )
 
 PUNCTUATION = {

@@ -5,6 +5,9 @@ Grammar (as published, plus the repository's ``MCX`` extension)::
     program   : statement+ EOF
     statement : 'let' ID '=' expr ';'
               | 'borrow' reg ';' | 'borrow@' reg ';' | 'alloc' reg ';'
+              | 'borrow' reg '{' 'within' '{' statement* '}'
+                              'apply'  '{' statement* '}' '}'
+              | 'lend' ID '{' statement* '}'
               | 'release' ID ';'
               | 'X' '[' reg ']' ';'
               | 'CNOT' '[' reg ',' reg ']' ';'
@@ -13,6 +16,10 @@ Grammar (as published, plus the repository's ``MCX`` extension)::
     reg       : ID '[' expr ']' | ID
     expr      : additive over term/factor with unary +/-
 
+The scoped ``borrow ... { within {...} apply {...} }`` block and the
+``lend`` block are this repository's ownership extensions (checked by
+:mod:`repro.lang.borrowck`; reference in ``docs/language.md``); the
+rest is the artifact grammar plus the ``MCX`` repository extension.
 The gate names are ordinary identifiers in the token stream and are
 matched by spelling here, exactly as ANTLR's literal tokens would.
 """
@@ -35,11 +42,15 @@ GATE_NAMES = {"X": 1, "CNOT": 2, "CCNOT": 3}
 
 @dataclass(frozen=True)
 class Num:
+    """Integer literal."""
+
     value: int
 
 
 @dataclass(frozen=True)
 class Name:
+    """Reference to a ``let``-bound (or loop) variable."""
+
     ident: str
     line: int
     column: int
@@ -47,6 +58,8 @@ class Name:
 
 @dataclass(frozen=True)
 class BinOp:
+    """Binary arithmetic over two expressions."""
+
     op: str  # '+', '-', '*'
     left: "ExprNode"
     right: "ExprNode"
@@ -54,6 +67,8 @@ class BinOp:
 
 @dataclass(frozen=True)
 class Neg:
+    """Unary minus."""
+
     operand: "ExprNode"
 
 
@@ -62,16 +77,23 @@ ExprNode = Union[Num, Name, BinOp, Neg]
 
 @dataclass(frozen=True)
 class RegRef:
-    """``q[expr]`` or bare ``q``."""
+    """``q[expr]`` or bare ``q``.
+
+    ``end_column`` is the column one past the reference's last character
+    (0 when unknown), so diagnostics can underline the full extent.
+    """
 
     name: str
     index: Optional[ExprNode]
     line: int
     column: int
+    end_column: int = 0
 
 
 @dataclass(frozen=True)
 class LetStmt:
+    """``let x = expr;`` classical binding."""
+
     name: str
     value: ExprNode
     line: int
@@ -88,19 +110,29 @@ class DeclStmt:
 
 @dataclass(frozen=True)
 class ReleaseStmt:
+    """``release x;`` — ``column``/``end_column`` span the register name."""
+
     name: str
     line: int
+    column: int = 0
+    end_column: int = 0
 
 
 @dataclass(frozen=True)
 class GateStmt:
+    """A gate application; ``column`` anchors the gate name."""
+
     gate: str
     operands: Tuple[RegRef, ...]
     line: int
+    column: int = 0
+    end_column: int = 0
 
 
 @dataclass(frozen=True)
 class ForStmt:
+    """``for i = a to b { ... }`` — inclusive, in either direction."""
+
     var: str
     start: ExprNode
     end: ExprNode
@@ -108,11 +140,48 @@ class ForStmt:
     line: int
 
 
-StmtNode = Union[LetStmt, DeclStmt, ReleaseStmt, GateStmt, ForStmt]
+@dataclass(frozen=True)
+class BorrowBlock:
+    """Scoped borrow: ``borrow b { within { C } apply { D } }``.
+
+    Elaborates to the double conjugation ``C; D; reverse(C); D`` and is
+    what the borrow checker (:mod:`repro.lang.borrowck`) can prove safe
+    statically; see ``docs/language.md``.
+    """
+
+    reg: RegRef
+    within: Tuple["StmtNode", ...]
+    apply: Tuple["StmtNode", ...]
+    line: int
+    column: int = 0
+
+
+@dataclass(frozen=True)
+class LendBlock:
+    """``lend x { ... }`` — the owner pledges ``x`` idle for the body."""
+
+    name: str
+    body: Tuple["StmtNode", ...]
+    line: int
+    column: int = 0
+    name_column: int = 0
+
+
+StmtNode = Union[
+    LetStmt,
+    DeclStmt,
+    ReleaseStmt,
+    GateStmt,
+    ForStmt,
+    BorrowBlock,
+    LendBlock,
+]
 
 
 @dataclass(frozen=True)
 class Program:
+    """A parsed ``.qbr`` compilation unit."""
+
     statements: Tuple[StmtNode, ...]
 
 
@@ -165,6 +234,8 @@ class _Parser:
             return self.let_statement()
         if token.kind in ("BORROW", "BORROW_SKIP", "ALLOC"):
             return self.decl_statement()
+        if token.kind == "LEND":
+            return self.lend_statement()
         if token.kind == "RELEASE":
             return self.release_statement()
         if token.kind == "FOR":
@@ -185,7 +256,7 @@ class _Parser:
         self.expect("SEMI")
         return LetStmt(name.text, value, let.line)
 
-    def decl_statement(self) -> DeclStmt:
+    def decl_statement(self) -> Union[DeclStmt, BorrowBlock]:
         token = self.advance()
         kind = {
             "BORROW": "borrow",
@@ -193,14 +264,53 @@ class _Parser:
             "ALLOC": "alloc",
         }[token.kind]
         reg = self.reg()
+        if token.kind == "BORROW" and self.peek().kind == "LBRACE":
+            return self.borrow_block(token, reg)
         self.expect("SEMI")
         return DeclStmt(kind, reg, token.line)
+
+    def borrow_block(self, token: Token, reg: RegRef) -> BorrowBlock:
+        self.expect("LBRACE")
+        self.expect("WITHIN", "'within'")
+        self.expect("LBRACE")
+        within = self.block_body(token, "within-section")
+        self.expect("APPLY", "'apply'")
+        self.expect("LBRACE")
+        apply = self.block_body(token, "apply-section")
+        self.expect("RBRACE")
+        return BorrowBlock(reg, within, apply, token.line, token.column)
+
+    def lend_statement(self) -> LendBlock:
+        token = self.expect("LEND")
+        name = self.expect("ID", "a register name")
+        self.expect("LBRACE")
+        body = self.block_body(token, "lend block")
+        return LendBlock(
+            name.text, body, token.line, token.column, name.column
+        )
+
+    def block_body(self, opener: Token, what: str) -> Tuple[StmtNode, ...]:
+        """Statements up to (and consuming) the closing ``}``."""
+        body: List[StmtNode] = []
+        while self.peek().kind != "RBRACE":
+            if self.peek().kind == "EOF":
+                raise ParseError(
+                    f"unterminated {what}", opener.line, opener.column
+                )
+            body.append(self.statement())
+        self.expect("RBRACE")
+        return tuple(body)
 
     def release_statement(self) -> ReleaseStmt:
         token = self.expect("RELEASE")
         name = self.expect("ID", "a register name")
         self.expect("SEMI")
-        return ReleaseStmt(name.text, token.line)
+        return ReleaseStmt(
+            name.text,
+            token.line,
+            name.column,
+            name.column + len(name.text),
+        )
 
     def gate_statement(self) -> GateStmt:
         token = self.expect("ID")
@@ -211,9 +321,15 @@ class _Parser:
         for _ in range(arity - 1):
             self.expect("COMMA")
             operands.append(self.reg())
-        self.expect("RBRACKET")
+        rbracket = self.expect("RBRACKET")
         self.expect("SEMI")
-        return GateStmt(gate, tuple(operands), token.line)
+        return GateStmt(
+            gate,
+            tuple(operands),
+            token.line,
+            token.column,
+            rbracket.column + 1,
+        )
 
     def for_statement(self) -> ForStmt:
         token = self.expect("FOR")
@@ -236,11 +352,14 @@ class _Parser:
     def reg(self) -> RegRef:
         name = self.expect("ID", "a register name")
         index: Optional[ExprNode] = None
+        end_column = name.column + len(name.text)
         if self.peek().kind == "LBRACKET":
             self.advance()
             index = self.expression()
-            self.expect("RBRACKET")
-        return RegRef(name.text, index, name.line, name.column)
+            rbracket = self.expect("RBRACKET")
+            if rbracket.line == name.line:
+                end_column = rbracket.column + 1
+        return RegRef(name.text, index, name.line, name.column, end_column)
 
     # Expressions --------------------------------------------------------- #
 

@@ -57,7 +57,16 @@ it — byte-for-byte the seed scheduler's result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.alloc import BorrowPlan, ConflictModel, allocate, build_model
 from repro.circuits.circuit import Circuit
@@ -86,9 +95,18 @@ LENDING_MODES = ("segmented", "windowed", "whole")
 
 @dataclass(frozen=True)
 class BorrowRequest:
-    """One dirty-ancilla wire a job would like to outsource."""
+    """One dirty-ancilla wire a job would like to outsource.
+
+    ``certified`` marks a wire whose (6.1)/(6.2) safety was already
+    proven statically — by the surface language's borrow checker
+    (:func:`repro.lang.surface.elaborate.job_from_qbr` sets it from
+    ``proven_wires``).  The scheduler treats a certified wire as safe
+    without issuing a :class:`~repro.verify.batch.BatchVerifier`
+    obligation and counts the skip in ``stats()['static_discharged']``.
+    """
 
     wire: int
+    certified: bool = False
 
 
 @dataclass(frozen=True)
@@ -394,6 +412,11 @@ class MultiProgrammer:
         self._leases: Dict[int, List[Lease]] = {}
         #: Lifetime count of leases granted (bench/introspection).
         self.total_leases = 0
+        #: Lifetime count of solver obligations skipped because the
+        #: requested ancilla arrived statically certified (one per
+        #: certified wire per admission attempt that would otherwise
+        #: have verified it).
+        self.static_discharged = 0
         self._seq = 0
         #: The admission wait queue, oldest entry first.
         self._queue: List[QueueEntry] = []
@@ -510,6 +533,7 @@ class MultiProgrammer:
         data["packer"] = self.lease_packer.name
         data["restore_check"] = self.restore_check
         data["leases_granted"] = self.total_leases
+        data["static_discharged"] = self.static_discharged
         data["pending"] = len(self._queue)
         data["residents"] = len(self._residents)
         data["clock"] = self._clock
@@ -581,7 +605,12 @@ class MultiProgrammer:
         plan = allocate(
             job.circuit,
             job.request_wires,
-            strategy=self._engine(strategy),
+            strategy=self._engine(
+                strategy,
+                frozenset(
+                    r.wire for r in job.ancilla_requests if r.certified
+                ),
+            ),
             safety_check=lambda _, a: bool(safety.get(a)),
             on_unsafe="skip",
             model=model,
@@ -1022,15 +1051,19 @@ class MultiProgrammer:
             if not active:
                 del self._leases[lease.wire]
 
-    def _engine(self, strategy: str):
+    def _engine(self, strategy: str, certified: FrozenSet[int] = frozenset()):
         """Resolve a strategy name, sharing the scheduler's memoising
         verifier with the ``verified`` wrapper (its re-checks of
         already-verified ancillas then cost cache hits, not solver
-        runs)."""
+        runs).  ``certified`` wires — statically proven safe — are
+        passed through so the wrapper never issues solver obligations
+        for them either."""
         if strategy == "verified":
             from repro.alloc import VerifiedStrategy
 
-            return VerifiedStrategy(verifier=self.verifier)
+            return VerifiedStrategy(
+                verifier=self.verifier, precertified=certified
+            )
         return strategy
 
     def _verify_job(
@@ -1049,6 +1082,12 @@ class MultiProgrammer:
         window sets the leases will cover.  The model itself comes
         from the fingerprint-keyed cache (see :meth:`_job_model`), so
         drain-pass re-attempts of a queued job cost a dict lookup.
+
+        Ancillas whose :class:`BorrowRequest` arrived ``certified``
+        (proven safe statically, e.g. by the surface language's borrow
+        checker) are marked safe without a solver obligation; each such
+        skip of an otherwise-due verification bumps
+        :attr:`static_discharged`.
         """
         requests = job.request_wires
         if not requests:
@@ -1058,6 +1097,9 @@ class MultiProgrammer:
                 f"job {job.name}: only classical circuits can be "
                 f"auto-verified for cross-program borrowing"
             )
+        certified = {
+            r.wire for r in job.ancilla_requests if r.certified
+        }
         model = self._job_model(job)
         if lazy_verify:
             # Any live offer can potentially host a window under
@@ -1074,10 +1116,16 @@ class MultiProgrammer:
             )
         else:
             to_verify = requests
+        safety = {a: True for a in certified}
+        self.static_discharged += sum(
+            1 for a in to_verify if a in certified
+        )
+        to_verify = tuple(a for a in to_verify if a not in certified)
         if not to_verify:
-            return {}, model
+            return safety, model
         report = self.verifier.verify_circuit(job.circuit, to_verify)
-        return {v.qubit: v.safe for v in report.verdicts}, model
+        safety.update({v.qubit: v.safe for v in report.verdicts})
+        return safety, model
 
     def _job_model(self, job: QuantumJob) -> ConflictModel:
         """The job's interval-conflict model, memoised.

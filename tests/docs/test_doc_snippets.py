@@ -1,0 +1,59 @@
+"""Tier-1 mirror of the ``docs`` CI job: docs and code must not drift.
+
+Runs :mod:`tools.run_doc_snippets` over ``docs/*.md`` in-process, so a
+plain ``pytest`` run catches a stale example without waiting for CI.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+DOCS = sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def load_runner():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import run_doc_snippets
+    finally:
+        sys.path.pop(0)
+    return run_doc_snippets
+
+
+def test_docs_tree_exists():
+    names = {p.name for p in DOCS}
+    assert {"architecture.md", "benchmarks.md", "language.md"} <= names
+
+
+@pytest.mark.parametrize("path", DOCS, ids=lambda p: p.name)
+def test_doc_snippets_pass(path, capsys):
+    runner = load_runner()
+    failed = runner.main([str(path)])
+    out = capsys.readouterr().out
+    assert failed == 0, f"doc snippets failed:\n{out}"
+
+
+def test_language_doc_covers_every_diagnostic_code():
+    from repro.lang.diagnostics import CODES
+
+    text = (REPO_ROOT / "docs" / "language.md").read_text()
+    for code in CODES:
+        assert f"### {code}" in text, f"{code} missing from docs/language.md"
+
+
+def test_runner_flags_a_broken_snippet(tmp_path, capsys):
+    bad = tmp_path / "bad.md"
+    bad.write_text("```python\n>>> 1 + 1\n3\n```\n")
+    runner = load_runner()
+    assert runner.main([str(bad)]) == 1
+    capsys.readouterr()
+
+
+def test_runner_syntax_checks_plain_blocks(tmp_path, capsys):
+    bad = tmp_path / "bad.md"
+    bad.write_text("```python\ndef broken(:\n```\n")
+    runner = load_runner()
+    assert runner.main([str(bad)]) == 1
+    capsys.readouterr()

@@ -1,0 +1,125 @@
+"""Static discharge: checker-proven borrows skip the solver entirely.
+
+The acceptance differential for the borrow checker: one program, two
+admissions.  With ``trust_checker=True`` (the default) the scoped-block
+proof rides along as a certified :class:`BorrowRequest`, the scheduler's
+lazy verification gate discharges the obligation statically
+(``stats()['static_discharged'] > 0``) and the shared
+:class:`BatchVerifier` records **zero** solver calls.  The identical
+program admitted unchecked pays at least one solver call for the same
+wire.
+"""
+
+import pytest
+
+from repro.alloc.model import build_model
+from repro.alloc.verified import VerifiedStrategy
+from repro.lang.surface import elaborate, job_from_qbr
+from repro.multiprog.scheduler import BorrowRequest, MultiProgrammer, QuantumJob
+
+# q5 is busy only at the circuit edges, so a candidate host exists for
+# the borrowed wire and the lazy gate actually owes a solver obligation
+# (an obligation the checker's proof then discharges).
+EDGE_HOST_PROGRAM = """\
+borrow@ q1; borrow@ q2; borrow@ q3; alloc q4; borrow@ q5;
+CNOT[q1, q5];
+borrow a {
+  within { CCNOT[q1, q2, a]; }
+  apply  { CCNOT[a, q3, q4]; }
+}
+CNOT[q2, q5];
+"""
+
+
+def admit_edge_program(trust_checker):
+    scheduler = MultiProgrammer(8)
+    job = job_from_qbr("edge", EDGE_HOST_PROGRAM, trust_checker=trust_checker)
+    admission = scheduler.admit(job)
+    return scheduler, admission
+
+
+def test_certified_admission_discharges_statically():
+    scheduler, admission = admit_edge_program(trust_checker=True)
+    assert admission is not None
+    assert scheduler.stats()["static_discharged"] == 1
+    assert scheduler.verifier.cache_misses == 0
+
+
+def test_unchecked_admission_pays_a_solver_call():
+    scheduler, admission = admit_edge_program(trust_checker=False)
+    assert admission is not None
+    assert scheduler.stats()["static_discharged"] == 0
+    assert scheduler.verifier.cache_misses >= 1
+
+
+def test_differential_same_admission_outcome():
+    # The proof changes who certifies the borrow, never the placement.
+    certified, adm_c = admit_edge_program(trust_checker=True)
+    unchecked, adm_u = admit_edge_program(trust_checker=False)
+    assert adm_c.qubits_saved == adm_u.qubits_saved
+    assert certified.occupancy == unchecked.occupancy
+
+
+def test_verified_strategy_honors_precertified_wires():
+    program = elaborate(EDGE_HOST_PROGRAM)
+    model = build_model(program.circuit, program.dirty_wires)
+
+    strategy = VerifiedStrategy(precertified=program.proven_wires)
+    placement = strategy.plan(model)
+    assert strategy.static_discharged == 1
+    assert strategy.verifier.cache_misses == 0
+    assert strategy.last_safety == {program.proven_wires[0]: True}
+
+    baseline = VerifiedStrategy()
+    baseline_placement = baseline.plan(model)
+    assert baseline.static_discharged == 0
+    assert baseline.verifier.cache_misses >= 1
+    assert placement.assignment == baseline_placement.assignment
+
+
+def test_verified_strategy_via_scheduler_strategy_option():
+    scheduler = MultiProgrammer(8, strategy="verified")
+    job = job_from_qbr("edge", EDGE_HOST_PROGRAM)
+    admission = scheduler.admit(job)
+    assert admission is not None
+    assert scheduler.stats()["static_discharged"] >= 1
+    assert scheduler.verifier.cache_misses == 0
+
+
+def test_uncertified_request_default():
+    request = BorrowRequest(wire=3)
+    assert request.certified is False
+
+
+def test_stats_exposes_counter_before_any_admission():
+    scheduler = MultiProgrammer(4)
+    assert scheduler.stats()["static_discharged"] == 0
+
+
+def test_certification_does_not_bypass_unrelated_obligations():
+    # A job mixing one certified and one uncertified dirty wire must
+    # still pay for the uncertified one.
+    program = elaborate(
+        "borrow@ q1; borrow@ q2; alloc t; borrow@ q5;\n"
+        "CNOT[q1, q5];\n"
+        "borrow a {\n"
+        "  within { CNOT[q1, a]; }\n"
+        "  apply  { CCNOT[a, q2, t]; }\n"
+        "}\n"
+        "borrow d;\n"
+        "CNOT[q1, d]; CNOT[q1, d];\n"
+        "release d;\n"
+        "CNOT[q2, q5];"
+    )
+    requests = [
+        BorrowRequest(w, certified=w in set(program.proven_wires))
+        for w in program.dirty_wires
+    ]
+    job = QuantumJob(name="mixed", circuit=program.circuit, ancilla_requests=requests)
+    scheduler = MultiProgrammer(10)
+    admission = scheduler.admit(job, lazy_verify=False)
+    assert admission is not None
+    stats = scheduler.stats()
+    assert stats["static_discharged"] == 1
+    # The uncertified wire still reached the solver.
+    assert scheduler.verifier.cache_misses >= 1

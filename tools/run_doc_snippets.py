@@ -1,0 +1,87 @@
+"""Execute the fenced ``python`` examples in ``docs/*.md``.
+
+Keeps the documentation honest: every fenced code block tagged
+``python`` is extracted and
+
+* blocks containing doctest prompts (``>>>``) run under
+  :mod:`doctest` — output shown in the docs must match the real
+  implementation byte for byte;
+* plain blocks are compiled (syntax check) so samples cannot rot into
+  invalid Python.
+
+Exit status is the number of failing blocks, so the ``docs`` CI job
+(and ``tests/docs/test_doc_snippets.py``) fail when documentation and
+code drift apart.
+
+Run:  PYTHONPATH=src python tools/run_doc_snippets.py [docs/*.md ...]
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+#: ```python ... ``` fences; the info string may carry extra words.
+FENCE = re.compile(
+    r"^```python[^\n]*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL
+)
+
+
+def iter_snippets(path: pathlib.Path):
+    """Yield ``(line_number, code)`` for each python fence in ``path``."""
+    text = path.read_text()
+    for match in FENCE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 2  # first code line
+        yield line, match.group(1)
+
+
+def run_snippet(path: pathlib.Path, line: int, code: str, globs: dict) -> str:
+    """Run one snippet; return an error description or ``""`` on pass.
+
+    ``globs`` is shared across the blocks of one file, so a document
+    reads like a module docstring: an import in an early example stays
+    in scope for the later ones.
+    """
+    name = f"{path.name}:{line}"
+    if ">>>" in code:
+        parser = doctest.DocTestParser()
+        try:
+            test = parser.get_doctest(code, globs, name, str(path), line)
+        except ValueError as exc:
+            return f"doctest parse error: {exc}"
+        runner = doctest.DocTestRunner(
+            optionflags=doctest.ELLIPSIS, verbose=False
+        )
+        failures = runner.run(test, clear_globs=False).failed
+        globs.update(test.globs)
+        return f"{failures} doctest failure(s)" if failures else ""
+    try:
+        compile(code, name, "exec")
+    except SyntaxError as exc:
+        return f"syntax error: {exc}"
+    return ""
+
+
+def main(argv: list[str]) -> int:
+    paths = [pathlib.Path(p) for p in argv] or sorted(
+        (REPO_ROOT / "docs").glob("*.md")
+    )
+    checked = failed = 0
+    for path in paths:
+        globs: dict = {}
+        for line, code in iter_snippets(path):
+            checked += 1
+            error = run_snippet(path, line, code, globs)
+            status = "FAIL" if error else "ok"
+            print(f"[{status}] {path.name}:{line} {error}".rstrip())
+            if error:
+                failed += 1
+    print(f"{checked} snippet(s) checked, {failed} failure(s)")
+    return failed
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
