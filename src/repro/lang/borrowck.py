@@ -28,15 +28,22 @@ control products in the two phases.  The lattice tracks, per open block,
 what each wire's value may contain:
 
 * ``clean`` — no ``b0`` dependence (the default);
-* ``offset`` — exactly ``b0 xor f`` for some ``b0``-free ``f``;
+* ``('offset', w)`` — exactly ``b0_w xor f`` for some ``b0``-free
+  ``f``, where ``w`` is the borrowed wire the offset originated from
+  (a multi-wire borrow has one unknown per wire, so origins matter:
+  ``b0_1 xor b0_2`` cancels nothing and is *dirty*, not clean);
 * ``dirty`` — any other ``b0`` dependence.
 
-A gate whose only tainted control is a single ``offset`` borrowed wire,
-with every other control untouched by the within-section, has
-``P1 xor P2 = (b0 xor f)·h xor b0·h = f·h`` — the ``b0`` terms cancel
-and the gate contributes a useful, provably-clean effect (this is
-exactly the Figure 1.3 CCCNOT construction).  Every other tainted read
-leaks ``b0`` into an output and is rejected (**BQ010**); a wire both
+A gate whose only tainted control is a single borrowed wire still
+carrying **its own** offset (``taint[w] == ('offset', w)``), with every
+other control untouched by the within-section, has
+``P1 xor P2 = (b0_w xor f)·h xor b0_w·h = f·h`` — the ``b0_w`` terms
+cancel and the gate contributes a useful, provably-clean effect (this
+is exactly the Figure 1.3 CCCNOT construction).  Every other read of a
+borrowed or tainted wire leaks some ``b0`` into an output and is
+rejected (**BQ010**) — including a borrowed wire the within-section
+rewrote to a clean or foreign-offset value, because its mirror-phase
+read still sees ``b0_w`` with nothing left to cancel it.  A wire both
 read and written by the apply-section breaks the phase pairing
 (**BQ011**); and a gate with no phase-varying control at all cancels
 with its mirror copy, which is reported as the warning **BQ012**.
@@ -85,10 +92,25 @@ RELEASED = "released"
 CONSUMED = "consumed"
 
 # Wire taint states (per open borrow block) --------------------------------- #
+#
+# An offset is represented as the tuple ``(_OFFSET, origin_wire)`` so a
+# multi-wire borrow keeps its per-wire unknowns apart: XOR-ing offsets
+# of *different* origins leaves ``b0_a xor b0_b`` in the value, which is
+# dirty, not clean.
 
 _CLEAN = "clean"
 _OFFSET = "offset"
 _DIRTY = "dirty"
+
+
+def _offset(wire: int) -> Tuple[str, int]:
+    """The taint value ``b0_wire xor f`` (``f`` free of every ``b0``)."""
+    return (_OFFSET, wire)
+
+
+def _is_offset(state: object) -> bool:
+    """True when ``state`` is an ``(offset, origin)`` taint value."""
+    return isinstance(state, tuple)
 
 
 @dataclass(frozen=True)
@@ -126,7 +148,8 @@ class _Frame:
     in_mirror: bool = False
     touched: Set[int] = field(default_factory=set)
     frozen: frozenset = frozenset()
-    taint: Dict[int, str] = field(default_factory=dict)
+    # Wire -> _CLEAN | _DIRTY | (_OFFSET, origin_wire).
+    taint: Dict[int, object] = field(default_factory=dict)
     # Apply-section gates: (control operands, target operand).
     records: List[Tuple[Tuple[GateOperand, ...], GateOperand]] = field(
         default_factory=list
@@ -135,27 +158,27 @@ class _Frame:
     failed: bool = False
 
 
-def _product_state(states: Sequence[str]) -> str:
+def _product_state(states: Sequence[object]) -> object:
     """Taint of a gate's control product under one block's lattice."""
     if not states or all(s == _CLEAN for s in states):
         return _CLEAN
-    if len(states) == 1 and states[0] == _OFFSET:
-        return _OFFSET
+    if len(states) == 1 and _is_offset(states[0]):
+        return states[0]
     return _DIRTY
 
 
-def _xor_state(current: str, product: str) -> str:
+def _xor_state(current: object, product: object) -> object:
     """Taint of ``target xor product`` under one block's lattice."""
     if product == _CLEAN:
         return current
-    if product == _DIRTY:
+    if product == _DIRTY or current == _DIRTY:
         return _DIRTY
-    # product is OFFSET: b0 xor b0 cancels, anything else accumulates.
+    # product is an offset: only the *same-origin* b0 cancels.  An XOR
+    # of offsets from different borrowed wires leaves b0_a xor b0_b in
+    # the value, which no later cancellation argument can remove.
     if current == _CLEAN:
-        return _OFFSET
-    if current == _OFFSET:
-        return _CLEAN
-    return _DIRTY
+        return product
+    return _CLEAN if current == product else _DIRTY
 
 
 class BorrowChecker:
@@ -316,7 +339,10 @@ class BorrowChecker:
             record.event_line = span.line
         frame = _Frame(name=name, wires=frozenset(wires), span=span)
         for wire in wires:
-            frame.taint[wire] = _OFFSET
+            # Each borrowed wire starts as its *own* offset: a width-N
+            # borrow has N independent unknowns, and only same-origin
+            # XORs cancel.
+            frame.taint[wire] = _offset(wire)
         self.frames.append(frame)
         return frame
 
@@ -517,16 +543,19 @@ class BorrowChecker:
                 erred = True
 
         # BQ012 (warning): a gate whose controls are all phase-invariant
-        # for every enclosing apply phase fires identically in both
-        # copies and cancels itself out.
+        # for its *innermost* apply phase fires identically in both
+        # copies of that block and cancels itself out.  Outer frames
+        # don't enter into it: the innermost mirror is what duplicates
+        # the gate, so the innermost frame decides whether the copies
+        # differ.
         apply_frames = [
             f for f in self.frames if f.in_apply and not f.in_mirror
         ]
         if apply_frames and mirrored_from is None and not erred:
+            innermost = apply_frames[-1]
             varying = any(
-                op.wire in frame.frozen
-                or frame.taint.get(op.wire, _CLEAN) != _CLEAN
-                for frame in apply_frames
+                op.wire in innermost.frozen
+                or innermost.taint.get(op.wire, _CLEAN) != _CLEAN
                 for op in controls
             )
             if not varying:
@@ -606,17 +635,25 @@ class BorrowChecker:
             )
             return True
 
+        # A borrowed wire is always phase-sensitive: the mirror-phase
+        # firing reads its dirty initial value b0_w no matter what taint
+        # the within-section left on it, so it belongs in ``tainted``
+        # even when its post-C taint is clean.
         tainted = [
             op
             for op in controls
             if frame.taint.get(op.wire, _CLEAN) != _CLEAN
+            or op.wire in frame.wires
         ]
         if not tainted:
             return False
+        # The one provable shape: a lone read of a borrowed wire still
+        # carrying its *own* offset (so the two phases differ by exactly
+        # b0_w and cancel), with every other control phase-stable.
         usable = (
             len(tainted) == 1
             and tainted[0].wire in frame.wires
-            and frame.taint.get(tainted[0].wire) == _OFFSET
+            and frame.taint.get(tainted[0].wire) == _offset(tainted[0].wire)
             and not any(
                 op.wire in frame.frozen
                 for op in controls
@@ -633,7 +670,8 @@ class BorrowChecker:
             )
         else:
             culprit = tainted[0]
-            if frame.taint.get(culprit.wire) == _DIRTY:
+            state = frame.taint.get(culprit.wire, _CLEAN)
+            if state == _DIRTY:
                 detail = (
                     f"'{culprit.text}' carries a value contaminated by "
                     f"the dirty initial state of '{frame.name}'"
@@ -643,6 +681,12 @@ class BorrowChecker:
                     f"the within-section mixed '{frame.name}' into "
                     f"'{culprit.text}', which does not restore to the "
                     f"borrowed value"
+                )
+            elif state != _offset(culprit.wire):
+                detail = (
+                    f"the within-section rewrote '{culprit.text}', so "
+                    f"the mirror-phase read of its dirty initial value "
+                    f"has nothing to cancel against"
                 )
             else:
                 mixed = [

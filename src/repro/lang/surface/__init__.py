@@ -22,8 +22,9 @@ Module tour:
 Pipeline: :func:`parse` (source → surface AST) →
 :func:`elaborate` (AST → flat circuit + qubit roles + proven wires) →
 :func:`verify_qbr` (circuit → per-dirty-qubit safe-uncomputation
-report) or :func:`job_from_qbr` (circuit → pre-certified scheduler
-job).
+report) or :func:`job_from_qbr` (circuit → scheduler job; passing
+``trust_checker=True`` opts in to marking checker-proven wires
+pre-certified).
 """
 
 from repro.lang.surface.lexer import tokenize

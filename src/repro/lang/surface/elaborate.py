@@ -463,16 +463,20 @@ def verify_qbr(
 def job_from_qbr(
     name: str,
     source: Union[str, Path, ElaboratedProgram],
-    trust_checker: bool = True,
+    trust_checker: bool = False,
 ) -> "object":
     """Build a :class:`~repro.multiprog.scheduler.QuantumJob` from ``.qbr``.
 
     Every dirty wire becomes a
-    :class:`~repro.multiprog.scheduler.BorrowRequest`; the ones the
-    borrow checker proved safe are marked ``certified`` (unless
-    ``trust_checker=False``), so
+    :class:`~repro.multiprog.scheduler.BorrowRequest`.  With
+    ``trust_checker=True`` the wires the borrow checker proved safe are
+    marked ``certified``, so
     :meth:`~repro.multiprog.scheduler.MultiProgrammer.admit` skips their
-    solver obligations and counts them in ``stats()['static_discharged']``.
+    solver obligations and counts them in
+    ``stats()['static_discharged']``.  Certification is opt-in —
+    mirroring :func:`verify_qbr`'s conservative default — so admission
+    pays its solver obligations unless the caller explicitly chooses to
+    trust the static proof on this safety-critical path.
     """
     program = _as_program(source)
     # Imported here so the language layer stays importable without the

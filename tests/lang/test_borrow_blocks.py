@@ -136,9 +136,17 @@ def test_trust_checker_skips_proven_wires():
 
 
 def test_job_from_qbr_marks_proven_requests_certified():
-    job = job_from_qbr("fig13", FIG13_CCCNOT)
+    job = job_from_qbr("fig13", FIG13_CCCNOT, trust_checker=True)
     certified = {r.wire: r.certified for r in job.ancilla_requests}
     assert certified == {4: True}
+
+
+def test_job_from_qbr_defaults_to_uncertified():
+    # Certification is opt-in: the conservative default pays the solver
+    # even for checker-proven wires, mirroring verify_qbr.
+    job = job_from_qbr("fig13", FIG13_CCCNOT)
+    certified = {r.wire: r.certified for r in job.ancilla_requests}
+    assert certified == {4: False}
 
 
 def test_job_from_qbr_leaves_unproven_requests_uncertified():

@@ -18,7 +18,7 @@ from repro.lang import (
     check_qbr,
 )
 from repro.lang.diagnostics import CODES, Diagnostic, DiagnosticReport, Span
-from repro.lang.surface import elaborate
+from repro.lang.surface import elaborate, verify_qbr
 from repro.lang.surface.parser import ParseError
 
 
@@ -312,6 +312,76 @@ def test_bq010_offset_non_borrow_wire_read():
     assert "BQ010" in report_for(source).codes()
 
 
+def test_bq010_multi_wire_cross_offset():
+    # A width-2 borrow has two independent unknowns: XOR-ing b[1] into
+    # b[2] leaves b0_1 xor b0_2 on the wire, and reading it in the
+    # apply-section leaks b0_1 into t (net effect t ^= b0_1).  The
+    # per-origin taint must reject this — an identical-looking scalar
+    # cancellation argument does not apply across origins.
+    source = (
+        "alloc t;\n"
+        "borrow b[2] {\n"
+        "  within { CNOT[b[1], b[2]]; }\n"
+        "  apply  { CNOT[b[2], t]; }\n"
+        "}"
+    )
+    report = report_for(source)
+    assert report.codes() == ["BQ010"]
+    assert "contaminated" in report.render()
+
+
+def test_bq010_scrubbed_borrow_read():
+    # The within-section XORs the borrow's own offset back out, leaving
+    # the wire clean *after C* — but the mirror-phase firing still reads
+    # the dirty initial value b0, with nothing left to cancel it.
+    source = (
+        "borrow@ o; alloc t;\n"
+        "borrow b {\n"
+        "  within { CNOT[b, t]; CNOT[t, b]; }\n"
+        "  apply  { CNOT[b, o]; }\n"
+        "}"
+    )
+    report = report_for(source)
+    assert report.codes() == ["BQ010"]
+    assert "the within-section rewrote 'b'" in report.render()
+
+
+def test_bq010_foreign_offset_on_borrowed_wire():
+    # Scrub b[2] clean, then mix b[1] into it: the wire now carries the
+    # *other* wire's offset, which cannot cancel its own b0_2 in the
+    # mirror phase.
+    source = (
+        "alloc t; alloc u;\n"
+        "borrow b[2] {\n"
+        "  within { CNOT[b[2], t]; CNOT[t, b[2]]; CNOT[b[1], b[2]]; }\n"
+        "  apply  { CNOT[b[2], u]; }\n"
+        "}"
+    )
+    report = report_for(source)
+    assert "BQ010" in report.codes()
+    assert "rewrote" in report.render()
+
+
+def test_bq012_judged_against_innermost_block_only():
+    # The gate's controls are phase-varying for the *outer* block (t is
+    # outer-within-touched) but phase-stable for the inner block that
+    # actually duplicates it — so the two inner copies cancel and the
+    # warning must fire.
+    source = (
+        "borrow@ x; alloc t; alloc u;\n"
+        "borrow a {\n"
+        "  within { CNOT[x, t]; }\n"
+        "  apply {\n"
+        "    borrow c {\n"
+        "      within { CNOT[x, c]; }\n"
+        "      apply  { CNOT[t, u]; }\n"
+        "    }\n"
+        "  }\n"
+        "}"
+    )
+    assert "BQ012" in report_for(source).codes()
+
+
 # ---------------------------------------------------------------------------
 # Collect-mode semantics: multi-error recovery and deduplication.
 # ---------------------------------------------------------------------------
@@ -384,6 +454,93 @@ def test_warnings_do_not_raise_in_strict_mode():
     )
     assert program.diagnostics is not None
     assert program.diagnostics.codes() == ["BQ012"]
+
+
+# ---------------------------------------------------------------------------
+# Differential soundness: everything the checker proves, the Section 6
+# solver must also certify.  The corpus deliberately mixes provable
+# programs with unsafe ones (multi-wire registers, wire-mixing
+# within-sections, scrubbed borrows) — for the unsafe entries the
+# subset assertion is what catches a checker that wrongly "proves" a
+# wire the solver rejects.
+# ---------------------------------------------------------------------------
+
+DIFFERENTIAL_CORPUS = [
+    # Figure 1.3 CCCNOT — the canonical provable block.
+    "borrow@ q1; borrow@ q2; borrow@ q3; alloc q4;\n"
+    "borrow a {\n"
+    "  within { CCNOT[q1, q2, a]; }\n"
+    "  apply  { CCNOT[a, q3, q4]; }\n"
+    "}",
+    # Safe width-2 register: each wire offset-reads independently.
+    "borrow@ x; alloc t[2];\n"
+    "borrow b[2] {\n"
+    "  within { CNOT[x, b[1]]; CNOT[x, b[2]]; }\n"
+    "  apply  { CNOT[b[1], t[1]]; CNOT[b[2], t[2]]; }\n"
+    "}",
+    # Wire-mixing within, but the apply reads the *unmixed* wire (safe:
+    # the mix restores and b[1] still carries its own offset).
+    "alloc t;\n"
+    "borrow b[2] {\n"
+    "  within { CNOT[b[1], b[2]]; }\n"
+    "  apply  { CNOT[b[1], t]; }\n"
+    "}",
+    # UNSAFE: the mix leaves b0_1 xor b0_2 on b[2]; reading it nets
+    # t ^= b0_1.
+    "alloc t;\n"
+    "borrow b[2] {\n"
+    "  within { CNOT[b[1], b[2]]; }\n"
+    "  apply  { CNOT[b[2], t]; }\n"
+    "}",
+    # UNSAFE: scrubbed borrow — clean after C, but the mirror phase
+    # reads b0 with nothing to cancel it.
+    "borrow@ o; alloc t;\n"
+    "borrow b {\n"
+    "  within { CNOT[b, t]; CNOT[t, b]; }\n"
+    "  apply  { CNOT[b, o]; }\n"
+    "}",
+    # UNSAFE: borrowed wire rewritten to the *other* wire's offset.
+    "alloc t; alloc u;\n"
+    "borrow b[2] {\n"
+    "  within { CNOT[b[2], t]; CNOT[t, b[2]]; CNOT[b[1], b[2]]; }\n"
+    "  apply  { CNOT[b[2], u]; }\n"
+    "}",
+    # Nested blocks, both provable.
+    "borrow@ q1; borrow@ q2; borrow@ q3; alloc out;\n"
+    "borrow a {\n"
+    "  within {\n"
+    "    borrow c {\n"
+    "      within { CNOT[q1, c]; }\n"
+    "      apply  { CCNOT[c, q2, a]; }\n"
+    "    }\n"
+    "  }\n"
+    "  apply { CCNOT[a, q3, out]; }\n"
+    "}",
+]
+
+
+@pytest.mark.parametrize("source", DIFFERENTIAL_CORPUS)
+def test_proven_wires_are_solver_safe(source):
+    program = elaborate(source, strict=False)
+    report = verify_qbr(program, trust_checker=False)
+    verdicts = {v.qubit: v.safe for v in report.verdicts}
+    for wire in program.proven_wires:
+        assert verdicts[wire] is True, (
+            f"checker proved wire {wire} but the solver rejects it:\n"
+            f"{program.diagnostics.render()}"
+        )
+
+
+def test_unsafe_corpus_entries_prove_nothing():
+    # The unsafe differential entries must fail the checker outright —
+    # no wire may ride a certification into the solver-skip path.
+    for source in DIFFERENTIAL_CORPUS:
+        program = elaborate(source, strict=False)
+        report = verify_qbr(program, trust_checker=False)
+        unsafe = {v.qubit for v in report.verdicts if not v.safe}
+        assert not (unsafe & set(program.proven_wires))
+        if unsafe:
+            assert not program.diagnostics.ok
 
 
 # ---------------------------------------------------------------------------

@@ -1,7 +1,8 @@
 """Static discharge: checker-proven borrows skip the solver entirely.
 
 The acceptance differential for the borrow checker: one program, two
-admissions.  With ``trust_checker=True`` (the default) the scoped-block
+admissions.  With ``trust_checker=True`` (opt-in; the default is the
+conservative ``False``) the scoped-block
 proof rides along as a certified :class:`BorrowRequest`, the scheduler's
 lazy verification gate discharges the obligation statically
 (``stats()['static_discharged'] > 0``) and the shared
@@ -79,7 +80,7 @@ def test_verified_strategy_honors_precertified_wires():
 
 def test_verified_strategy_via_scheduler_strategy_option():
     scheduler = MultiProgrammer(8, strategy="verified")
-    job = job_from_qbr("edge", EDGE_HOST_PROGRAM)
+    job = job_from_qbr("edge", EDGE_HOST_PROGRAM, trust_checker=True)
     admission = scheduler.admit(job)
     assert admission is not None
     assert scheduler.stats()["static_discharged"] >= 1
