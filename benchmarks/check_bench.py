@@ -42,7 +42,21 @@ The gate fails (exit 1) on:
   producing identical models), the ``lookahead=inf`` sweep row must
   reproduce the offline greedy plans exactly (the differential
   contract: equal total width *and* per-circuit plan equality,
-  segmented mode included via ``segmented_parity``).
+  segmented mode included via ``segmented_parity``);
+* the **streaming-frontend floors** — within the fresh record's
+  ``streaming_frontend`` section: on every workload the overlapped
+  parse-while-allocate pipeline must cost no more than the staged
+  elaborate-then-feed baseline (wall tolerance applies, noise floor
+  skips); the prefix admission must grant its cross-program lease
+  with a time-to-first-lease strictly below one full staged parse of
+  the same program; and the adaptive lookahead policy must match the
+  best fixed horizon's total width while disturbing (rollbacks +
+  revocations) no more than the zero-lookahead baseline;
+* the **restore-check record** — the solver certifier must keep
+  admitting and leasing at least what the structural one does on the
+  pinned lending trace, at a wall cost within the usual tolerance —
+  the measurement that justifies segmented lending's
+  ``restore_check="solver"`` default.
 
 A markdown summary of every comparison goes to stdout and, when the
 ``GITHUB_STEP_SUMMARY`` environment variable is set, to that file as
@@ -430,6 +444,16 @@ def compare_alloc(baseline: dict, fresh: dict) -> Comparator:
     _compare_streaming(
         comp, baseline.get("streaming") or {}, fresh.get("streaming") or {}
     )
+    _compare_streaming_frontend(
+        comp,
+        baseline.get("streaming_frontend") or {},
+        fresh.get("streaming_frontend") or {},
+    )
+    _compare_restore_check(
+        comp,
+        baseline.get("restore_check") or {},
+        fresh.get("restore_check") or {},
+    )
     return comp
 
 
@@ -506,6 +530,136 @@ def _compare_streaming(comp: Comparator, baseline: dict, fresh: dict) -> None:
                 parity.get("matches_offline") is True,
                 "segmented ∞-lookahead plans must equal offline greedy",
             )
+        )
+
+
+def _compare_streaming_frontend(
+    comp: Comparator, baseline: dict, fresh: dict
+) -> None:
+    """The ``streaming_frontend`` section: presence locked against the
+    baseline, the parse-while-allocate wins locked by floors on the
+    fresh record itself."""
+    fresh_workloads = _by(fresh.get("workloads"), "workload")
+    for key, base_row in _by(baseline.get("workloads"), "workload").items():
+        name = f"alloc.streaming_frontend.workloads[{key[0]}]"
+        fresh_row = fresh_workloads.get(key)
+        if not comp.present(name, fresh_row):
+            continue
+        comp.wall(
+            f"{name}.overlapped_wall_seconds",
+            base_row.get("overlapped_wall_seconds"),
+            fresh_row.get("overlapped_wall_seconds"),
+        )
+    # Overlap floor on the fresh record: feeding the allocator from the
+    # elaboration stream must cost no more than elaborating fully and
+    # then feeding — the tolerance-gated "free overlap" contract.
+    for key, row in sorted(fresh_workloads.items()):
+        name = f"alloc.streaming_frontend.workloads[{key[0]}]"
+        comp.wall(
+            f"{name}.overlapped_vs_staged",
+            row.get("staged_wall_seconds"),
+            row.get("overlapped_wall_seconds"),
+        )
+    first = fresh.get("first_lease")
+    if baseline.get("first_lease") is not None:
+        comp.present("alloc.streaming_frontend.first_lease", first)
+    if first is not None:
+        comp.findings.append(
+            Finding(
+                "alloc.streaming_frontend.first_lease.lease_granted",
+                True,
+                first.get("lease_granted"),
+                first.get("lease_granted") is True,
+                "the prefix admission must grant its cross-program lease",
+            )
+        )
+        parse = first.get("staged_parse_wall_seconds")
+        lease = first.get("time_to_first_lease_seconds")
+        comp.findings.append(
+            Finding(
+                "alloc.streaming_frontend.first_lease.beats_staged_parse",
+                f"< {parse}",
+                lease,
+                isinstance(parse, (int, float))
+                and isinstance(lease, (int, float))
+                and lease < parse,
+                "time to first lease must be strictly below one full "
+                "staged parse of the same program",
+            )
+        )
+    fresh_adaptive = _by(fresh.get("adaptive"), "policy")
+    for key, _ in _by(baseline.get("adaptive"), "policy").items():
+        comp.present(
+            f"alloc.streaming_frontend.adaptive[{key[0]}]",
+            fresh_adaptive.get(key),
+        )
+    adaptive = fresh_adaptive.get(("adaptive",))
+    if adaptive is not None:
+        for key, row in sorted(fresh_adaptive.items()):
+            if not str(key[0]).startswith("fixed"):
+                continue
+            comp.at_most(
+                f"alloc.streaming_frontend.adaptive.width_vs_{key[0]}",
+                row.get("total_width"),
+                adaptive.get("total_width"),
+                "adaptive lookahead must match the best fixed horizon's "
+                "width on the pinned corpus",
+            )
+        fixed0 = fresh_adaptive.get(("fixed-0",))
+        if fixed0 is not None:
+            comp.at_most(
+                "alloc.streaming_frontend.adaptive.disturbances_vs_fixed-0",
+                fixed0.get("disturbances"),
+                adaptive.get("disturbances"),
+                "adaptive must not disturb (rollback + revoke) more than "
+                "the zero-lookahead baseline",
+            )
+
+
+def _compare_restore_check(
+    comp: Comparator, baseline: dict, fresh: dict
+) -> None:
+    """The ``restore_check`` section: the solver certifier must keep
+    matching the structural one's throughput, at tolerable cost — the
+    record that justifies the segmented-mode default."""
+    fresh_rows = _by(fresh.get("rows"), "restore_check")
+    for key, base_row in _by(baseline.get("rows"), "restore_check").items():
+        name = f"alloc.restore_check[{key[0]}]"
+        fresh_row = fresh_rows.get(key)
+        if not comp.present(name, fresh_row):
+            continue
+        comp.at_least(
+            f"{name}.admitted",
+            base_row.get("admitted"),
+            fresh_row.get("admitted"),
+            "admitted jobs must not drop",
+        )
+        comp.wall(
+            f"{name}.wall_seconds",
+            base_row.get("wall_seconds"),
+            fresh_row.get("wall_seconds"),
+        )
+    structural = fresh_rows.get(("structural",))
+    solver = fresh_rows.get(("solver",))
+    if structural is not None and solver is not None:
+        comp.at_least(
+            "alloc.restore_check.solver_admitted_vs_structural",
+            structural.get("admitted"),
+            solver.get("admitted"),
+            "the semantic certifier must never admit less than the "
+            "syntactic one",
+        )
+        comp.at_least(
+            "alloc.restore_check.solver_leases_vs_structural",
+            structural.get("leases_granted"),
+            solver.get("leases_granted"),
+            "the semantic certifier must never lease less than the "
+            "syntactic one",
+        )
+        comp.wall(
+            "alloc.restore_check.solver_vs_structural_wall",
+            structural.get("wall_seconds"),
+            solver.get("wall_seconds"),
         )
 
 

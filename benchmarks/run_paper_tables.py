@@ -51,9 +51,9 @@ from repro.alloc import (
     build_model,
     stream_allocate,
 )
-from repro.circuits import Circuit, cnot, toffoli, x
+from repro.circuits import Circuit, cnot, from_qasm, iter_qasm_gates, toffoli, x
 from repro.errors import SolverError
-from repro.lang.surface import elaborate
+from repro.lang.surface import elaborate, iter_program
 from repro.lang.surface.sources import adder_qbr_source, mcx_qbr_source
 from repro.mcx import cccnot_with_dirty_ancilla
 from repro.multiprog import (
@@ -1007,6 +1007,298 @@ def _streaming_section() -> dict:
     }
 
 
+# --------------------------------------------------------------------- #
+# Streaming front end (parse-while-allocate)
+# --------------------------------------------------------------------- #
+
+#: Repeats per wall-time measurement; medians go into the record so a
+#: single noisy run cannot flip the overlapped-vs-staged comparison.
+FRONTEND_REPEATS = 3 if QUICK else 5
+
+#: How many times each pipeline runs inside one timed measurement —
+#: the single-shot walls sit under the gate's noise floor, so the
+#: rows record amplified (and therefore gateable) timings.
+FRONTEND_AMPLIFY = 4 if QUICK else 12
+
+
+def _median(values: list) -> float:
+    return sorted(values)[len(values) // 2]
+
+
+def _frontend_workloads() -> list:
+    adder_n, mcx_n = (16, 12) if QUICK else (32, 20)
+    return [
+        (f"adder{adder_n}", adder_qbr_source(adder_n)),
+        (f"mcx{mcx_n}", mcx_qbr_source(mcx_n)),
+    ]
+
+
+def _frontend_overlap_row(label: str, source: str) -> dict:
+    """Staged vs overlapped front end over one ``.qbr`` workload.
+
+    *Staged* is the pre-streaming caller pattern: elaborate the whole
+    program, then feed the finished gate list to a
+    :class:`StreamingAllocator`.  *Overlapped* feeds the allocator
+    from :func:`iter_program` as each statement elaborates — the
+    parse-while-allocate path.  Register width and dirty wires are
+    precomputed outside both timed regions (both paths need them to
+    build the allocator), and each measurement runs the pipeline
+    ``FRONTEND_AMPLIFY`` times so the medians clear the gate's noise
+    floor.
+    """
+    program = elaborate(source)
+    width = program.circuit.num_qubits
+    dirty = tuple(sorted(program.dirty_wires))
+
+    staged_walls, overlapped_walls = [], []
+    for _ in range(FRONTEND_REPEATS):
+        start = time.perf_counter()
+        for _ in range(FRONTEND_AMPLIFY):
+            staged = elaborate(source)
+            allocator = StreamingAllocator(width, dirty, lookahead=8)
+            for gate in staged.circuit.gates:
+                allocator.feed(gate)
+            allocator.close()
+        staged_walls.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        for _ in range(FRONTEND_AMPLIFY):
+            allocator = StreamingAllocator(width, dirty, lookahead=8)
+            for gate in iter_program(source):
+                allocator.feed(gate)
+            allocator.close()
+        overlapped_walls.append(time.perf_counter() - start)
+
+    staged_wall = _median(staged_walls)
+    overlapped_wall = _median(overlapped_walls)
+    row = {
+        "workload": label,
+        "gates": len(program.circuit.gates),
+        "repeats": FRONTEND_REPEATS,
+        "amplify": FRONTEND_AMPLIFY,
+        "staged_wall_seconds": round(staged_wall, 4),
+        "overlapped_wall_seconds": round(overlapped_wall, 4),
+        "overlap_ratio": round(overlapped_wall / staged_wall, 3)
+        if staged_wall > 0
+        else None,
+    }
+    print(
+        f"  frontend   {label:<15} staged={staged_wall:>8.4f}s "
+        f"overlapped={overlapped_wall:>8.4f}s "
+        f"ratio={row['overlap_ratio']}"
+    )
+    return row
+
+
+def _frontend_first_lease() -> dict:
+    """Time to first lease of a prefix admission vs one full parse.
+
+    A long OpenQASM program opens with a four-gate dirty-borrow block
+    on wire 3 (provably safe on the prefix), followed by a tail that
+    never touches it again.  The staged baseline must parse all of it
+    before any admission decision; :meth:`MultiProgrammer.admit_stream`
+    grants the cross-program lease after consuming only the prefix —
+    the latency win the whole streaming front end exists for.
+    """
+    tail = 1200 if QUICK else 4000
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        "qreg q[4];",
+        "ccx q[0],q[1],q[3];",
+        "cx q[3],q[2];",
+        "ccx q[0],q[1],q[3];",
+        "cx q[3],q[2];",
+    ]
+    lines.extend("x q[0];" if i % 2 else "cx q[0],q[1];" for i in range(tail))
+    text = "\n".join(lines) + "\n"
+    prefix_gates = 4
+
+    lender = Circuit(5)
+    lender.append(cnot(0, 1))
+    lender.append(cnot(1, 2))
+
+    parse_walls, lease_walls = [], []
+    lease_granted = True
+    for _ in range(FRONTEND_REPEATS):
+        start = time.perf_counter()
+        parsed = from_qasm(text)
+        parse_walls.append(time.perf_counter() - start)
+
+        programmer = MultiProgrammer(9, max_workers=1)
+        programmer.admit(QuantumJob("lender", lender))
+        start = time.perf_counter()
+        stream = iter_qasm_gates(text)
+        prefix = [next(stream) for _ in range(prefix_gates)]
+        handle = programmer.admit_stream(
+            "guest", stream.num_qubits, [3], prefix=prefix
+        )
+        lease_walls.append(time.perf_counter() - start)
+        lease_granted = lease_granted and bool(handle.admission.leases)
+        handle.extend(stream)
+        handle.close()
+
+    row = {
+        "gates": len(parsed.gates),
+        "prefix_gates": prefix_gates,
+        "repeats": FRONTEND_REPEATS,
+        "staged_parse_wall_seconds": round(_median(parse_walls), 4),
+        "time_to_first_lease_seconds": round(_median(lease_walls), 4),
+        "lease_granted": lease_granted,
+    }
+    print(
+        f"  frontend   first-lease     parse={row['staged_parse_wall_seconds']:>8.4f}s "
+        f"first_lease={row['time_to_first_lease_seconds']:>8.4f}s "
+        f"granted={lease_granted}"
+    )
+    return row
+
+
+def _frontend_adaptive_rows() -> list:
+    """Adaptive vs fixed lookahead over the seeded streaming corpus.
+
+    Replays the lookahead sweep's corpus under ``fixed-0`` (commit at
+    first sight: narrowest latency, most premature commits),
+    ``fixed-8`` (the sweep's middle horizon) and the ``adaptive``
+    policy (fresh per circuit — the registry string builds one per
+    allocator).  The gate binds adaptive's total width to the best
+    fixed row and its disturbance count (rollbacks + revocations) to
+    fixed-0's.
+    """
+    count = 8 if QUICK else 20
+    corpus = [
+        random_reversible_circuit(
+            seed,
+            num_data=6,
+            num_ancillas=3,
+            segment_gates=4,
+            middle_gates=8,
+        )
+        for seed in range(STREAM_CORPUS_BASE, STREAM_CORPUS_BASE + count)
+    ]
+    rows = []
+    for label, lookahead in (
+        ("fixed-0", 0),
+        ("fixed-8", 8),
+        ("adaptive", "adaptive"),
+    ):
+        width = rollbacks = revocations = replans = 0
+        for circuit, ancillas in corpus:
+            allocator = StreamingAllocator(
+                circuit.num_qubits, ancillas, lookahead=lookahead
+            )
+            for gate in circuit.gates:
+                allocator.feed(gate)
+            plan = allocator.close()
+            width += plan.final_width
+            rollbacks += allocator.stats.rollbacks
+            revocations += allocator.stats.revocations
+            replans += allocator.stats.replans
+        rows.append(
+            {
+                "policy": label,
+                "circuits": count,
+                "total_width": width,
+                "rollbacks": rollbacks,
+                "revocations": revocations,
+                "disturbances": rollbacks + revocations,
+                "replans": replans,
+            }
+        )
+        print(
+            f"  frontend   policy={label:<9} total_width={width:<4} "
+            f"rollbacks={rollbacks:<3} revocations={revocations:<3} "
+            f"replans={replans}"
+        )
+    return rows
+
+
+def _streaming_frontend_section() -> dict:
+    return {
+        "workloads": [
+            _frontend_overlap_row(label, source)
+            for label, source in _frontend_workloads()
+        ],
+        "first_lease": _frontend_first_lease(),
+        "adaptive": _frontend_adaptive_rows(),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Restore-check admission cost (structural vs solver)
+# --------------------------------------------------------------------- #
+
+#: The restore-check record's pinned workload: a large seeded lending
+#: trace (timeouts off, so admission work — not queue churn —
+#: dominates) replayed under segmented lending with each certifier.
+RESTORE_TRACE_SEED = 2
+RESTORE_TRACE_JOBS = 100 if QUICK else 300
+RESTORE_MACHINE = 11
+
+
+def _restore_check_row(restore_check: str) -> dict:
+    walls = []
+    for _ in range(FRONTEND_REPEATS):
+        trace = random_lending_trace(
+            RESTORE_TRACE_SEED, num_jobs=RESTORE_TRACE_JOBS, timeouts=False
+        )
+        programmer = MultiProgrammer(
+            RESTORE_MACHINE,
+            lending="segmented",
+            restore_check=restore_check,
+            max_workers=1,
+        )
+        start = time.perf_counter()
+        log = replay_trace(programmer, trace)
+        walls.append(time.perf_counter() - start)
+    wall = _median(walls)
+    row = {
+        "restore_check": restore_check,
+        "jobs": RESTORE_TRACE_JOBS,
+        "machine": RESTORE_MACHINE,
+        "admitted": len(log.admitted),
+        "leases_granted": programmer.total_leases,
+        "wall_seconds": round(wall, 4),
+    }
+    print(
+        f"  restore    {restore_check:<11} admitted={row['admitted']:<4} "
+        f"leases={row['leases_granted']:<4} wall={wall:>8.4f}s"
+    )
+    return row
+
+
+def _restore_check_section() -> dict:
+    """Admission cost of the solver-backed restore certifier.
+
+    The measurement behind the scheduler's segmented-mode default: the
+    solver certifier only runs where the structural palindrome check
+    fails, and its verdicts share the scheduler's memoised verifier,
+    so the overhead on the pinned trace is small — under the 10%
+    budget that justified flipping ``lending="segmented"`` to
+    ``restore_check="solver"`` by default.
+    """
+    rows = [
+        _restore_check_row(check) for check in ("structural", "solver")
+    ]
+    structural, solver = rows
+    overhead = (
+        round(
+            (solver["wall_seconds"] - structural["wall_seconds"])
+            / structural["wall_seconds"],
+            3,
+        )
+        if structural["wall_seconds"] > 0
+        else None
+    )
+    print(f"  restore    solver overhead fraction: {overhead}")
+    return {
+        "seed": RESTORE_TRACE_SEED,
+        "rows": rows,
+        "solver_overhead_fraction": overhead,
+        "segmented_default": "solver",
+    }
+
+
 def bench_alloc(path: str) -> None:
     fig31 = _fig31_circuit()
     adder = elaborate(adder_qbr_source(BENCH_ADDER_N))
@@ -1053,6 +1345,8 @@ def bench_alloc(path: str) -> None:
         },
         "fleet": _fleet_section(),
         "streaming": _streaming_section(),
+        "streaming_frontend": _streaming_frontend_section(),
+        "restore_check": _restore_check_section(),
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)

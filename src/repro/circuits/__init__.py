@@ -65,7 +65,12 @@ from repro.circuits.statevector import (
     run_statevector,
 )
 from repro.circuits.draw import draw_circuit
-from repro.circuits.qasm import from_qasm, to_qasm
+from repro.circuits.qasm import (
+    QasmStream,
+    from_qasm,
+    iter_qasm_gates,
+    to_qasm,
+)
 from repro.circuits.borrowing import BorrowPlan, borrow_dirty_qubits
 
 __all__ = [
@@ -88,7 +93,9 @@ __all__ = [
     "cphase",
     "depth",
     "draw_circuit",
+    "QasmStream",
     "from_qasm",
+    "iter_qasm_gates",
     "gate_from_name",
     "hadamard",
     "idle_qubits_during",

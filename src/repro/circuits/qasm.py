@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import List
+from typing import List, Optional
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.gates import (
@@ -112,55 +112,108 @@ _STATEMENT = re.compile(
 _OPERAND = re.compile(r"^q\[(\d+)\]$")
 
 
-def from_qasm(text: str) -> Circuit:
-    """Parse the OpenQASM 2.0 subset emitted by :func:`to_qasm`."""
-    circuit: Circuit = None
-    for line_number, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("//")[0].strip()
-        if not line:
-            continue
-        if line.startswith("OPENQASM") or line.startswith("include"):
-            continue
-        if line.startswith("qreg"):
-            match = re.match(r"^qreg\s+q\[(\d+)\]\s*;$", line)
+class QasmStream:
+    """Iterate the gates of an OpenQASM 2.0 program as lines are read.
+
+    Each drawn gate has been parsed, validated and appended to
+    :attr:`circuit` before it is yielded, so a consumer (e.g. a
+    :class:`~repro.alloc.streaming.StreamingAllocator`) can act on it
+    while the rest of the file is still unread.  :attr:`num_qubits`
+    becomes available once the ``qreg`` header line has been consumed.
+    All :class:`~repro.errors.CircuitError`\\ s of :func:`from_qasm`
+    surface unchanged, at the line that causes them — including ``no
+    qreg declaration found``, raised when the stream ends without a
+    header.
+    """
+
+    def __init__(self, text: str):
+        self.circuit: Optional[Circuit] = None
+        self._gates = self._parse(text)
+
+    @property
+    def num_qubits(self) -> Optional[int]:
+        """Declared register width, or ``None`` before the ``qreg``."""
+        return None if self.circuit is None else self.circuit.num_qubits
+
+    def __iter__(self) -> "QasmStream":
+        return self
+
+    def __next__(self) -> Gate:
+        return next(self._gates)
+
+    def _parse(self, text: str):
+        for line_number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("//")[0].strip()
+            if not line:
+                continue
+            if line.startswith("OPENQASM") or line.startswith("include"):
+                continue
+            if line.startswith("qreg"):
+                match = re.match(r"^qreg\s+q\[(\d+)\]\s*;$", line)
+                if not match:
+                    raise CircuitError(
+                        f"line {line_number}: unsupported qreg declaration"
+                    )
+                if self.circuit is not None:
+                    raise CircuitError("multiple qreg declarations")
+                self.circuit = Circuit(int(match.group(1)))
+                continue
+            if line.startswith("creg") or line.startswith("barrier"):
+                continue
+            match = _STATEMENT.match(line)
             if not match:
                 raise CircuitError(
-                    f"line {line_number}: unsupported qreg declaration"
+                    f"line {line_number}: cannot parse {line!r}"
                 )
-            if circuit is not None:
-                raise CircuitError("multiple qreg declarations")
-            circuit = Circuit(int(match.group(1)))
-            continue
-        if line.startswith("creg") or line.startswith("barrier"):
-            continue
-        match = _STATEMENT.match(line)
-        if not match:
-            raise CircuitError(f"line {line_number}: cannot parse {line!r}")
-        if circuit is None:
-            raise CircuitError("gate before qreg declaration")
-        name = match.group("name")
-        if name not in _QASM_GATES:
-            raise CircuitError(f"line {line_number}: unsupported gate {name!r}")
-        arity, build = _QASM_GATES[name]
-        operands: List[int] = []
-        for token in match.group("operands").split(","):
-            op_match = _OPERAND.match(token.strip())
-            if not op_match:
+            if self.circuit is None:
+                raise CircuitError("gate before qreg declaration")
+            name = match.group("name")
+            if name not in _QASM_GATES:
                 raise CircuitError(
-                    f"line {line_number}: bad operand {token.strip()!r}"
+                    f"line {line_number}: unsupported gate {name!r}"
                 )
-            operands.append(int(op_match.group(1)))
-        if len(operands) != arity:
-            raise CircuitError(
-                f"line {line_number}: {name} expects {arity} operands"
-            )
-        param = None
-        if match.group("param") is not None:
-            param = _eval_param(match.group("param"), line_number)
-        circuit.append(build(operands, param))
-    if circuit is None:
-        raise CircuitError("no qreg declaration found")
-    return circuit
+            arity, build = _QASM_GATES[name]
+            operands: List[int] = []
+            for token in match.group("operands").split(","):
+                op_match = _OPERAND.match(token.strip())
+                if not op_match:
+                    raise CircuitError(
+                        f"line {line_number}: bad operand {token.strip()!r}"
+                    )
+                operands.append(int(op_match.group(1)))
+            if len(operands) != arity:
+                raise CircuitError(
+                    f"line {line_number}: {name} expects {arity} operands"
+                )
+            param = None
+            if match.group("param") is not None:
+                param = _eval_param(match.group("param"), line_number)
+            gate = build(operands, param)
+            self.circuit.append(gate)
+            yield gate
+        if self.circuit is None:
+            raise CircuitError("no qreg declaration found")
+
+
+def iter_qasm_gates(text: str) -> QasmStream:
+    """Stream an OpenQASM 2.0 program's gates as lines are consumed.
+
+    Returns a :class:`QasmStream`; ``list(iter_qasm_gates(text))``
+    equals ``from_qasm(text).gates`` gate for gate.
+    """
+    return QasmStream(text)
+
+
+def from_qasm(text: str) -> Circuit:
+    """Parse the OpenQASM 2.0 subset emitted by :func:`to_qasm`.
+
+    Drains :func:`iter_qasm_gates`, so the offline and streaming import
+    paths are a single code path and cannot drift.
+    """
+    stream = QasmStream(text)
+    for _ in stream:
+        pass
+    return stream.circuit
 
 
 def _eval_param(text: str, line_number: int) -> float:

@@ -51,7 +51,7 @@ from repro.lang.surface.parser import (
     Program,
     RegRef,
     ReleaseStmt,
-    parse,
+    iter_statements,
 )
 from repro.verify.pipeline import VerificationReport, verify_circuit
 
@@ -284,18 +284,31 @@ class _Elaborator:
 
     def run_for(self, stmt: ForStmt) -> None:
         """Unroll a ``for`` loop (inclusive bounds, either direction)."""
+        for _ in self._for_iterations(stmt):
+            self.run(stmt.body)
+
+    def _for_iterations(self, stmt: ForStmt):
+        """Yield once per loop iteration with the variable bound.
+
+        Owns the loop-variable scoping (bind before each iteration,
+        restore any shadowed binding afterwards) so :meth:`run_for` and
+        the statement-streaming path in :class:`ProgramStream` unroll
+        loops through one code path.
+        """
         start = self.eval_expr(stmt.start)
         end = self.eval_expr(stmt.end)
         step = 1 if end >= start else -1
         shadowed = self.env.get(stmt.var)
         had_binding = stmt.var in self.env
-        for value in range(start, end + step, step):
-            self.env[stmt.var] = value
-            self.run(stmt.body)
-        if had_binding:
-            self.env[stmt.var] = shadowed
-        else:
-            self.env.pop(stmt.var, None)
+        try:
+            for value in range(start, end + step, step):
+                self.env[stmt.var] = value
+                yield value
+        finally:
+            if had_binding:
+                self.env[stmt.var] = shadowed
+            else:
+                self.env.pop(stmt.var, None)
 
     # Ownership blocks -------------------------------------------------------- #
 
@@ -353,31 +366,8 @@ class _Elaborator:
             )
 
 
-def elaborate(
-    source: Union[str, Program],
-    *,
-    strict: bool = True,
-    report: Optional[DiagnosticReport] = None,
-    filename: str = "<qbr>",
-) -> ElaboratedProgram:
-    """Elaborate ``.qbr`` source (or a parsed :class:`Program`).
-
-    The static borrow checker runs as part of elaboration.  In strict
-    mode (the default) the first ownership violation raises
-    :class:`~repro.lang.diagnostics.BorrowCheckError` — a
-    :class:`ParseError` subclass, so existing error handling keeps
-    working.  With ``strict=False`` every violation is collected into
-    ``report`` (see :func:`repro.lang.borrowck.check_program`) and
-    elaboration recovers and continues.
-    """
-    program = parse(source) if isinstance(source, str) else source
-    if report is None:
-        report = DiagnosticReport(
-            source=source if isinstance(source, str) else "",
-            filename=filename,
-        )
-    ela = _Elaborator(BorrowChecker(report, strict=strict))
-    ela.run(program.statements)
+def _finish(ela: _Elaborator, report: DiagnosticReport) -> ElaboratedProgram:
+    """Assemble the :class:`ElaboratedProgram` once every statement ran."""
     circuit = Circuit(len(ela.wire_labels), labels=ela.wire_labels)
     for gate in ela.gates:
         circuit.append(gate)
@@ -399,6 +389,126 @@ def elaborate(
     dirty = set(result.dirty_wires)
     result.proven_wires = [w for w in ela.proven if w in dirty]
     return result
+
+
+class ProgramStream:
+    """Iterator of elaborated gates, driven as the source is consumed.
+
+    Parsing, borrow checking and elaboration advance statement by
+    statement: iterating yields each emitted
+    :class:`~repro.circuits.gates.Gate` as soon as the statement (or,
+    for a top-level ``for`` loop, the loop iteration) that produced it
+    has been read — source past that point has not been lexed yet.  A
+    scoped ``borrow { within { C } apply { D } }`` block buffers until
+    its closing brace and then yields its whole ``C; D; rev(C); D``
+    emission, since the mirror phases replay gates the block itself
+    produced.  Diagnostics accumulate in :attr:`report` exactly as in
+    offline elaboration; strict-mode violations raise at the gate that
+    caused them.
+
+    :meth:`result` drains whatever remains and assembles the
+    :class:`ElaboratedProgram` — :func:`elaborate` is exactly
+    ``iter_program(...).result()``, so the offline and streaming paths
+    cannot drift.
+    """
+
+    def __init__(
+        self,
+        source: Union[str, Program],
+        *,
+        strict: bool = True,
+        report: Optional[DiagnosticReport] = None,
+        filename: str = "<qbr>",
+    ):
+        if isinstance(source, str):
+            statements = iter_statements(source)
+            text = source
+        else:
+            statements = iter(source.statements)
+            text = ""
+        if report is None:
+            report = DiagnosticReport(source=text, filename=filename)
+        self.report = report
+        self._ela = _Elaborator(BorrowChecker(report, strict=strict))
+        self._gates = self._emit(statements)
+        self._result: Optional[ElaboratedProgram] = None
+
+    def _emit(self, statements):
+        ela = self._ela
+        for stmt in statements:
+            if isinstance(stmt, ForStmt):
+                for _ in ela._for_iterations(stmt):
+                    mark = len(ela.gates)
+                    ela.run(stmt.body)
+                    # `gates` is append-only, so the slice past `mark`
+                    # is exactly this iteration's emission.
+                    yield from ela.gates[mark:]
+            else:
+                mark = len(ela.gates)
+                ela.run((stmt,))
+                yield from ela.gates[mark:]
+
+    def __iter__(self) -> "ProgramStream":
+        return self
+
+    def __next__(self) -> Gate:
+        return next(self._gates)
+
+    @property
+    def num_wires(self) -> int:
+        """Register width declared so far (grows as the stream runs)."""
+        return len(self._ela.wire_labels)
+
+    def result(self) -> ElaboratedProgram:
+        """Drain the rest of the stream and return the elaborated
+        program (idempotent)."""
+        if self._result is None:
+            for _ in self._gates:
+                pass
+            self._result = _finish(self._ela, self.report)
+        return self._result
+
+
+def iter_program(
+    source: Union[str, Program],
+    *,
+    strict: bool = True,
+    report: Optional[DiagnosticReport] = None,
+    filename: str = "<qbr>",
+) -> ProgramStream:
+    """Stream a ``.qbr`` program's gates as the source is parsed.
+
+    Returns a :class:`ProgramStream`; ``list(iter_program(src))``
+    equals ``elaborate(src).circuit.gates`` gate for gate.
+    """
+    return ProgramStream(
+        source, strict=strict, report=report, filename=filename
+    )
+
+
+def elaborate(
+    source: Union[str, Program],
+    *,
+    strict: bool = True,
+    report: Optional[DiagnosticReport] = None,
+    filename: str = "<qbr>",
+) -> ElaboratedProgram:
+    """Elaborate ``.qbr`` source (or a parsed :class:`Program`).
+
+    The static borrow checker runs as part of elaboration.  In strict
+    mode (the default) the first ownership violation raises
+    :class:`~repro.lang.diagnostics.BorrowCheckError` — a
+    :class:`ParseError` subclass, so existing error handling keeps
+    working.  With ``strict=False`` every violation is collected into
+    ``report`` (see :func:`repro.lang.borrowck.check_program`) and
+    elaboration recovers and continues.
+
+    Implemented as "drain the stream": this is
+    :func:`iter_program`\\ ``(...).result()``, nothing more.
+    """
+    return iter_program(
+        source, strict=strict, report=report, filename=filename
+    ).result()
 
 
 def elaborate_file(path: Union[str, Path]) -> ElaboratedProgram:

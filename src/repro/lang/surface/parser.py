@@ -27,10 +27,10 @@ matched by spelling here, exactly as ANTLR's literal tokens would.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ParseError
-from repro.lang.surface.lexer import Token, tokenize
+from repro.lang.surface.lexer import Token, _scan
 
 GATE_NAMES = {"X": 1, "CNOT": 2, "CCNOT": 3}
 
@@ -190,8 +190,30 @@ class Program:
 # ---------------------------------------------------------------------- #
 
 
+class _TokenStream:
+    """Index the token stream while lexing only as far as the parser
+    has looked.
+
+    :class:`_Parser` reads tokens exclusively through ``tokens[pos]``
+    with a bounded lookahead, so backing that access with the lazy
+    :func:`~repro.lang.surface.lexer._scan` generator is all streaming
+    needs: source past the current statement is not even lexed yet.
+    The scan ends with an ``EOF`` token the parser never advances past,
+    so the generator is never over-drawn.
+    """
+
+    def __init__(self, source: str):
+        self._scan = _scan(source)
+        self._buffer: List[Token] = []
+
+    def __getitem__(self, index: int) -> Token:
+        while len(self._buffer) <= index:
+            self._buffer.append(next(self._scan))
+        return self._buffer[index]
+
+
 class _Parser:
-    def __init__(self, tokens: List[Token]):
+    def __init__(self, tokens: Sequence[Token]):
         self.tokens = tokens
         self.pos = 0
 
@@ -404,6 +426,31 @@ class _Parser:
         )
 
 
+def iter_statements(source: str) -> Iterator[StmtNode]:
+    """Yield top-level statements as the source is consumed.
+
+    Lexing and parsing advance together: a statement is yielded as soon
+    as its last token has been read, before anything after it has even
+    been lexed.  This is the streaming entry the incremental elaborator
+    (:func:`repro.lang.surface.elaborate.iter_program`) builds on.
+    Raises the same :class:`~repro.errors.ParseError`\\ s as
+    :func:`parse`, including ``empty program`` when the source holds no
+    statement at all.
+    """
+    parser = _Parser(_TokenStream(source))
+    produced = False
+    while parser.peek().kind != "EOF":
+        yield parser.statement()
+        produced = True
+    if not produced:
+        token = parser.peek()
+        raise ParseError("empty program", token.line, token.column)
+
+
 def parse(source: str) -> Program:
-    """Parse ``.qbr`` source into a surface AST."""
-    return _Parser(tokenize(source)).program()
+    """Parse ``.qbr`` source into a surface AST.
+
+    Drains :func:`iter_statements`, so the offline and streaming parse
+    paths are a single code path and cannot drift.
+    """
+    return Program(tuple(iter_statements(source)))

@@ -143,6 +143,7 @@ from repro.multiprog.scheduler import (
     MultiProgrammer,
     QuantumJob,
     ScheduleResult,
+    StreamAdmission,
 )
 from repro.multiprog.service import FleetService, ServiceResult
 
@@ -171,6 +172,7 @@ __all__ = [
     "ServiceResult",
     "ShardSpec",
     "ShortestJobFirstPolicy",
+    "StreamAdmission",
     "SubmitOutcome",
     "available_packers",
     "available_placements",

@@ -86,7 +86,9 @@ class ShardSpec:
     queue_policy: str = "fifo"
     lending: str = "windowed"
     lease_packer: str = "first-fit"
-    restore_check: str = "structural"
+    #: ``None`` defers to the scheduler's lending-mode default
+    #: (``"solver"`` for segmented shards, ``"structural"`` otherwise).
+    restore_check: Optional[str] = None
 
 
 class PlacementPolicy(ABC):

@@ -68,9 +68,17 @@ from typing import (
     Union,
 )
 
-from repro.alloc import BorrowPlan, ConflictModel, allocate, build_model
+from repro.alloc import (
+    BorrowPlan,
+    ConflictModel,
+    LookaheadPolicy,
+    StreamingAllocator,
+    allocate,
+    build_model,
+)
 from repro.circuits.circuit import Circuit
 from repro.circuits.classical import is_classical_circuit
+from repro.circuits.gates import Gate
 from repro.circuits.intervals import (
     SegmentCheck,
     WindowSet,
@@ -284,6 +292,417 @@ class ScheduleResult:
         return "\n".join(lines)
 
 
+class StreamAdmission:
+    """A prefix-admitted gate stream: resident now, still arriving.
+
+    Returned by :meth:`MultiProgrammer.admit_stream`.  The job became
+    resident on the strength of its *prefix* — the gates fed before
+    admission — and every later :meth:`feed` refines the admission in
+    the same call, so the scheduler-wide occupancy contract
+    (:class:`~repro.testing.invariants.OccupancyInvariantChecker`)
+    holds between any two feeds:
+
+    * a gate that touches a leased ancilla regrows that ancilla's
+      lending window from the job's live
+      :class:`~repro.alloc.StreamingAllocator`; the lease is replaced
+      in place when the extension stays disjoint from its wire's other
+      leases, *moved* to another offered wire when not, *revoked to a
+      fresh wire* when no offer fits, and — with the free pool also
+      exhausted — the whole job is **revoked to the queue**: residency
+      ends, its wires return, and :meth:`close` resubmits the complete
+      circuit through :meth:`MultiProgrammer.submit`;
+    * the admission's internal placement is refreshed from the
+      allocator after every gate (leased and unverified ancillas stay
+      out of it), so the plan revalidates against a freshly rebuilt
+      interval model at any point.
+
+    Prefix admission is deliberately *optimistic*: safety verdicts are
+    proven on the prefix (or carried by ``certified`` requests) and
+    re-proven on the full circuit at :meth:`close`, which revokes any
+    lease whose safety the tail broke.  A stream job offers no idle
+    wires of its own — wires that look idle in the prefix may be busy
+    one gate later.
+    """
+
+    def __init__(
+        self,
+        scheduler: "MultiProgrammer",
+        job: QuantumJob,
+        allocator: StreamingAllocator,
+        packer: LeasePacker,
+    ):
+        self._mp = scheduler
+        self.job = job
+        #: The live online allocator; its ``stats`` carry the stream's
+        #: throughput counters (gates, commits, re-plans, rollbacks).
+        self.allocator = allocator
+        self._packer = packer
+        #: The live admission, ``None`` once revoked to the queue.
+        self.admission: Optional[Admission] = None
+        #: Outcome of the :meth:`close`-time resubmission, when the
+        #: admission was revoked mid-stream.
+        self.outcome: Optional[SubmitOutcome] = None
+        self._closed = False
+        self._revoked = False
+        self._certified = frozenset(
+            r.wire for r in job.ancilla_requests if r.certified
+        )
+
+    @property
+    def name(self) -> str:
+        return self.job.name
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def revoked(self) -> bool:
+        """True once the admission was revoked to the queue."""
+        return self._revoked
+
+    # ------------------------------------------------------------------ #
+    # The stream
+    # ------------------------------------------------------------------ #
+
+    def feed(self, gate: Gate) -> int:
+        """Append one gate; returns its index in the job's circuit.
+
+        The admission is refined *in the same call*: lease windows of
+        touched leased ancillas regrow (extend / move / revoke, see the
+        class docstring) and the internal placement is refreshed, so
+        the occupancy invariants hold when this returns.  After a
+        revocation the stream keeps accepting gates — the complete
+        circuit is resubmitted at :meth:`close`.
+        """
+        if self._closed:
+            raise CircuitError(
+                f"stream job {self.job.name!r} is closed; no more gates"
+            )
+        if self.job.ancilla_requests and not gate.is_classical:
+            raise VerificationError(
+                f"job {self.job.name}: only classical circuits can be "
+                f"auto-verified for cross-program borrowing"
+            )
+        self.job.circuit.append(gate)
+        index = self.allocator.feed(gate)
+        if not self._revoked:
+            touched = sorted(set(gate.qubits) & set(self.admission.leases))
+            for ancilla in touched:
+                if self._revoked:
+                    break
+                self._refresh_lease(ancilla)
+            if not self._revoked:
+                self._refresh_plan()
+        return index
+
+    def extend(self, gates) -> int:
+        """Feed many gates; returns the last index."""
+        index = len(self.job.circuit.gates) - 1
+        for gate in gates:
+            index = self.feed(gate)
+        return index
+
+    def close(self) -> Optional[Admission]:
+        """End the stream; returns the final admission (or ``None``).
+
+        Closes the allocator (committing every open decision), then
+        re-proves ancilla safety over the *complete* circuit: a lease
+        whose prefix-time verdict the tail broke is revoked to a fresh
+        wire, or — free pool exhausted — the whole job is revoked.  A
+        job revoked at any point is resubmitted here through
+        :meth:`MultiProgrammer.submit` (its outcome lands in
+        :attr:`outcome`) and ``None`` is returned.  Idempotent.
+        """
+        if self._closed:
+            return self.admission
+        self._closed = True
+        self.allocator.close()
+        if not self._revoked:
+            self._verify_full()
+        if not self._revoked:
+            self._refresh_plan()
+            return self.admission
+        self.outcome = self._mp.submit(self.job)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Admission and refinement machinery
+    # ------------------------------------------------------------------ #
+
+    def _ingest(self, gate: Gate) -> int:
+        """Feed a prefix gate (before admission: no leases to refine)."""
+        if self.job.ancilla_requests and not gate.is_classical:
+            raise VerificationError(
+                f"job {self.job.name}: only classical circuits can be "
+                f"auto-verified for cross-program borrowing"
+            )
+        self.job.circuit.append(gate)
+        return self.allocator.feed(gate)
+
+    def _verify_prefix(self) -> Dict[int, bool]:
+        """Eagerly verify every requested wire on the prefix circuit.
+
+        Eager (unlike :meth:`MultiProgrammer._verify_job`'s lazy mode)
+        because the verdicts gate which ancillas may lease *and* which
+        later internal placements count as sound — and the prefix is
+        usually short, so the solver bill is small.  Certified wires
+        skip the solver exactly like the offline path.
+        """
+        mp, job = self._mp, self.job
+        if not job.request_wires:
+            return {}
+        safety = {a: True for a in self._certified}
+        mp.static_discharged += len(self._certified)
+        to_verify = tuple(
+            a for a in job.request_wires if a not in self._certified
+        )
+        if to_verify:
+            report = mp.verifier.verify_circuit(job.circuit, to_verify)
+            safety.update({v.qubit: v.safe for v in report.verdicts})
+        return safety
+
+    def _admit_prefix(self, enforce_capacity: bool) -> None:
+        """Admit the job on its prefix: leases, fresh wires, residency.
+
+        Mirrors :meth:`MultiProgrammer.admit` with an identity layout —
+        the stream's width is not reduced (future gates may touch any
+        wire), so every non-leased original wire takes a fresh machine
+        wire and ``wire_map`` is the identity.
+        """
+        mp, job = self._mp, self.job
+        safety = self._verify_prefix()
+        placement = self.allocator.placement()
+        gate_offset = mp._clock
+        placed = set(placement.assignment)
+        cross_hosts: Dict[int, int] = {}
+        leases: Dict[int, Lease] = {}
+        for a in job.request_wires:
+            if a in placed or a in cross_hosts or not safety.get(a):
+                continue
+            if a not in set(self.allocator.active):
+                continue  # untouched so far: no window to lease yet
+            window = self.allocator.window(a).shifted(gate_offset)
+            wire = mp._lease_host(window, self._packer)
+            if wire is None:
+                continue
+            lease = Lease(
+                guest=job.name, ancilla=a, wire=wire, window=window
+            )
+            cross_hosts[a] = wire
+            leases[a] = lease
+            mp._leases.setdefault(wire, []).append(lease)
+            mp._holders[wire].add(job.name)
+
+        fresh_needed = job.circuit.num_qubits - len(cross_hosts)
+        try:
+            fresh = mp._take_free(job.name, fresh_needed, enforce_capacity)
+        except CircuitError:
+            mp._retire_leases(leases.values())
+            for wire in set(cross_hosts.values()):
+                mp._holders[wire].discard(job.name)
+            raise
+        pool = iter(fresh)
+        wires = tuple(
+            cross_hosts[q] if q in cross_hosts else next(pool)
+            for q in range(job.circuit.num_qubits)
+        )
+        plan = BorrowPlan(
+            circuit=job.circuit,
+            assignment={},
+            unplaced=sorted(job.request_wires),
+            periods={},
+            wire_map={q: q for q in range(job.circuit.num_qubits)},
+            original_width=job.circuit.num_qubits,
+            final_width=job.circuit.num_qubits,
+            notes=[],
+            strategy=self.allocator.name,
+            windows={},
+        )
+        mp._seq += 1
+        mp.total_leases += len(leases)
+        self.admission = Admission(
+            name=job.name,
+            job=job,
+            plan=plan,
+            wires=wires,
+            cross_hosts=cross_hosts,
+            safety=safety,
+            seq=mp._seq,
+            strategy=self.allocator.name,
+            leases=leases,
+            gate_offset=gate_offset,
+        )
+        mp._residents[job.name] = self.admission
+        self._refresh_plan()
+
+    def _refresh_lease(self, ancilla: int) -> None:
+        """Regrow one leased ancilla's window after a gate touched it.
+
+        The refinement ladder: extend the lease in place when the new
+        window stays disjoint from the wire's other leases; otherwise
+        move it to whichever offered wire the packer picks; otherwise
+        revoke the lease onto a fresh wire; and with the free pool
+        exhausted too, revoke the whole job to the queue.
+        """
+        mp, adm = self._mp, self.admission
+        lease = adm.leases[ancilla]
+        window = self.allocator.window(ancilla).shifted(adm.gate_offset)
+        if window.segments == lease.window.segments:
+            return
+        siblings = [
+            other
+            for other in mp._leases.get(lease.wire, ())
+            if other is not lease
+        ]
+        if all(not window.overlaps(o.window) for o in siblings):
+            grown = Lease(
+                guest=adm.name,
+                ancilla=ancilla,
+                wire=lease.wire,
+                window=window,
+            )
+            slot = mp._leases[lease.wire].index(lease)
+            mp._leases[lease.wire][slot] = grown
+            adm.leases[ancilla] = grown
+            mp.stream_refinements += 1
+            return
+        target = mp._lease_host(window, self._packer)
+        if target is not None:
+            moved = Lease(
+                guest=adm.name, ancilla=ancilla, wire=target, window=window
+            )
+            mp._retire_leases([lease])
+            mp._leases.setdefault(target, []).append(moved)
+            mp._holders[target].add(adm.name)
+            adm.leases[ancilla] = moved
+            adm.cross_hosts[ancilla] = target
+            wires = list(adm.wires)
+            wires[ancilla] = target
+            adm.wires = tuple(wires)
+            self._drop_hold(lease.wire)
+            mp.stream_refinements += 1
+            return
+        if not self._revoke_lease(ancilla):
+            self._revoke()
+
+    def _revoke_lease(self, ancilla: int) -> bool:
+        """Move a leased ancilla onto a fresh wire (lease revoked).
+
+        Returns False when the free pool is empty — the caller then
+        revokes the whole job.
+        """
+        mp, adm = self._mp, self.admission
+        lease = adm.leases[ancilla]
+        try:
+            fresh = mp._take_free(adm.name, 1, True)
+        except CapacityError:
+            return False
+        mp._retire_leases([lease])
+        del adm.leases[ancilla]
+        del adm.cross_hosts[ancilla]
+        wires = list(adm.wires)
+        wires[ancilla] = fresh[0]
+        adm.wires = tuple(wires)
+        self._drop_hold(lease.wire)
+        mp.stream_lease_revocations += 1
+        return True
+
+    def _drop_hold(self, wire: int) -> None:
+        """Release this job's hold on ``wire`` if nothing of its still
+        uses it (neither the wire table nor another of its leases)."""
+        mp, adm = self._mp, self.admission
+        if wire in adm.wires:
+            return
+        if any(l.wire == wire for l in adm.leases.values()):
+            return
+        holders = mp._holders.get(wire)
+        if holders is None:
+            return
+        holders.discard(adm.name)
+        if not holders:
+            del mp._holders[wire]
+            mp._idle_owner.pop(wire, None)
+            mp._drain()
+
+    def _revoke(self) -> None:
+        """Revoke the whole admission to the queue: residency ends, the
+        job's wires return to the pool, and :meth:`close` resubmits the
+        complete circuit.  The stream keeps accepting gates."""
+        mp, adm = self._mp, self.admission
+        self._revoked = True
+        self.admission = None
+        mp._residents.pop(adm.name, None)
+        mp._retire_leases(adm.leases.values())
+        for wire in set(adm.wires):
+            holders = mp._holders.get(wire)
+            if holders is None:
+                continue
+            holders.discard(adm.name)
+            if not holders:
+                del mp._holders[wire]
+                mp._idle_owner.pop(wire, None)
+        mp.stream_job_revocations += 1
+        mp._drain()
+
+    def _verify_full(self) -> None:
+        """Re-prove ancilla safety over the complete circuit at close.
+
+        Prefix-time verdicts are optimistic — the tail may touch a
+        leased ancilla without restoring it.  Any lease whose wire is
+        no longer proven safe is revoked (fresh wire, or the whole job
+        when the pool is dry); the refreshed verdicts also re-gate the
+        internal placement via :meth:`_refresh_plan`.
+        """
+        mp, adm = self._mp, self.admission
+        job = self.job
+        if not job.request_wires:
+            return
+        safety = {a: True for a in self._certified}
+        to_verify = tuple(
+            a for a in job.request_wires if a not in self._certified
+        )
+        if to_verify:
+            report = mp.verifier.verify_circuit(job.circuit, to_verify)
+            safety.update({v.qubit: v.safe for v in report.verdicts})
+        adm.safety.clear()
+        adm.safety.update(safety)
+        for ancilla in sorted(adm.leases):
+            if safety.get(ancilla) is True:
+                continue
+            if not self._revoke_lease(ancilla):
+                self._revoke()
+                return
+
+    def _refresh_plan(self) -> None:
+        """Refresh the admission's plan from the live allocator.
+
+        Leased and not-proven-safe ancillas are withheld from the
+        assignment (a lease and an internal placement for the same
+        ancilla would double-count it; an unsafe placement would break
+        the no-unverified-placement rule); everything else mirrors the
+        allocator's current committed+tentative placement, which is
+        sound against the prefix model by the allocator's own
+        invariant.
+        """
+        adm = self.admission
+        placement = self.allocator.placement()
+        assignment = {
+            a: h
+            for a, h in placement.assignment.items()
+            if a not in adm.leases and adm.safety.get(a) is True
+        }
+        plan = adm.plan
+        plan.assignment = assignment
+        plan.unplaced = sorted(
+            set(self.job.request_wires) - set(assignment)
+        )
+        plan.notes = list(placement.notes)
+        plan.windows = {
+            a: self.allocator.window(a) for a in self.allocator.active
+        }
+
+
 class MultiProgrammer:
     """An online machine packer with verified dirty-qubit borrowing.
 
@@ -332,12 +751,17 @@ class MultiProgrammer:
         ``admit(job, packer=...)``.
     restore_check:
         How segmented lending certifies an ancilla's restore segments:
-        ``"structural"`` (default) accepts only the syntactic
-        ``C;C⁻¹`` palindromes; ``"solver"`` adds the semantic fallback
+        ``"structural"`` accepts only the syntactic ``C;C⁻¹``
+        palindromes; ``"solver"`` adds the semantic fallback
         (:func:`~repro.circuits.intervals.solver_restore_checker`
         sharing this scheduler's memoised verifier), so
         semantically-identity blocks that are not palindromes still
-        split into lease segments.  Irrelevant outside
+        split into lease segments.  ``None`` (the default) resolves to
+        ``"solver"`` under ``lending="segmented"`` and
+        ``"structural"`` otherwise — the benchmark's ``restore_check``
+        record measures the solver certifier's admission overhead on
+        the pinned lending trace at ~0%, so segmented mode gets the
+        stronger certifier for free.  Irrelevant outside
         ``lending="segmented"``.
     memoise_models:
         Cache interval-conflict models by circuit fingerprint (the
@@ -359,7 +783,7 @@ class MultiProgrammer:
         queue_policy: Union[str, QueuePolicy] = "fifo",
         lending: str = "windowed",
         lease_packer: Union[str, LeasePacker] = "first-fit",
-        restore_check: str = "structural",
+        restore_check: Optional[str] = None,
         memoise_models: bool = True,
     ):
         if machine_size < 1:
@@ -368,6 +792,10 @@ class MultiProgrammer:
             raise CircuitError(
                 f"lending must be one of {', '.join(LENDING_MODES)}, "
                 f"got {lending!r}"
+            )
+        if restore_check is None:
+            restore_check = (
+                "solver" if lending == "segmented" else "structural"
             )
         if restore_check not in ("structural", "solver"):
             raise CircuitError(
@@ -432,6 +860,15 @@ class MultiProgrammer:
         #: cannot without breaking the freed-wires contract, so this
         #: attribute (mirrored in ``stats()``) carries the provenance.
         self.last_backfilled: Tuple[str, ...] = ()
+        #: Prefix-admission lifetime counters (see :meth:`admit_stream`
+        #: and ``stats()["streaming"]``).
+        self.stream_admissions = 0
+        self.stream_refinements = 0
+        self.stream_lease_revocations = 0
+        self.stream_job_revocations = 0
+        #: Job name -> its :class:`StreamAdmission` handle, kept for
+        #: the per-job throughput counters in :meth:`stats`.
+        self._streams: Dict[str, "StreamAdmission"] = {}
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -540,6 +977,16 @@ class MultiProgrammer:
         data["last_backfilled"] = list(self.last_backfilled)
         data["model_cache_hits"] = self.model_cache_hits
         data["model_cache_misses"] = self.model_cache_misses
+        data["streaming"] = {
+            "admissions": self.stream_admissions,
+            "refinements": self.stream_refinements,
+            "lease_revocations": self.stream_lease_revocations,
+            "revoked_to_queue": self.stream_job_revocations,
+            "jobs": {
+                name: stream.allocator.stats.as_dict()
+                for name, stream in self._streams.items()
+            },
+        }
         return data
 
     def snapshot(self) -> str:
@@ -684,6 +1131,79 @@ class MultiProgrammer:
         )
         self._residents[job.name] = admission
         return admission
+
+    def admit_stream(
+        self,
+        name: str,
+        num_qubits: int,
+        ancilla_requests: Sequence[Union[int, BorrowRequest]] = (),
+        prefix: Sequence[Gate] = (),
+        lookahead: Union[None, int, float, str, LookaheadPolicy] = "adaptive",
+        packer: Optional[Union[str, LeasePacker]] = None,
+        enforce_capacity: bool = True,
+    ) -> StreamAdmission:
+        """Admit a still-open gate stream on its prefix.
+
+        The parse-while-allocate front door: instead of a finished
+        :class:`QuantumJob`, the caller declares the register width and
+        ancilla requests up front, optionally feeds a ``prefix`` of
+        gates, and receives a :class:`StreamAdmission` handle — the job
+        is *resident from this call on*, holding fresh wires for every
+        non-leased original wire (no width reduction: the unseen tail
+        may touch anything) plus cross-program leases for requested
+        ancillas the prefix already proves safe.  Each later
+        ``handle.feed(gate)`` refines the admission in the same call
+        (lease windows regrow; extend → move → fresh wire → revoke to
+        the queue), so the global occupancy contract holds between any
+        two gates; ``handle.close()`` re-proves safety over the
+        complete circuit and resubmits a revoked job via
+        :meth:`submit`.  Time to first lease is therefore one prefix,
+        not one full parse — the overlap the streaming-front-end bench
+        section measures.
+
+        ``lookahead`` configures the handle's internal
+        :class:`~repro.alloc.StreamingAllocator` (a horizon, a
+        registered policy name — default ``"adaptive"`` — or a
+        :class:`~repro.alloc.LookaheadPolicy` instance).  ``prefix``
+        gates count into the admission's safety verdicts and leases;
+        an empty prefix admits on width alone.  Raises
+        :class:`~repro.errors.CapacityError` when the machine cannot
+        host the width right now (nothing is queued — use
+        :meth:`submit` with the finished circuit for queueing
+        semantics).
+        """
+        if name in self._residents:
+            raise CircuitError(f"job {name!r} is already resident")
+        if any(entry.name == name for entry in self._queue):
+            raise CircuitError(f"job {name!r} is already queued")
+        requests = [
+            r if isinstance(r, BorrowRequest) else BorrowRequest(int(r))
+            for r in ancilla_requests
+        ]
+        job = QuantumJob(
+            name=name,
+            circuit=Circuit(num_qubits),
+            ancilla_requests=requests,
+        )
+        allocator = StreamingAllocator(
+            num_qubits,
+            job.request_wires,
+            lookahead=lookahead,
+            segmented=self.lending == "segmented",
+            segment_check=self.segment_check,
+        )
+        stream = StreamAdmission(
+            self,
+            job,
+            allocator,
+            self.lease_packer if packer is None else self._resolve_packer(packer),
+        )
+        for gate in prefix:
+            stream._ingest(gate)
+        stream._admit_prefix(enforce_capacity)
+        self.stream_admissions += 1
+        self._streams[name] = stream
+        return stream
 
     # ------------------------------------------------------------------ #
     # Queueing path

@@ -56,18 +56,54 @@ def _process_check(
     qubits: Sequence[int],
     backend: str,
     simplify_xor: bool,
-) -> List[BooleanCheckOutcome]:
+    cache_path: Optional[str] = None,
+) -> Tuple[List[BooleanCheckOutcome], int]:
     """Top-level (picklable) worker: check a chunk of qubits in this
     process.  Chunks are per-circuit so the tracking rebuild — and the
     incremental SAT backend's shared instance — amortise over every
-    qubit in the chunk."""
-    key = (circuit.fingerprint(), backend, simplify_xor)
-    checker = _WORKER_CHECKERS.get(key)
-    if checker is None:
-        tracked = track_circuit(circuit, simplify_xor=simplify_xor)
-        checker = make_checker(tracked, backend)
-        _WORKER_CHECKERS[key] = checker
-    return [checker.check_qubit(qubit) for qubit in qubits]
+    qubit in the chunk.
+
+    When the parent verifier's memo is a
+    :class:`~repro.verify.cache.DiskVerdictCache`, ``cache_path``
+    points at its file and the worker joins the share *mid-batch*: it
+    re-reads the file at chunk start (picking up verdicts other
+    workers — of this verifier or any concurrent one — flushed since),
+    solves only the remainder, and flushes its fresh verdicts before
+    returning (a read-merge-write under the cache's sidecar lock, so
+    chunks racing their flushes union rather than clobber).  Returns
+    the outcomes in ``qubits`` order plus how many came from disk.
+    """
+    fingerprint = circuit.fingerprint()
+    cache = None
+    if cache_path is not None:
+        from repro.verify.cache import DiskVerdictCache
+
+        cache = DiskVerdictCache(cache_path, autosave=False)
+    checker = None
+    outcomes: List[BooleanCheckOutcome] = []
+    disk_hits = 0
+    solved = False
+    for qubit in qubits:
+        key = (fingerprint, qubit, backend, simplify_xor)
+        if cache is not None and key in cache:
+            outcomes.append(cache[key])
+            disk_hits += 1
+            continue
+        if checker is None:
+            warm_key = (fingerprint, backend, simplify_xor)
+            checker = _WORKER_CHECKERS.get(warm_key)
+            if checker is None:
+                tracked = track_circuit(circuit, simplify_xor=simplify_xor)
+                checker = make_checker(tracked, backend)
+                _WORKER_CHECKERS[warm_key] = checker
+        outcome = checker.check_qubit(qubit)
+        outcomes.append(outcome)
+        if cache is not None:
+            cache[key] = outcome
+            solved = True
+    if cache is not None and solved:
+        cache.flush()
+    return outcomes, disk_hits
 
 
 @dataclass(frozen=True)
@@ -115,6 +151,13 @@ class BatchVerifier:
         tracking and its own checker per circuit (cached for the
         worker's lifetime) and results merge back into this verifier's
         memo and any shared :class:`~repro.verify.cache.DiskVerdictCache`.
+        With a disk cache the workers also share it *mid-batch*: each
+        chunk re-reads the file before solving (skipping verdicts any
+        other worker or verifier already flushed — counted in
+        :attr:`worker_disk_hits`) and flushes its own fresh verdicts
+        under the cache's writer lock before returning, so concurrent
+        verifiers on one ``cache_path`` converge while their batches
+        are still in flight, not only at flush boundaries.
         Call :meth:`close` (or use the verifier as a context manager)
         to reap the pool.
     simplify_xor:
@@ -165,6 +208,12 @@ class BatchVerifier:
         self.cache: VerdictCache = {} if cache is None else cache
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Verdicts process-pool workers pulled from a shared
+        #: :class:`~repro.verify.cache.DiskVerdictCache` *mid-batch* —
+        #: solver runs another worker (possibly of another verifier)
+        #: had already paid for before this verifier's own memo or
+        #: flush cycle could see them.
+        self.worker_disk_hits = 0
         self._tracked: Dict[str, TrackedFormulas] = {}
         self._track_seconds: Dict[str, float] = {}
         self._checkers: Dict[Tuple[str, str], CheckerBackend] = {}
@@ -351,6 +400,7 @@ class BatchVerifier:
         chunks_per_group = max(1, -(-2 * self.max_workers // len(groups)))
         pool = self._process_pool()
         futures = []
+        cache_path = getattr(self.cache, "path", None)
         for (_, backend, simplify_xor), (circuit, items) in groups.items():
             splits = min(chunks_per_group, len(items))
             size = -(-len(items) // splits)
@@ -365,11 +415,14 @@ class BatchVerifier:
                             [qubit for _, qubit in chunk],
                             backend,
                             simplify_xor,
+                            cache_path,
                         ),
                     )
                 )
         for chunk, future in futures:
-            for (key, _), outcome in zip(chunk, future.result()):
+            outcomes, disk_hits = future.result()
+            self.worker_disk_hits += disk_hits
+            for (key, _), outcome in zip(chunk, outcomes):
                 self.cache[key] = outcome
 
     def _execute(

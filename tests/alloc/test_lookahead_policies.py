@@ -1,0 +1,201 @@
+"""The lookahead-policy layer of the streaming allocator.
+
+Three contracts:
+
+* the policy registry mirrors the strategy/backend registries (names,
+  coercion of the legacy ``lookahead=`` forms, validation errors);
+* the ``adaptive`` policy's mechanics — grow on disturbance, cap at
+  the ceiling, shrink back after a quiet window — are deterministic;
+* the differential floor the bench gate also enforces: over a seeded
+  corpus (plain, spoiled and segmented alike), a fresh adaptive policy
+  per circuit ends at a total width no worse than the better of the
+  fixed horizons it interpolates between (``K=0`` and ``K=8``), while
+  never disturbing the stream more than the commit-at-first-sight
+  baseline.
+"""
+
+import pytest
+
+from repro.alloc import (
+    AdaptiveLookahead,
+    FixedLookahead,
+    LookaheadPolicy,
+    StreamingAllocator,
+    available_lookahead_policies,
+    make_lookahead_policy,
+    stream_allocate,
+)
+from repro.errors import CircuitError
+from repro.testing import random_reversible_circuit
+
+#: The differential corpus: 12 seeds, three flavours each.
+SEEDS = range(200, 212)
+
+
+def corpus_case(seed, spoiled=()):
+    return random_reversible_circuit(
+        seed,
+        num_data=5,
+        num_ancillas=3,
+        segment_gates=3,
+        middle_gates=6,
+        spoiled=spoiled,
+    )
+
+
+def run_stream(circuit, ancillas, lookahead, segmented=False):
+    allocator = StreamingAllocator(
+        circuit.num_qubits, ancillas, lookahead=lookahead, segmented=segmented
+    )
+    for gate in circuit.gates:
+        allocator.feed(gate)
+    plan = allocator.close()
+    return plan, allocator.stats
+
+
+class TestRegistry:
+    def test_both_policies_registered(self):
+        names = available_lookahead_policies()
+        assert "fixed" in names
+        assert "adaptive" in names
+
+    def test_make_by_name(self):
+        assert isinstance(make_lookahead_policy("fixed"), FixedLookahead)
+        assert isinstance(
+            make_lookahead_policy("adaptive"), AdaptiveLookahead
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(CircuitError):
+            make_lookahead_policy("clairvoyant")
+
+    def test_legacy_forms_coerce_to_fixed(self):
+        assert StreamingAllocator(4, [3], lookahead=None).lookahead is None
+        assert StreamingAllocator(4, [3], lookahead=5).lookahead == 5
+        assert (
+            StreamingAllocator(4, [3], lookahead=float("inf")).lookahead
+            is None
+        )
+
+    def test_policy_name_and_instance_accepted(self):
+        by_name = StreamingAllocator(4, [3], lookahead="adaptive")
+        assert isinstance(by_name.policy, AdaptiveLookahead)
+        policy = AdaptiveLookahead(initial=3)
+        by_instance = StreamingAllocator(4, [3], lookahead=policy)
+        assert by_instance.policy is policy
+        assert by_instance.lookahead == 3
+
+    def test_name_carries_the_policy_tag(self):
+        assert "adaptive@" in StreamingAllocator(
+            4, [3], lookahead="adaptive"
+        ).name
+        assert "inf" in StreamingAllocator(4, [3]).name
+
+    def test_fixed_validation(self):
+        with pytest.raises(CircuitError):
+            FixedLookahead(-1)
+        with pytest.raises(CircuitError):
+            FixedLookahead(2.5)
+
+    def test_adaptive_validation(self):
+        with pytest.raises(CircuitError):
+            AdaptiveLookahead(initial=-1)
+        with pytest.raises(CircuitError):
+            AdaptiveLookahead(growth=1)
+
+    def test_base_policy_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            LookaheadPolicy().horizon()
+
+
+class TestAdaptiveMechanics:
+    def test_grows_on_disturbance(self):
+        policy = AdaptiveLookahead(initial=4, ceiling=64)
+        policy.observe(1)
+        assert policy.horizon() == 8
+
+    def test_growth_caps_at_ceiling(self):
+        policy = AdaptiveLookahead(initial=4, ceiling=6)
+        policy.observe(1)
+        assert policy.horizon() == 6
+        policy.observe(1)
+        assert policy.horizon() == 6
+
+    def test_grows_from_zero(self):
+        policy = AdaptiveLookahead(initial=0)
+        policy.observe(2)
+        assert policy.horizon() == 1
+
+    def test_shrinks_after_quiet_window(self):
+        policy = AdaptiveLookahead(initial=8, window=4)
+        for _ in range(4):
+            policy.observe(0)
+        assert policy.horizon() == 4
+
+    def test_history_resets_between_moves(self):
+        policy = AdaptiveLookahead(initial=8, window=4, threshold=2)
+        policy.observe(1)
+        for _ in range(3):
+            policy.observe(0)
+        # Window full with one disturbance below threshold: shrink,
+        # and the straggler must not count toward the next window.
+        assert policy.horizon() == 4
+        policy.observe(1)
+        assert policy.horizon() == 4
+
+    def test_describe_tracks_the_moving_horizon(self):
+        policy = AdaptiveLookahead(initial=4)
+        assert policy.describe() == "adaptive@4"
+        policy.observe(1)
+        assert policy.describe() == "adaptive@8"
+
+    def test_static_policies_ignore_observations(self):
+        policy = FixedLookahead(3)
+        policy.observe(10)
+        assert policy.horizon() == 3
+
+
+class TestAdaptiveDifferential:
+    """Adaptive must dominate the fixed horizons it moves between."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize(
+        "flavour", ["plain", "spoiled", "segmented"]
+    )
+    def test_width_no_worse_than_best_fixed(self, seed, flavour):
+        spoiled = (5,) if flavour == "spoiled" else ()
+        segmented = flavour == "segmented"
+        circuit, ancillas = corpus_case(seed, spoiled=spoiled)
+        widths = {}
+        disturbances = {}
+        for label, lookahead in (
+            ("fixed-0", 0),
+            ("fixed-8", 8),
+            ("adaptive", "adaptive"),
+        ):
+            plan, stats = run_stream(
+                circuit, ancillas, lookahead, segmented=segmented
+            )
+            widths[label] = plan.final_width
+            disturbances[label] = stats.rollbacks + stats.revocations
+        assert widths["adaptive"] <= min(
+            widths["fixed-0"], widths["fixed-8"]
+        )
+        # Interpolation bound: moving the horizon never disturbs the
+        # stream more than the worse of the two fixed endpoints (the
+        # bench gate additionally pins the aggregate vs fixed-0 on its
+        # own corpus).
+        assert disturbances["adaptive"] <= max(
+            disturbances["fixed-0"], disturbances["fixed-8"]
+        )
+
+    def test_replans_are_counted(self):
+        circuit, ancillas = corpus_case(200)
+        _, stats = run_stream(circuit, ancillas, "adaptive")
+        assert stats.replans > 0
+        assert stats.as_dict()["replans"] == stats.replans
+
+    def test_stream_allocate_accepts_policy_names(self):
+        circuit, ancillas = corpus_case(201)
+        plan = stream_allocate(circuit, ancillas, lookahead="adaptive")
+        assert plan.strategy.startswith("streaming(lookahead=adaptive")

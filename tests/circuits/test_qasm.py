@@ -6,7 +6,7 @@ from hypothesis import given, settings
 
 from repro.circuits import Circuit, circuit_unitary, cnot, hadamard, mcx, x
 from repro.circuits.gates import cphase, phase, s_gate, swap, toffoli
-from repro.circuits.qasm import from_qasm, to_qasm
+from repro.circuits.qasm import from_qasm, iter_qasm_gates, to_qasm
 from repro.errors import CircuitError
 from tests.conftest import classical_circuit_strategy, fig13_circuit
 
@@ -96,3 +96,48 @@ class TestImport:
         assert [(g.name, g.qubits) for g in restored.gates] == [
             (g.name, g.qubits) for g in circuit.gates
         ]
+
+
+class TestStream:
+    """``iter_qasm_gates`` — the streaming path ``from_qasm`` drains."""
+
+    def test_streamed_gates_equal_offline(self):
+        text = to_qasm(fig13_circuit())
+        offline = from_qasm(text)
+        assert list(iter_qasm_gates(text)) == offline.gates
+
+    def test_num_qubits_known_after_the_header(self):
+        stream = iter_qasm_gates(
+            "OPENQASM 2.0;\nqreg q[3];\nx q[0];\ncx q[0],q[1];\n"
+        )
+        assert stream.num_qubits is None
+        first = next(stream)
+        assert first.name == "X"
+        assert stream.num_qubits == 3
+
+    def test_gates_arrive_before_a_later_bad_line(self):
+        text = "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\nfrob q[0];\n"
+        stream = iter_qasm_gates(text)
+        assert next(stream).name == "CX"
+        with pytest.raises(CircuitError, match="line 4"):
+            next(stream)
+
+    def test_gate_before_qreg_rejected(self):
+        with pytest.raises(CircuitError):
+            next(iter_qasm_gates("OPENQASM 2.0;\nx q[0];\n"))
+
+    def test_missing_qreg_reported_at_stream_end(self):
+        stream = iter_qasm_gates("OPENQASM 2.0;\n// empty\n")
+        with pytest.raises(CircuitError, match="no qreg"):
+            list(stream)
+
+    @settings(max_examples=25, deadline=None)
+    @given(classical_circuit_strategy(4, max_gates=8))
+    def test_stream_round_trips_random_circuits(self, circuit):
+        if any(len(g.qubits) > 3 for g in circuit.gates):
+            return
+        stream = iter_qasm_gates(to_qasm(circuit))
+        assert [(g.name, g.qubits) for g in stream] == [
+            (g.name, g.qubits) for g in circuit.gates
+        ]
+        assert stream.num_qubits == circuit.num_qubits

@@ -1,0 +1,131 @@
+"""Streaming front-end equality: the iterator paths cannot drift.
+
+``parse`` drains :func:`iter_statements` and ``elaborate`` drains
+:func:`iter_program`, so equality is structural — but these tests pin
+the *external* contract over a real corpus (the paper's ``.qbr``
+templates, scoped borrow blocks, lend blocks, the borrow-check
+differential corpus with its deliberate violations): gate-for-gate
+equality, identical diagnostics and proven wires, and genuinely
+incremental consumption (statements and gates arrive before source
+after them has been lexed, and a late error surfaces only when the
+stream reaches it).
+"""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.surface import (
+    elaborate,
+    iter_program,
+    iter_statements,
+    parse,
+)
+from repro.lang.surface.sources import adder_qbr_source, mcx_qbr_source
+from tests.lang.test_borrowck import DIFFERENTIAL_CORPUS
+
+CORPUS = [
+    adder_qbr_source(4),
+    mcx_qbr_source(5),
+    "let n = 3; borrow q[3]; alloc t;\n"
+    "for i = 1 to n { CNOT[q[i], t]; }\n"
+    "for i = n to 1 { CNOT[q[i], t]; }",
+    "borrow@ q1; borrow@ q2; borrow@ q3; alloc q4;\n"
+    "borrow a {\n"
+    "  within { CCNOT[q1, q2, a]; }\n"
+    "  apply  { CCNOT[a, q3, q4]; }\n"
+    "}",
+    "borrow x; alloc t;\n"
+    "lend x { X[t]; CNOT[t, t]; }" .replace("CNOT[t, t]", "X[t]"),
+]
+
+
+class TestStatementStreamEquality:
+    @pytest.mark.parametrize("index", range(len(CORPUS)))
+    def test_streamed_statements_equal_parse(self, index):
+        source = CORPUS[index]
+        assert (
+            tuple(iter_statements(source)) == parse(source).statements
+        )
+
+    def test_empty_source_raises_on_drain(self):
+        stream = iter_statements("  // nothing\n")
+        with pytest.raises(ParseError, match="empty program"):
+            list(stream)
+
+
+class TestGateStreamEquality:
+    @pytest.mark.parametrize("index", range(len(CORPUS)))
+    def test_streamed_gates_equal_offline(self, index):
+        source = CORPUS[index]
+        offline = elaborate(source)
+        assert list(iter_program(source)) == offline.circuit.gates
+
+    @pytest.mark.parametrize("index", range(len(DIFFERENTIAL_CORPUS)))
+    def test_differential_corpus_with_diagnostics(self, index):
+        """Gate stream, diagnostics and proven wires must match the
+        offline elaboration even on programs the checker rejects."""
+        source = DIFFERENTIAL_CORPUS[index]
+        offline = elaborate(source, strict=False)
+        stream = iter_program(source, strict=False)
+        assert list(stream) == offline.circuit.gates
+        streamed = stream.result()
+        assert streamed.circuit.fingerprint() == (
+            offline.circuit.fingerprint()
+        )
+        assert streamed.proven_wires == offline.proven_wires
+        assert streamed.dirty_wires == offline.dirty_wires
+        assert streamed.diagnostics.codes() == offline.diagnostics.codes()
+
+    def test_result_after_partial_consumption_drains(self):
+        source = adder_qbr_source(4)
+        offline = elaborate(source)
+        stream = iter_program(source)
+        first = [next(stream), next(stream)]
+        assert first == offline.circuit.gates[:2]
+        program = stream.result()
+        assert program.circuit.gates == offline.circuit.gates
+        assert stream.result() is program  # idempotent
+
+    def test_lend_windows_survive_streaming(self):
+        source = (
+            "borrow x; alloc t;\n"
+            "lend x { X[t]; }\n"
+            "X[t];"
+        )
+        assert (
+            iter_program(source).result().lend_windows
+            == elaborate(source).lend_windows
+        )
+
+
+class TestIncrementality:
+    def test_gates_arrive_before_later_source_is_lexed(self):
+        """A lex error deep in the tail must not prevent the prefix's
+        gates from streaming out first."""
+        source = "borrow a; borrow b; CNOT[a, b]; X[a]; $"
+        stream = iter_program(source)
+        assert next(stream).name == "CX"
+        assert next(stream).name == "X"
+        with pytest.raises(ParseError, match="line 1"):
+            next(stream)
+
+    def test_statements_arrive_before_later_source_is_lexed(self):
+        stream = iter_statements("let n = 1; let m = $")
+        first = next(stream)
+        assert first.name == "n"
+        with pytest.raises(ParseError):
+            next(stream)
+
+    def test_num_wires_grows_with_declarations(self):
+        stream = iter_program(
+            "borrow a; X[a];\nborrow b; CNOT[a, b];"
+        )
+        next(stream)
+        assert stream.num_wires == 1
+        next(stream)
+        assert stream.num_wires == 2
+
+    def test_strict_violation_raises_at_the_gate(self):
+        stream = iter_program("borrow@ x; CNOT[x, x];")
+        with pytest.raises(ParseError):
+            list(stream)

@@ -123,6 +123,24 @@ class TestRestoreCheckKnob:
             == "solver"
         )
 
+    def test_default_resolves_by_lending_mode(self):
+        """Segmented lending defaults to the solver certifier (the
+        bench's restore_check record puts its admission overhead at
+        ~0%); the other modes keep the free structural check."""
+        assert (
+            MultiProgrammer(8, lending="segmented").stats()[
+                "restore_check"
+            ]
+            == "solver"
+        )
+        for lending in ("whole", "windowed"):
+            assert (
+                MultiProgrammer(8, lending=lending).stats()[
+                    "restore_check"
+                ]
+                == "structural"
+            )
+
     def test_invalid_restore_check_rejected(self):
         with pytest.raises(CircuitError, match="restore_check"):
             MultiProgrammer(8, restore_check="psychic")
@@ -131,7 +149,9 @@ class TestRestoreCheckKnob:
         """Under segmented lending the solver certifier must split the
         non-palindromic identity job's window where the structural one
         cannot — observable as the lease window's segment count."""
-        structural = MultiProgrammer(8, lending="segmented")
+        structural = MultiProgrammer(
+            8, lending="segmented", restore_check="structural"
+        )
         solver = MultiProgrammer(
             8, lending="segmented", restore_check="solver"
         )

@@ -82,10 +82,74 @@ def alloc_record(
     fleet=True,
     fleet_admitted=32,
     single_admitted=30,
+    frontend=True,
+    frontend_staged=1.0,
+    frontend_overlapped=1.0,
+    lease_granted=True,
+    first_lease_wall=0.002,
+    staged_parse_wall=0.2,
+    adaptive_width=120,
+    adaptive_disturbances=8,
+    fixed0_disturbances=8,
+    restore=True,
+    restore_solver_wall=1.0,
+    restore_solver_admitted=40,
+    restore_solver_leases=20,
 ):
     record = _alloc_record_base(
         width, placed, admitted, windowed_admitted, segmented_admitted, wall, lazy_runs
     )
+    if frontend:
+        record["streaming_frontend"] = {
+            "workloads": [
+                {
+                    "workload": "adder32",
+                    "gates": 229,
+                    "staged_wall_seconds": frontend_staged,
+                    "overlapped_wall_seconds": frontend_overlapped,
+                }
+            ],
+            "first_lease": {
+                "gates": 4004,
+                "prefix_gates": 4,
+                "staged_parse_wall_seconds": staged_parse_wall,
+                "time_to_first_lease_seconds": first_lease_wall,
+                "lease_granted": lease_granted,
+            },
+            "adaptive": [
+                {
+                    "policy": "fixed-0",
+                    "total_width": 128,
+                    "disturbances": fixed0_disturbances,
+                },
+                {"policy": "fixed-8", "total_width": 120, "disturbances": 8},
+                {
+                    "policy": "adaptive",
+                    "total_width": adaptive_width,
+                    "disturbances": adaptive_disturbances,
+                },
+            ],
+        }
+    if restore:
+        record["restore_check"] = {
+            "seed": 2,
+            "rows": [
+                {
+                    "restore_check": "structural",
+                    "admitted": 40,
+                    "leases_granted": 20,
+                    "wall_seconds": wall,
+                },
+                {
+                    "restore_check": "solver",
+                    "admitted": restore_solver_admitted,
+                    "leases_granted": restore_solver_leases,
+                    "wall_seconds": restore_solver_wall,
+                },
+            ],
+            "solver_overhead_fraction": 0.0,
+            "segmented_default": "solver",
+        }
     if fleet:
         record["fleet"] = {
             "seed": 1,
@@ -524,6 +588,181 @@ class TestStreamingGates:
         assert inf_rows[0]["width_matches_offline"] is True
         assert inf_rows[0]["plans_match_offline"] is True
         assert streaming["segmented_parity"]["matches_offline"] is True
+
+
+class TestStreamingFrontendGates:
+    """The ``streaming_frontend`` floors: overlap must stay free, the
+    prefix admission must beat a full staged parse, and adaptive
+    lookahead must hold its width/disturbance wins."""
+
+    def test_identical_frontend_records_pass(self):
+        comp = compare_alloc(alloc_record(), alloc_record())
+        assert not comp.regressions
+
+    def test_overlap_cost_over_tolerance_fails_within_fresh(self):
+        comp = compare_alloc(
+            alloc_record(), alloc_record(frontend_overlapped=1.3)
+        )
+        metric = (
+            "alloc.streaming_frontend.workloads[adder32].overlapped_vs_staged"
+        )
+        assert metric in regressed(comp)
+
+    def test_overlap_cost_within_tolerance_passes(self):
+        comp = compare_alloc(
+            alloc_record(), alloc_record(frontend_overlapped=1.2)
+        )
+        assert not comp.regressions
+
+    def test_subfloor_overlap_walls_are_noise(self):
+        comp = compare_alloc(
+            alloc_record(),
+            alloc_record(
+                frontend_staged=WALL_FLOOR / 5,
+                frontend_overlapped=WALL_FLOOR / 2,
+            ),
+        )
+        assert not comp.regressions
+
+    def test_ungranted_lease_fails(self):
+        comp = compare_alloc(alloc_record(), alloc_record(lease_granted=False))
+        assert "alloc.streaming_frontend.first_lease.lease_granted" in (
+            regressed(comp)
+        )
+
+    def test_first_lease_slower_than_parse_fails(self):
+        comp = compare_alloc(
+            alloc_record(), alloc_record(first_lease_wall=0.3)
+        )
+        assert (
+            "alloc.streaming_frontend.first_lease.beats_staged_parse"
+            in regressed(comp)
+        )
+
+    def test_adaptive_wider_than_best_fixed_fails(self):
+        comp = compare_alloc(alloc_record(), alloc_record(adaptive_width=124))
+        assert (
+            "alloc.streaming_frontend.adaptive.width_vs_fixed-8"
+            in regressed(comp)
+        )
+
+    def test_adaptive_more_disturbed_than_fixed0_fails(self):
+        comp = compare_alloc(
+            alloc_record(), alloc_record(adaptive_disturbances=9)
+        )
+        assert (
+            "alloc.streaming_frontend.adaptive.disturbances_vs_fixed-0"
+            in regressed(comp)
+        )
+
+    def test_vanished_frontend_rows_fail(self):
+        fresh = alloc_record()
+        del fresh["streaming_frontend"]
+        comp = compare_alloc(alloc_record(), fresh)
+        metrics = regressed(comp)
+        assert "alloc.streaming_frontend.workloads[adder32]" in metrics
+        assert "alloc.streaming_frontend.first_lease" in metrics
+        assert "alloc.streaming_frontend.adaptive[adaptive]" in metrics
+
+    def test_frontend_absent_everywhere_is_fine(self):
+        comp = compare_alloc(
+            alloc_record(frontend=False), alloc_record(frontend=False)
+        )
+        assert not comp.regressions
+
+    def test_fresh_floors_enforced_without_baseline_section(self):
+        comp = compare_alloc(
+            alloc_record(frontend=False), alloc_record(lease_granted=False)
+        )
+        assert "alloc.streaming_frontend.first_lease.lease_granted" in (
+            regressed(comp)
+        )
+
+    def test_committed_frontend_baseline_holds_the_floors(self):
+        repo = Path(__file__).resolve().parent.parent
+        payload = json.loads((repo / "BENCH_alloc.json").read_text())
+        frontend = payload["streaming_frontend"]
+        first = frontend["first_lease"]
+        assert first["lease_granted"] is True
+        assert (
+            first["time_to_first_lease_seconds"]
+            < first["staged_parse_wall_seconds"]
+        )
+        rows = {row["policy"]: row for row in frontend["adaptive"]}
+        adaptive = rows["adaptive"]
+        for policy, row in rows.items():
+            if policy.startswith("fixed"):
+                assert adaptive["total_width"] <= row["total_width"], policy
+        assert (
+            adaptive["disturbances"] <= rows["fixed-0"]["disturbances"]
+        )
+
+
+class TestRestoreCheckGates:
+    """The ``restore_check`` record: the solver certifier's throughput
+    and cost floors behind the segmented-mode default."""
+
+    def test_identical_restore_records_pass(self):
+        comp = compare_alloc(alloc_record(), alloc_record())
+        assert not comp.regressions
+
+    def test_solver_admitting_less_fails_within_fresh(self):
+        comp = compare_alloc(
+            alloc_record(), alloc_record(restore_solver_admitted=39)
+        )
+        assert "alloc.restore_check.solver_admitted_vs_structural" in (
+            regressed(comp)
+        )
+
+    def test_solver_leasing_less_fails_within_fresh(self):
+        comp = compare_alloc(
+            alloc_record(), alloc_record(restore_solver_leases=19)
+        )
+        assert "alloc.restore_check.solver_leases_vs_structural" in (
+            regressed(comp)
+        )
+
+    def test_solver_wall_blowup_fails_within_fresh(self):
+        comp = compare_alloc(
+            alloc_record(), alloc_record(restore_solver_wall=1.3)
+        )
+        assert "alloc.restore_check.solver_vs_structural_wall" in (
+            regressed(comp)
+        )
+
+    def test_admitted_drop_vs_baseline_fails(self):
+        base = alloc_record()
+        base["restore_check"]["rows"][1]["admitted"] = 41
+        comp = compare_alloc(base, alloc_record(restore_solver_admitted=40))
+        assert "alloc.restore_check[solver].admitted" in regressed(comp)
+
+    def test_vanished_restore_rows_fail(self):
+        fresh = alloc_record()
+        del fresh["restore_check"]
+        comp = compare_alloc(alloc_record(), fresh)
+        metrics = regressed(comp)
+        assert "alloc.restore_check[structural]" in metrics
+        assert "alloc.restore_check[solver]" in metrics
+
+    def test_restore_absent_everywhere_is_fine(self):
+        comp = compare_alloc(
+            alloc_record(restore=False), alloc_record(restore=False)
+        )
+        assert not comp.regressions
+
+    def test_committed_restore_baseline_holds_the_floors(self):
+        repo = Path(__file__).resolve().parent.parent
+        payload = json.loads((repo / "BENCH_alloc.json").read_text())
+        rows = {
+            row["restore_check"]: row
+            for row in payload["restore_check"]["rows"]
+        }
+        assert rows["solver"]["admitted"] >= rows["structural"]["admitted"]
+        assert (
+            rows["solver"]["leases_granted"]
+            >= rows["structural"]["leases_granted"]
+        )
+        assert payload["restore_check"]["segmented_default"] == "solver"
 
 
 class TestCli:

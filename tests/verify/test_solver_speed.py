@@ -203,3 +203,41 @@ class TestProcessDiskCacheHammer:
         for job in jobs:
             late.verify_circuit(*job)
         assert late.cache_misses == 0
+
+    def test_workers_share_the_disk_cache_mid_batch(self, tmp_path):
+        """Two process-executor verifiers on one path converge through
+        their *workers'* chunk flushes alone: neither parent cache ever
+        flushes (``autosave=False``, no ``flush()`` call), yet the
+        second verifier's workers find the first's verdicts on disk —
+        cross-process hits before any parent flush boundary."""
+        from repro.verify import DiskVerdictCache
+
+        path = str(tmp_path / "verdicts.json")
+        program = elaborate(adder_qbr_source(8))
+        dirty = list(program.dirty_wires)
+
+        first = BatchVerifier(
+            backend="cdcl",
+            executor="process",
+            max_workers=2,
+            cache=DiskVerdictCache(path, autosave=False),
+        )
+        second = BatchVerifier(
+            backend="cdcl",
+            executor="process",
+            max_workers=2,
+            cache=DiskVerdictCache(path, autosave=False),
+        )
+        try:
+            baseline = first.verify_circuit(program.circuit, dirty)
+            hammered = second.verify_circuit(program.circuit, dirty)
+        finally:
+            first.close()
+            second.close()
+        assert verdict_tuples(hammered) == verdict_tuples(baseline)
+        # Every one of the second verifier's checks was already on
+        # disk, put there by the first verifier's worker processes.
+        assert second.worker_disk_hits == len(dirty)
+        # The file's contents came from workers, not a parent flush.
+        merged = DiskVerdictCache(path)
+        assert len(merged) == len(dirty)
